@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Ablation — Start-Gap wear leveling: performance cost vs wear
+ * spread across gap-movement thresholds (Sections V-A and VIII).
+ *
+ * Every `threshold` writes the gap moves, costing one extra line
+ * copy on the media. Small thresholds level harder but burn
+ * bandwidth; the paper ships 100. This bench sweeps the threshold
+ * under a hot-spotted write stream and reports both sides of the
+ * trade plus the projected lifetime of the most-worn region.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.hh"
+#include "psm/psm.hh"
+#include "sim/rng.hh"
+#include "stats/table.hh"
+
+using namespace lightpc;
+using psm::Psm;
+using psm::PsmParams;
+
+namespace
+{
+
+constexpr std::uint64_t totalWrites = 300'000;
+
+struct Outcome
+{
+    Tick elapsed = 0;
+    std::uint64_t moves = 0;
+    double spread = 0.0;      ///< max/mean per-region wear
+    double lifetime = 0.0;    ///< of the most-worn region
+};
+
+Outcome
+drive(std::uint64_t threshold, bool hot_spot)
+{
+    PsmParams params;
+    params.wearLeveling = threshold != 0;
+    if (threshold)
+        params.wearThreshold = threshold;
+    params.dimm.device.capacityBytes = 64 << 20;
+    params.dimm.device.wearRegionBytes = 1 << 20;
+    params.dimm.device.enduranceCycles = 50'000'000;
+    Psm psm(params);
+
+    Rng rng(7);
+    mem::MemRequest req;
+    req.op = mem::MemOp::Write;
+    Tick t = 0;
+    for (std::uint64_t i = 0; i < totalWrites; ++i) {
+        // Hot-spot: 90% of writes in a 1 MB region (the leveling
+        // stressor). Uniform: the fair baseline for measuring the
+        // gap-movement bandwidth cost, since a perfectly-aligned
+        // hot region changes unit placement once the randomizer is
+        // on, which is a locality effect rather than leveling cost.
+        req.addr = ((hot_spot && rng.chance(0.9))
+                        ? rng.below(1 << 20)
+                        : rng.below(psm.capacityBytes()))
+            & ~63ull;
+        t = psm.access(req, t).completeAt + 50;
+    }
+    t = psm.flush(t);
+
+    Outcome out;
+    out.elapsed = t;
+    out.moves = psm.stats().wearMoves;
+    std::uint64_t max_wear = 0, total = 0, regions = 0;
+    double lifetime = 1.0;
+    for (std::uint32_t d = 0; d < params.dimms; ++d) {
+        for (std::uint32_t g = 0; g < psm.dimm(d).groupCount();
+             ++g) {
+            const auto &dev = psm.dimm(d).group(g);
+            max_wear = std::max(max_wear, dev.maxRegionWear());
+            lifetime = std::min(lifetime, dev.lifetimeRemaining());
+            for (const auto w : dev.wearByRegion()) {
+                total += w;
+                ++regions;
+            }
+        }
+    }
+    out.spread = total
+        ? static_cast<double>(max_wear)
+            / (static_cast<double>(total) / regions)
+        : 0.0;
+    out.lifetime = lifetime;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "Start-Gap threshold sweep: leveling"
+                              " strength vs write-bandwidth cost");
+
+    const std::uint64_t thresholds[] = {0, 400, 100, 25};
+    stats::Table table({"threshold", "gap moves", "uniform time(ms)",
+                        "bandwidth cost", "hot-spot spread",
+                        "lifetime"});
+    Outcome off_uniform{}, off_hot{}, default_uniform{},
+        default_hot{}, aggressive_hot{};
+    for (const std::uint64_t threshold : thresholds) {
+        const Outcome uniform = drive(threshold, false);
+        const Outcome hot = drive(threshold, true);
+        if (threshold == 0) {
+            off_uniform = uniform;
+            off_hot = hot;
+        }
+        if (threshold == 100) {
+            default_uniform = uniform;
+            default_hot = hot;
+        }
+        if (threshold == 25)
+            aggressive_hot = hot;
+        table.addRow(
+            {threshold ? std::to_string(threshold) : "off",
+             std::to_string(uniform.moves),
+             stats::Table::num(ticksToMs(uniform.elapsed), 2),
+             threshold ? stats::Table::percent(
+                 static_cast<double>(uniform.elapsed)
+                         / off_uniform.elapsed
+                     - 1.0,
+                 2) : "-",
+             stats::Table::ratio(hot.spread, 1),
+             stats::Table::percent(hot.lifetime, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    bench::paperRef("Start-Gap shifts one 64 B line per 100 writes"
+                    " (default) with a static randomizer; [53]"
+                    " reports 97% of theoretical lifetime at"
+                    " negligible overhead");
+
+    bench::check(default_hot.spread < 0.7 * off_hot.spread,
+                 "the default threshold meaningfully flattens a"
+                 " hot spot");
+    bench::check(aggressive_hot.spread
+                     <= default_hot.spread * 1.05,
+                 "more aggressive leveling never spreads worse");
+    const double overhead =
+        static_cast<double>(default_uniform.elapsed)
+            / off_uniform.elapsed
+        - 1.0;
+    bench::check(overhead < 0.08,
+                 "the default threshold costs only a few percent of"
+                 " write bandwidth");
+    bench::check(default_hot.lifetime >= off_hot.lifetime,
+                 "leveling never shortens the worst region's"
+                 " lifetime");
+    return bench::result();
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench regenerates one table or figure from the paper's
+ * evaluation: it runs the relevant experiment on the simulator,
+ * prints the same rows/series the paper reports, cites the paper's
+ * headline numbers for side-by-side comparison (EXPERIMENTS.md), and
+ * asserts the qualitative orderings so the benches double as
+ * regression anchors.
+ */
+
+#ifndef LIGHTPC_BENCH_COMMON_HH
+#define LIGHTPC_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace bench
+{
+
+inline int failures = 0;
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &figure, const std::string &what)
+{
+    std::cout << "==============================================\n"
+              << figure << ": " << what << "\n"
+              << "==============================================\n";
+}
+
+/** Cite the paper's reported result for the experiment. */
+inline void
+paperRef(const std::string &text)
+{
+    std::cout << "paper: " << text << "\n";
+}
+
+/** Regression anchor: record and report a qualitative check. */
+inline void
+check(bool ok, const std::string &what)
+{
+    std::cout << (ok ? "CHECK ok   : " : "CHECK FAIL : ") << what
+              << "\n";
+    if (!ok)
+        ++failures;
+}
+
+/** Exit status for main(): nonzero when an anchor failed. */
+inline int
+result()
+{
+    std::cout << (failures == 0 ? "\nall checks passed\n"
+                                : "\nCHECK FAILURES: ")
+              << (failures ? std::to_string(failures) + "\n" : "");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace bench
+
+#endif // LIGHTPC_BENCH_COMMON_HH

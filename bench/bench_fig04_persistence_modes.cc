@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Fig. 4 — Performance and power of conventional PMEM persistence
+ * control.
+ *
+ * Runs all 17 Table II workloads under the five configurations
+ * (DRAM-only, mem-mode, app-mode, object-mode, trans-mode) and
+ * reports execution latency normalized to DRAM-only plus the
+ * memory-subsystem power, as the paper measures with LIKWID.
+ *
+ * Paper headlines: mem-mode within 1.3% of DRAM-only; app-mode +28%
+ * latency / +47% power over mem-mode; object-mode 1.8x / 1.6x;
+ * trans-mode 8.7x latency vs DRAM-only.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "platform/pmem_modes.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "workload/spec.hh"
+
+using namespace lightpc;
+using namespace lightpc::platform;
+
+int
+main()
+{
+    bench::banner("Fig. 4", "persistence-control latency and power"
+                            " across PMEM modes");
+
+    constexpr std::uint64_t scale = 40000;
+    const PmemMode modes[] = {PmemMode::DramOnly, PmemMode::MemMode,
+                              PmemMode::AppMode, PmemMode::ObjectMode,
+                              PmemMode::TransMode};
+
+    stats::Table latency({"workload", "DRAM-only(Mc)", "mem", "app",
+                          "object", "trans"});
+    stats::Table power({"workload", "DRAM-only(W)", "mem", "app",
+                        "object", "trans"});
+
+    std::vector<double> norm_mem, norm_app, norm_obj, norm_trans;
+    std::vector<double> pw_dram, pw_mem, pw_app, pw_obj, pw_trans;
+
+    for (const auto &spec : workload::tableTwo()) {
+        double base_cycles = 0.0;
+        std::vector<std::string> lat_row{spec.name};
+        std::vector<std::string> pow_row{spec.name};
+        for (const PmemMode mode : modes) {
+            const auto result = runPmemMode(mode, spec, scale);
+            const double mc =
+                static_cast<double>(result.run.cycles) / 1e6;
+            if (mode == PmemMode::DramOnly) {
+                base_cycles = mc;
+                lat_row.push_back(stats::Table::num(mc, 1));
+                pow_row.push_back(
+                    stats::Table::num(result.memWatts, 2));
+                pw_dram.push_back(result.memWatts);
+                continue;
+            }
+            const double norm = mc / base_cycles;
+            lat_row.push_back(stats::Table::ratio(norm));
+            pow_row.push_back(stats::Table::num(result.memWatts, 2));
+            switch (mode) {
+              case PmemMode::MemMode:
+                norm_mem.push_back(norm);
+                pw_mem.push_back(result.memWatts);
+                break;
+              case PmemMode::AppMode:
+                norm_app.push_back(norm);
+                pw_app.push_back(result.memWatts);
+                break;
+              case PmemMode::ObjectMode:
+                norm_obj.push_back(norm);
+                pw_obj.push_back(result.memWatts);
+                break;
+              default:
+                norm_trans.push_back(norm);
+                pw_trans.push_back(result.memWatts);
+            }
+        }
+        latency.addRow(lat_row);
+        power.addRow(pow_row);
+    }
+
+    std::cout << "(a) execution latency, normalized to DRAM-only\n";
+    latency.print(std::cout);
+    std::cout << "\n(b) memory subsystem power\n";
+    power.print(std::cout);
+
+    const double avg_mem = stats::geomean(norm_mem);
+    const double avg_app = stats::geomean(norm_app);
+    const double avg_obj = stats::geomean(norm_obj);
+    const double avg_trans = stats::geomean(norm_trans);
+    auto avg = [](const std::vector<double> &v) {
+        stats::Summary s;
+        for (double x : v)
+            s.add(x);
+        return s.mean();
+    };
+    std::cout << "\naverage latency vs DRAM-only:  mem "
+              << stats::Table::ratio(avg_mem) << "  app "
+              << stats::Table::ratio(avg_app) << "  object "
+              << stats::Table::ratio(avg_obj) << "  trans "
+              << stats::Table::ratio(avg_trans) << "\n"
+              << "average memory power (W):      dram "
+              << stats::Table::num(avg(pw_dram)) << "  mem "
+              << stats::Table::num(avg(pw_mem)) << "  app "
+              << stats::Table::num(avg(pw_app)) << "  object "
+              << stats::Table::num(avg(pw_obj)) << "  trans "
+              << stats::Table::num(avg(pw_trans)) << "\n\n";
+
+    bench::paperRef("mem-mode ~= DRAM-only (1.3%); app-mode +28%"
+                    " latency/+47% power vs mem-mode; object-mode"
+                    " 1.8x/1.6x; trans-mode 8.7x latency vs"
+                    " DRAM-only");
+
+    bench::check(avg_mem < 1.10,
+                 "mem-mode tracks DRAM-only latency");
+    bench::check(avg_app > 1.05 && avg_app < 2.0,
+                 "app-mode pays a moderate latency penalty");
+    bench::check(avg_app > avg_mem,
+                 "app-mode is slower than mem-mode");
+    bench::check(avg_obj > 1.3 * avg_mem,
+                 "object-mode pays pointer-swizzling overheads");
+    bench::check(avg_trans > 4.0,
+                 "trans-mode is several times DRAM-only");
+    bench::check(avg(pw_app) > 1.2 * avg(pw_mem),
+                 "app-mode burns more memory power than mem-mode");
+    bench::check(avg(pw_obj) > avg(pw_dram),
+                 "object-mode burns more memory power than"
+                 " DRAM-only");
+    return bench::result();
+}

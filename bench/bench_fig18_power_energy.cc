@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fig. 18 — Platform power and energy for the in-memory executions.
+ *
+ * Paper headlines: LegacyPC draws 18.9 W; LightPC and LightPC-B
+ * draw 5.3 W (28% of LegacyPC — i.e. 72-73% lower) because there is
+ * no DRAM refresh/background burden. End-to-end energy: LightPC 69%
+ * better than LegacyPC; LightPC-B saves only 8.2% because its
+ * blocking services stretch execution.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "platform/system.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "workload/spec.hh"
+
+using namespace lightpc;
+using namespace lightpc::platform;
+
+namespace
+{
+
+RunResult
+runOn(PlatformKind kind, const workload::WorkloadSpec &spec)
+{
+    SystemConfig config;
+    config.kind = kind;
+    config.scaleDivisor = 18000;
+    System system(config);
+    return system.run(spec);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 18", "platform power and energy");
+
+    stats::Table table({"workload", "Legacy(W)", "B(W)", "Light(W)",
+                        "Legacy(mJ)", "B(mJ)", "Light(mJ)"});
+    stats::Summary legacy_w, b_w, light_w;
+    std::vector<double> energy_saving, b_saving;
+
+    for (const auto &spec : workload::tableTwo()) {
+        const auto legacy = runOn(PlatformKind::LegacyPC, spec);
+        const auto b = runOn(PlatformKind::LightPCB, spec);
+        const auto light = runOn(PlatformKind::LightPC, spec);
+
+        legacy_w.add(legacy.watts);
+        b_w.add(b.watts);
+        light_w.add(light.watts);
+        energy_saving.push_back(1.0 - light.joules / legacy.joules);
+        b_saving.push_back(1.0 - b.joules / legacy.joules);
+
+        table.addRow({spec.name, stats::Table::num(legacy.watts, 1),
+                      stats::Table::num(b.watts, 1),
+                      stats::Table::num(light.watts, 1),
+                      stats::Table::num(legacy.joules * 1e3, 1),
+                      stats::Table::num(b.joules * 1e3, 1),
+                      stats::Table::num(light.joules * 1e3, 1)});
+    }
+    table.print(std::cout);
+
+    auto mean = [](const std::vector<double> &v) {
+        stats::Summary s;
+        for (double x : v)
+            s.add(x);
+        return s.mean();
+    };
+    const double power_cut = 1.0 - light_w.mean() / legacy_w.mean();
+    std::cout << "\naverage power: LegacyPC "
+              << stats::Table::num(legacy_w.mean(), 1)
+              << " W, LightPC-B " << stats::Table::num(b_w.mean(), 1)
+              << " W, LightPC "
+              << stats::Table::num(light_w.mean(), 1) << " W ("
+              << stats::Table::percent(power_cut, 0)
+              << " lower)\naverage energy saving: LightPC "
+              << stats::Table::percent(mean(energy_saving), 0)
+              << ", LightPC-B "
+              << stats::Table::percent(mean(b_saving), 0) << "\n\n";
+
+    bench::paperRef("LegacyPC 18.9 W vs LightPC 5.3 W (73% lower);"
+                    " energy 69% better; LightPC-B saves only 8.2%"
+                    " energy");
+
+    bench::check(power_cut > 0.60,
+                 "LightPC cuts platform power by well over half");
+    bench::check(legacy_w.mean() > 10.0 && legacy_w.mean() < 25.0,
+                 "LegacyPC power near the paper's 18.9 W");
+    bench::check(light_w.mean() > 3.0 && light_w.mean() < 8.0,
+                 "LightPC power near the paper's 5.3 W");
+    bench::check(mean(energy_saving) > 0.55,
+                 "LightPC's end-to-end energy saving is large");
+    bench::check(mean(b_saving) < mean(energy_saving),
+                 "LightPC-B loses part of the gain to blocking"
+                 " services");
+    return bench::result();
+}

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Living with dying PRAM: the OC-PMEM reliability ladder.
+ *
+ * PRAM devices wear out (1e6-1e9 set/reset cycles) and fail at
+ * large granularity. This demo kills devices one by one under live
+ * traffic and shows each tier of the PSM's reliability design
+ * (Sections V-A and VIII):
+ *
+ *  1. Healthy: reads served straight from the media.
+ *  2. One half-device dead: XCC regenerates every read from the
+ *     healthy half + parity in one extra XOR cycle — performance is
+ *     barely dented and nothing is lost.
+ *  3. Both halves of a group dead, XCC-only build: the error
+ *     containment bit raises an MCE; the shipping policy resets
+ *     OC-PMEM for a cold boot.
+ *  4. Both halves dead, symbol-ECC build (the paper's future-work
+ *     tier): a Reed-Solomon erasure decode recovers the line at
+ *     extra latency, and the machine keeps running.
+ */
+
+#include <iostream>
+
+#include "psm/psm.hh"
+#include "psm/symbol_ecc.hh"
+#include "sim/rng.hh"
+#include "stats/table.hh"
+
+using namespace lightpc;
+using namespace lightpc::psm;
+
+namespace
+{
+
+struct Phase
+{
+    std::string what;
+    double meanReadNs;
+    std::uint64_t corrected;
+    std::uint64_t symbolFixes;
+    std::uint64_t mces;
+};
+
+Phase
+drive(Psm &psm, const std::string &what, Tick &t, Rng &rng)
+{
+    psm.resetStats();
+    mem::MemRequest req;
+    for (int i = 0; i < 20000; ++i) {
+        req.op = rng.chance(0.8) ? mem::MemOp::Read
+                                 : mem::MemOp::Write;
+        req.addr = rng.below(std::uint64_t(1) << 28) & ~63ull;
+        const auto result = psm.access(req, t);
+        t = result.completeAt + 200;
+        if (result.containment && psm.handleContainment()) {
+            // ResetColdBoot wiped the media; in a full system the
+            // bootloader would now reinitialize everything.
+            break;
+        }
+    }
+    const auto &stats = psm.stats();
+    return {what, psm.readLatencyHist().mean() / tickNs,
+            stats.correctedReads, stats.symbolCorrections,
+            stats.mceCount};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "OC-PMEM reliability ladder under live traffic\n\n";
+
+    Rng rng(42);
+    stats::Table table({"phase", "mean read(ns)", "XCC repairs",
+                        "symbol repairs", "MCEs"});
+
+    // XCC-only build (the shipping configuration).
+    {
+        PsmParams params;
+        params.wearLeveling = false;
+        Psm psm(params);
+        Tick t = 0;
+
+        auto healthy = drive(psm, "healthy", t, rng);
+        psm.injectFault(0, 0, 0);
+        psm.injectFault(2, 1, 1);
+        auto degraded =
+            drive(psm, "2 half-devices dead (XCC)", t, rng);
+        psm.injectFault(0, 0, 1);  // group (0,0) now fully dead
+        auto dead = drive(psm, "group dead, XCC only -> MCE", t, rng);
+
+        for (const auto &phase : {healthy, degraded, dead}) {
+            table.addRow({phase.what,
+                          stats::Table::num(phase.meanReadNs, 1),
+                          std::to_string(phase.corrected),
+                          std::to_string(phase.symbolFixes),
+                          std::to_string(phase.mces)});
+        }
+        std::cout << "(reset port fired: " << psm.stats().resets
+                  << " cold boot" << ")\n";
+    }
+
+    // Symbol-ECC build (future-work tier enabled).
+    {
+        PsmParams params;
+        params.wearLeveling = false;
+        params.symbolEccFallback = true;
+        Psm psm(params);
+        psm.injectFault(0, 0, 0);
+        psm.injectFault(0, 0, 1);
+        Tick t = 0;
+        auto survived =
+            drive(psm, "group dead, symbol-ECC tier", t, rng);
+        table.addRow({survived.what,
+                      stats::Table::num(survived.meanReadNs, 1),
+                      std::to_string(survived.corrected),
+                      std::to_string(survived.symbolFixes),
+                      std::to_string(survived.mces)});
+    }
+    table.print(std::cout);
+
+    // The codec itself, demonstrated directly: stripe a line over
+    // 8 devices + 2 parity, kill any two, recover.
+    SymbolEcc code(8, 2);
+    Rng data_rng(7);
+    std::vector<std::uint8_t> lanes(8 * 8);
+    for (auto &b : lanes)
+        b = static_cast<std::uint8_t>(data_rng.next());
+    auto coded = code.encodeLanes(lanes, 8);
+    std::vector<bool> erased(10, false);
+    erased[2] = erased[7] = true;  // two dead devices
+    std::vector<std::uint8_t> recovered;
+    const bool ok = code.decodeLanes(coded, 8, erased, recovered);
+
+    std::cout << "\nReed-Solomon stripe over 8+2 devices with 2"
+                 " dead: "
+              << (ok && recovered == lanes
+                      ? "recovered bit-for-bit"
+                      : "RECOVERY FAILED")
+              << "\n\nThe shipping XCC tier handles any single"
+                 " half-device failure per pair at one XOR cycle;"
+                 " the symbol tier (Section VIII future work) trades"
+                 " decode latency for chipkill-class coverage so a"
+                 " fully dead group no longer forces the cold-boot"
+                 " MCE path.\n";
+    return ok && recovered == lanes ? 0 : 1;
+}

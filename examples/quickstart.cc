@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Quickstart: build a LightPC platform, run an in-memory database
+ * workload on OC-PMEM, pull the plug, and come back.
+ *
+ * Demonstrates the three headline behaviours:
+ *  1. In-memory execution on OC-PMEM at near-DRAM user performance
+ *     and a fraction of the power (Figs. 15/18).
+ *  2. SnG's Stop producing the EP-cut well inside the PSU hold-up
+ *     budget (Fig. 8).
+ *  3. Go restoring every process's architectural state from OC-PMEM
+ *     after the power cycle — no checkpoints, no journals.
+ */
+
+#include <iostream>
+
+#include "platform/system.hh"
+#include "power/psu.hh"
+#include "sim/rng.hh"
+#include "stats/table.hh"
+#include "workload/spec.hh"
+
+using namespace lightpc;
+
+int
+main()
+{
+    // --- 1. Build the platform and run a workload on OC-PMEM -----
+    platform::SystemConfig config;
+    config.kind = platform::PlatformKind::LightPC;
+    config.scaleDivisor = 10000;  // quick demo scale
+    platform::System lightpc(config);
+
+    const auto &spec = workload::findWorkload("Redis");
+    std::cout << "Running " << spec.name << " on "
+              << platformName(config.kind) << " (8 cores, OC-PMEM"
+              << " working memory)...\n";
+    const platform::RunResult run = lightpc.run(spec);
+
+    // The same workload on a DRAM-only LegacyPC, for reference.
+    platform::SystemConfig legacy_config = config;
+    legacy_config.kind = platform::PlatformKind::LegacyPC;
+    platform::System legacy(legacy_config);
+    const platform::RunResult legacy_run = legacy.run(spec);
+
+    stats::Table table({"platform", "time(ms)", "IPC", "power(W)",
+                        "energy(J)"});
+    for (const auto *r : {&legacy_run, &run}) {
+        table.addRow({r->platform, stats::Table::num(
+                          ticksToMs(r->elapsed), 2),
+                      stats::Table::num(r->ipc, 2),
+                      stats::Table::num(r->watts, 1),
+                      stats::Table::num(r->joules, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "LightPC runs " << stats::Table::percent(
+                     static_cast<double>(run.elapsed)
+                             / legacy_run.elapsed - 1.0, 1)
+              << " slower than DRAM-only while drawing "
+              << stats::Table::percent(1.0 - run.watts
+                                       / legacy_run.watts, 0)
+              << " less power.\n\n";
+
+    // --- 2. Power failure: SnG draws the EP-cut ------------------
+    std::cout << "Power event! Stopping the system...\n";
+    kernel::Kernel &kern = lightpc.kernel();
+    Rng rng(7);
+    kern.scramble(rng);  // processes have been computing
+    const kernel::SystemSnapshot before = kern.snapshot();
+
+    const Tick power_event = lightpc.eventQueue().now();
+    const pecos::StopReport stop = lightpc.sng().stop(power_event);
+
+    const power::PsuModel atx = power::PsuModel::atx();
+    std::cout << "  process stop: "
+              << ticksToMs(stop.processStopTicks()) << " ms ("
+              << stop.tasksParked << " tasks parked)\n"
+              << "  device stop : "
+              << ticksToMs(stop.deviceStopTicks()) << " ms ("
+              << stop.devicesSuspended << " drivers suspended)\n"
+              << "  offline     : " << ticksToMs(stop.offlineTicks())
+              << " ms (" << stop.dirtyLinesFlushed
+              << " dirty lines flushed)\n"
+              << "  total Stop  : " << ticksToMs(stop.totalTicks())
+              << " ms vs ATX spec hold-up "
+              << ticksToMs(atx.spec().specHoldup) << " ms -> "
+              << (stop.totalTicks() <= atx.spec().specHoldup
+                      ? "EP-cut committed in time"
+                      : "MISSED THE BUDGET")
+              << "\n\n";
+
+    // --- 3. Power returns: Go re-executes from the EP-cut --------
+    std::cout << "Power restored. Going...\n";
+    // Everything volatile is gone; corrupt the in-memory register
+    // copies to prove Go restores them from OC-PMEM.
+    Rng corrupt(999);
+    for (std::size_t i = 0; i < kern.processCount(); ++i)
+        kern.process(i).regs().randomize(corrupt);
+
+    const pecos::GoReport go =
+        lightpc.sng().resume(stop.offlineDone + 100 * tickMs);
+    const kernel::SystemSnapshot after = kern.snapshot();
+
+    bool regs_match = true;
+    for (std::size_t i = 0; i < before.entries.size(); ++i)
+        regs_match = regs_match
+            && before.entries[i].regs == after.entries[i].regs
+            && before.entries[i].pid == after.entries[i].pid;
+
+    std::cout << "  Go latency  : " << ticksToMs(go.totalTicks())
+              << " ms (" << go.devicesRevived << " devices revived, "
+              << go.tasksScheduled << " tasks rescheduled)\n"
+              << "  architectural state "
+              << (regs_match ? "restored bit-for-bit from OC-PMEM"
+                             : "MISMATCH - persistence broken!")
+              << "\n";
+    return regs_match ? 0 : 1;
+}

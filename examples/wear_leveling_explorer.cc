@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Wear-leveling explorer (Sections V-A and VIII).
+ *
+ * PRAM endures 1e6-1e9 set/reset cycles — an order of magnitude
+ * below DRAM — so OC-PMEM's viability as working memory rests on
+ * Start-Gap spreading writes. This example drives three write
+ * patterns (uniform, hot-spot, and the adversarial single-line
+ * hammer from Section VIII) against the PSM with wear leveling on
+ * and off, then reports the per-region wear spread and the
+ * projected lifetime of the most-worn region.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "psm/psm.hh"
+#include "sim/rng.hh"
+#include "stats/table.hh"
+
+using namespace lightpc;
+using psm::Psm;
+using psm::PsmParams;
+
+namespace
+{
+
+constexpr std::uint64_t totalWrites = 400'000;
+
+enum class Pattern
+{
+    Uniform,
+    HotSpot,   ///< 95% of writes in a 256 KB region
+    Hammer,    ///< one single line, forever (Section VIII)
+};
+
+std::string
+patternName(Pattern pattern)
+{
+    switch (pattern) {
+      case Pattern::Uniform:
+        return "uniform";
+      case Pattern::HotSpot:
+        return "hot-spot";
+      case Pattern::Hammer:
+        return "single-line hammer";
+    }
+    return "?";
+}
+
+struct WearOutcome
+{
+    std::uint64_t maxWear = 0;
+    double spread = 0.0;  ///< max/mean per-region wear
+    double lifetime = 0.0;
+};
+
+WearOutcome
+drive(Pattern pattern, bool leveling)
+{
+    PsmParams params;
+    params.wearLeveling = leveling;
+    // Small devices so the wear regions resolve the pattern.
+    params.dimm.device.capacityBytes = 64 << 20;
+    params.dimm.device.wearRegionBytes = 1 << 20;
+    params.dimm.device.enduranceCycles = 10'000'000;
+    Psm psm(params);
+
+    Rng rng(99);
+    mem::MemRequest req;
+    req.op = mem::MemOp::Write;
+    Tick t = 0;
+    const std::uint64_t span = psm.capacityBytes();
+    for (std::uint64_t i = 0; i < totalWrites; ++i) {
+        switch (pattern) {
+          case Pattern::Uniform:
+            req.addr = rng.below(span) & ~63ull;
+            break;
+          case Pattern::HotSpot:
+            req.addr = rng.chance(0.95)
+                ? (rng.below(256 << 10) & ~63ull)
+                : (rng.below(span) & ~63ull);
+            break;
+          case Pattern::Hammer:
+            req.addr = 4096;
+            break;
+        }
+        t = psm.access(req, t).completeAt + 100;
+    }
+    psm.flush(t);
+
+    WearOutcome out;
+    std::uint64_t total = 0, regions = 0;
+    double lifetime = 1.0;
+    for (std::uint32_t d = 0; d < params.dimms; ++d) {
+        for (std::uint32_t g = 0; g < psm.dimm(d).groupCount(); ++g) {
+            const auto &dev = psm.dimm(d).group(g);
+            out.maxWear = std::max(out.maxWear, dev.maxRegionWear());
+            lifetime = std::min(lifetime, dev.lifetimeRemaining());
+            for (const auto w : dev.wearByRegion()) {
+                total += w;
+                ++regions;
+            }
+        }
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(regions);
+    out.spread = mean > 0.0 ? out.maxWear / mean : 0.0;
+    out.lifetime = lifetime;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Start-Gap wear leveling under three write"
+                 " patterns (" << totalWrites << " writes)\n\n";
+
+    stats::Table table({"pattern", "leveling", "max region wear",
+                        "max/mean spread", "worst lifetime left"});
+    for (const Pattern pattern :
+         {Pattern::Uniform, Pattern::HotSpot, Pattern::Hammer}) {
+        for (const bool leveling : {false, true}) {
+            const WearOutcome out = drive(pattern, leveling);
+            table.addRow({patternName(pattern),
+                          leveling ? "Start-Gap" : "off",
+                          std::to_string(out.maxWear),
+                          stats::Table::ratio(out.spread, 1),
+                          stats::Table::percent(out.lifetime, 2)});
+        }
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nStart-Gap rotates one 64 B line every 100 writes and"
+           " scatters pages with a static randomizer, so hot spots"
+           " smear across the media; the wear-leveler's <64 B"
+           " register file is saved into every EP-cut and survives"
+           " power cycles (Section VIII).\n"
+           "The single-line hammer shows the documented limit: the"
+           " gap walks the whole space one line per epoch, so a"
+           " pure hammer still concentrates wear -- the paper"
+           " leaves periodic randomizer re-seeding to future"
+           " work.\n";
+    return 0;
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Build everything, run the full test suite, and regenerate every
+# paper figure, teeing the transcripts the repository ships with
+# (test_output.txt / bench_output.txt).
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "### $(basename "$b")" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+done

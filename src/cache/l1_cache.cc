@@ -1,0 +1,125 @@
+#include "cache/l1_cache.hh"
+
+#include <algorithm>
+
+namespace lightpc::cache
+{
+
+L1Cache::L1Cache(const L1Params &params, mem::MemoryPort &below_port)
+    : _params(params),
+      below(below_port),
+      tags(params.capacityBytes, params.lineBytes, params.ways)
+{
+    wbBusyUntil.assign(_params.writebackEntries, 0);
+}
+
+void
+L1Cache::drainWritebacks(Tick)
+{
+    // Entries retire implicitly: a slot is reusable once its
+    // completion time has passed; nothing to do eagerly.
+}
+
+Tick
+L1Cache::issueWriteback(mem::Addr block, Tick when)
+{
+    // Find the earliest-free buffer slot; if none is free at `when`,
+    // the requester stalls until one retires.
+    auto slot = std::min_element(wbBusyUntil.begin(), wbBusyUntil.end());
+    Tick start = when;
+    if (*slot > when) {
+        _stats.writebackStallTicks += *slot - when;
+        start = *slot;
+    }
+    mem::MemRequest req;
+    req.op = mem::MemOp::Write;
+    req.addr = block;
+    req.size = _params.lineBytes;
+    const mem::AccessResult result = below.access(req, start);
+    *slot = result.completeAt;
+    ++_stats.writebacks;
+    return start;
+}
+
+CacheAccess
+L1Cache::load(mem::Addr addr, Tick when)
+{
+    CacheAccess out;
+    const auto tag = tags.access(addr, /*dirty=*/false);
+    if (tag.hit) {
+        ++_stats.loadHits;
+        out.hit = true;
+        out.completeAt = when + _params.hitLatency;
+        return out;
+    }
+
+    ++_stats.loadMisses;
+    Tick t = when + _params.hitLatency;  // tag check before miss
+    if (tag.evicted && tag.evictedDirty)
+        t = issueWriteback(tag.evictedBlock, t);
+
+    mem::MemRequest req;
+    req.op = mem::MemOp::Read;
+    req.addr = tags.blockOf(addr);
+    req.size = _params.lineBytes;
+    const mem::AccessResult fill = below.access(req, t);
+    out.completeAt = fill.completeAt;
+    return out;
+}
+
+CacheAccess
+L1Cache::store(mem::Addr addr, Tick when)
+{
+    CacheAccess out;
+    const auto tag = tags.access(addr, /*dirty=*/true);
+    if (tag.hit) {
+        ++_stats.storeHits;
+        out.hit = true;
+        out.completeAt = when + _params.hitLatency;
+        return out;
+    }
+
+    // Write-allocate: fetch the line, then merge the store.
+    ++_stats.storeMisses;
+    Tick t = when + _params.hitLatency;
+    if (tag.evicted && tag.evictedDirty)
+        t = issueWriteback(tag.evictedBlock, t);
+
+    mem::MemRequest req;
+    req.op = mem::MemOp::Read;
+    req.addr = tags.blockOf(addr);
+    req.size = _params.lineBytes;
+    const mem::AccessResult fill = below.access(req, t);
+    out.completeAt = fill.completeAt;
+    return out;
+}
+
+Tick
+L1Cache::flushAll(Tick when)
+{
+    // The cache controller walks the tag array and writes every
+    // dirty line back; issue cost per line plus the memory system's
+    // own acceptance time (row buffers aggregate consecutive lines).
+    Tick t = when;
+    for (const mem::Addr block : tags.collectDirty()) {
+        t += _params.flushPerLine;
+        mem::MemRequest req;
+        req.op = mem::MemOp::Write;
+        req.addr = block;
+        req.size = _params.lineBytes;
+        const mem::AccessResult result = below.access(req, t);
+        t = std::max(t, result.completeAt);
+        ++_stats.writebacks;
+    }
+    tags.cleanAll();
+    return t;
+}
+
+void
+L1Cache::invalidateAll()
+{
+    tags.invalidateAll();
+    std::fill(wbBusyUntil.begin(), wbBusyUntil.end(), Tick(0));
+}
+
+} // namespace lightpc::cache

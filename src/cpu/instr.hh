@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The instruction abstraction consumed by core timing models.
+ *
+ * LightPC's evaluation is memory-system bound; cores are driven by
+ * instruction *streams* (synthetic generators matched to Table II or
+ * real kernels like STREAM) rather than decoded ISA instructions.
+ */
+
+#ifndef LIGHTPC_CPU_INSTR_HH
+#define LIGHTPC_CPU_INSTR_HH
+
+#include "mem/request.hh"
+
+namespace lightpc::cpu
+{
+
+/** Instruction classes that matter for timing. */
+enum class InstrKind
+{
+    Alu,    ///< Non-memory work (1 issue slot).
+    Load,   ///< Memory read; blocks the core on an L1 miss.
+    Store,  ///< Memory write; retires through the store buffer.
+};
+
+/** One dynamic instruction. */
+struct Instr
+{
+    InstrKind kind = InstrKind::Alu;
+    mem::Addr addr = 0;
+};
+
+/**
+ * A source of dynamic instructions.
+ */
+class InstrStream
+{
+  public:
+    virtual ~InstrStream() = default;
+
+    /**
+     * Produce the next instruction.
+     * @return false when the stream is exhausted (process finished).
+     */
+    virtual bool next(Instr &out) = 0;
+};
+
+} // namespace lightpc::cpu
+
+#endif // LIGHTPC_CPU_INSTR_HH

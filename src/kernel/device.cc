@@ -1,0 +1,136 @@
+#include "kernel/device.hh"
+
+#include "sim/logging.hh"
+
+namespace lightpc::kernel
+{
+
+Device::Device(std::string name, DeviceClass cls, const DpmCosts &costs,
+               std::uint64_t context_bytes, std::uint64_t mmio_bytes)
+    : _name(std::move(name)),
+      _class(cls),
+      _costs(costs),
+      _contextBytes(context_bytes),
+      _mmioBytes(mmio_bytes)
+{
+}
+
+Device &
+DeviceManager::add(std::unique_ptr<Device> device)
+{
+    dpmList.push_back(std::move(device));
+    return *dpmList.back();
+}
+
+std::uint64_t
+DeviceManager::totalContextBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : dpmList)
+        total += dev->contextBytes();
+    return total;
+}
+
+std::uint64_t
+DeviceManager::totalMmioBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &dev : dpmList)
+        total += dev->mmioBytes();
+    return total;
+}
+
+bool
+DeviceManager::allSuspended() const
+{
+    for (const auto &dev : dpmList)
+        if (!dev->suspended())
+            return false;
+    return true;
+}
+
+namespace
+{
+
+struct ClassTemplate
+{
+    DeviceClass cls;
+    const char *prefix;
+    double weight;        ///< share of the population
+    Tick prepareUs;
+    Tick suspendUs;
+    Tick noirqUs;
+    std::uint64_t contextBytes;
+    std::uint64_t mmioBytes;
+};
+
+// Costs in microseconds; resume costs mirror suspend costs with a
+// small asymmetry applied below. The mix approximates a full default
+// driver package: a handful of expensive storage/network drivers and
+// a long tail of platform devices.
+constexpr ClassTemplate classTemplates[] = {
+    {DeviceClass::Storage, "blk", 0.03, 3, 24, 5, 4096, 8192},
+    {DeviceClass::Network, "eth", 0.03, 3, 18, 4, 8192, 16384},
+    {DeviceClass::Serial, "tty", 0.05, 1, 5, 2, 512, 2048},
+    {DeviceClass::Spi, "spi", 0.08, 0, 2, 1, 128, 256},
+    {DeviceClass::Gpio, "gpio", 0.08, 0, 2, 1, 64, 256},
+    {DeviceClass::Timer, "clk", 0.04, 1, 4, 1, 256, 1024},
+    {DeviceClass::Platform, "pdev", 0.69, 1, 6, 2, 256, 1024},
+};
+
+DeviceManager
+makePopulation(std::size_t count, std::uint64_t seed)
+{
+    if (count == 0)
+        fatal("device population must be nonzero");
+
+    DeviceManager mgr;
+    Rng rng(seed);
+    std::size_t made = 0;
+    for (const auto &tpl : classTemplates) {
+        std::size_t n = static_cast<std::size_t>(
+            tpl.weight * static_cast<double>(count) + 0.5);
+        if (&tpl == &classTemplates[std::size(classTemplates) - 1])
+            n = count - made;  // absorb rounding in the tail class
+        for (std::size_t i = 0; i < n && made < count; ++i, ++made) {
+            // +/-30% jitter on callback costs.
+            auto jitter = [&](Tick us) -> Tick {
+                if (us == 0)
+                    return 0;
+                const double f = 0.7 + 0.6 * rng.uniform();
+                return static_cast<Tick>(
+                    static_cast<double>(us * tickUs) * f);
+            };
+            DpmCosts costs;
+            costs.prepare = jitter(tpl.prepareUs);
+            costs.suspend = jitter(tpl.suspendUs);
+            costs.suspendNoirq = jitter(tpl.noirqUs);
+            // Resume is typically slightly cheaper than quiescing.
+            costs.resumeNoirq = jitter(tpl.noirqUs);
+            costs.resume = static_cast<Tick>(
+                static_cast<double>(jitter(tpl.suspendUs)) * 0.8);
+            costs.complete = jitter(tpl.prepareUs);
+            mgr.add(std::make_unique<Device>(
+                std::string(tpl.prefix) + std::to_string(i), tpl.cls,
+                costs, tpl.contextBytes, tpl.mmioBytes));
+        }
+    }
+    return mgr;
+}
+
+} // namespace
+
+DeviceManager
+DeviceManager::makeDefault(std::size_t count, std::uint64_t seed)
+{
+    return makePopulation(count, seed);
+}
+
+DeviceManager
+DeviceManager::makeWorstCase(std::uint64_t seed)
+{
+    // The Fig. 22 worst case: the maximum kernel dpm_list (730).
+    return makePopulation(730, seed);
+}
+
+} // namespace lightpc::kernel

@@ -1,0 +1,206 @@
+#include "kernel/kernel.hh"
+
+#include "sim/logging.hh"
+
+namespace lightpc::kernel
+{
+
+Kernel::Kernel(const KernelParams &params)
+    : _params(params), rng(params.seed)
+{
+    if (_params.cores == 0)
+        fatal("Kernel requires at least one core");
+    runQueues.resize(_params.cores);
+    _devices = DeviceManager::makeDefault(_params.deviceCount,
+                                          _params.seed);
+    populate();
+}
+
+std::unique_ptr<Process>
+Kernel::makeUserProcess(const std::string &name)
+{
+    auto proc = std::make_unique<Process>(nextPid++, name, false);
+    // A plausible user address space; sizes feed the checkpoint
+    // baselines (SysPC dumps everything, A-CheckPC stack+heap).
+    const std::uint64_t kb = 1024;
+    const std::uint64_t mb = 1024 * kb;
+    proc->vmAreas().push_back(
+        {VmArea::Kind::Code, 0x10000, rng.between(512 * kb, 4 * mb)});
+    proc->vmAreas().push_back(
+        {VmArea::Kind::Data, 0x800000, rng.between(256 * kb, 2 * mb)});
+    proc->vmAreas().push_back(
+        {VmArea::Kind::Heap, 0x1000000, rng.between(1 * mb, 64 * mb)});
+    proc->vmAreas().push_back(
+        {VmArea::Kind::Stack, 0x7ff0000,
+         rng.between(64 * kb, 512 * kb)});
+    proc->regs().randomize(rng);
+    // Busy systems carry more pending signals/softirq work that
+    // Drive-to-Idle must drain before parking each task.
+    proc->setPendingWork(static_cast<std::uint32_t>(
+        rng.between(0, _params.busy ? 3 : 1)));
+    return proc;
+}
+
+std::unique_ptr<Process>
+Kernel::makeKernelThread(const std::string &name)
+{
+    auto proc = std::make_unique<Process>(nextPid++, name, true);
+    // Kernel threads only carry their kernel stack.
+    proc->vmAreas().push_back(
+        {VmArea::Kind::Stack, 0xffff0000, 16 * 1024});
+    proc->regs().randomize(rng);
+    return proc;
+}
+
+void
+Kernel::populate()
+{
+    // init is PID 1 and always present.
+    procs.push_back(makeUserProcess("init"));
+    procs.back()->setState(TaskState::Sleeping);
+
+    for (std::uint32_t i = 0; i < _params.kernelThreads; ++i) {
+        auto proc = makeKernelThread("kthread/" + std::to_string(i));
+        // A few kernel threads are always runnable housekeeping.
+        if (i < _params.cores) {
+            proc->setState(TaskState::Runnable);
+            proc->setCpu(static_cast<int>(i % _params.cores));
+            runQueues[i % _params.cores].push_back(proc.get());
+        } else {
+            proc->setState(TaskState::Sleeping);
+        }
+        procs.push_back(std::move(proc));
+    }
+
+    for (std::uint32_t i = 0; i < _params.userProcesses; ++i) {
+        auto proc = makeUserProcess("user/" + std::to_string(i));
+        const std::uint32_t cpu = i % _params.cores;
+        if (_params.busy) {
+            // Fully-utilized system: heavy threads occupy every core
+            // with more waiting behind them.
+            if (i < _params.cores) {
+                proc->setState(TaskState::Running);
+            } else if (i < _params.cores * 4) {
+                proc->setState(TaskState::Runnable);
+            } else {
+                proc->setState(TaskState::Sleeping);
+            }
+        } else {
+            // Idle system: one interactive shell, everything else
+            // asleep.
+            proc->setState(i == 0 ? TaskState::Running
+                                  : TaskState::Sleeping);
+        }
+        if (proc->state() != TaskState::Sleeping) {
+            proc->setCpu(static_cast<int>(cpu));
+            runQueues[cpu].push_back(proc.get());
+        }
+        procs.push_back(std::move(proc));
+    }
+}
+
+Process &
+Kernel::spawnProcess(const std::string &name, bool kernel_thread,
+                     TaskState initial, int cpu)
+{
+    auto proc = kernel_thread ? makeKernelThread(name)
+                              : makeUserProcess(name);
+    proc->setState(initial);
+    if (initial == TaskState::Running
+        || initial == TaskState::Runnable) {
+        std::uint32_t target;
+        if (cpu >= 0) {
+            target = static_cast<std::uint32_t>(cpu) % _params.cores;
+        } else {
+            target = 0;
+            for (std::uint32_t c = 1; c < _params.cores; ++c)
+                if (runQueues[c].size() < runQueues[target].size())
+                    target = c;
+        }
+        proc->setCpu(static_cast<int>(target));
+        runQueues[target].push_back(proc.get());
+    }
+    procs.push_back(std::move(proc));
+    return *procs.back();
+}
+
+bool
+Kernel::exitProcess(std::uint32_t pid)
+{
+    if (pid == 1)
+        fatal("init (PID 1) cannot exit");
+    for (auto it = procs.begin(); it != procs.end(); ++it) {
+        if ((*it)->pid() != pid)
+            continue;
+        Process *raw = it->get();
+        for (auto &queue : runQueues)
+            std::erase(queue, raw);
+        procs.erase(it);
+        return true;
+    }
+    return false;
+}
+
+Process *
+Kernel::findProcess(std::uint32_t pid)
+{
+    for (auto &proc : procs)
+        if (proc->pid() == pid)
+            return proc.get();
+    return nullptr;
+}
+
+std::vector<Process *>
+Kernel::sleepingProcesses()
+{
+    std::vector<Process *> out;
+    for (auto &proc : procs)
+        if (proc->state() == TaskState::Sleeping)
+            out.push_back(proc.get());
+    return out;
+}
+
+std::size_t
+Kernel::runnableCount() const
+{
+    std::size_t n = 0;
+    for (const auto &queue : runQueues)
+        n += queue.size();
+    return n;
+}
+
+std::uint64_t
+Kernel::systemImageBytes() const
+{
+    // Kernel text/data/slabs: a fixed 192 MB plus every process's
+    // mapped footprint.
+    std::uint64_t total = std::uint64_t(192) << 20;
+    for (const auto &proc : procs)
+        total += proc->footprintBytes();
+    return total;
+}
+
+void
+Kernel::scramble(Rng &scramble_rng)
+{
+    for (auto &proc : procs)
+        proc->regs().randomize(scramble_rng);
+    std::uint64_t cookie = scramble_rng.next();
+    for (auto &dev : _devices.list())
+        dev->setContextCookie(cookie ^= 0x9e3779b97f4a7c15ULL);
+}
+
+SystemSnapshot
+Kernel::snapshot() const
+{
+    SystemSnapshot snap;
+    snap.entries.reserve(procs.size());
+    for (const auto &proc : procs)
+        snap.entries.push_back(
+            {proc->pid(), proc->regs(), proc->state()});
+    for (const auto &dev : _devices.list())
+        snap.deviceCookies.push_back(dev->contextCookie());
+    return snap;
+}
+
+} // namespace lightpc::kernel

@@ -1,0 +1,44 @@
+#include "kernel/process.hh"
+
+namespace lightpc::kernel
+{
+
+void
+RegisterFile::randomize(Rng &rng)
+{
+    for (auto &reg : x)
+        reg = rng.next();
+    pc = rng.next();
+    sp = rng.next();
+    satp = rng.next();
+}
+
+Process::Process(std::uint32_t pid, std::string name,
+                 bool kernel_thread)
+    : _pid(pid), _name(std::move(name)), kernelThread(kernel_thread)
+{
+}
+
+std::uint64_t
+Process::footprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &area : _vmAreas)
+        total += area.bytes;
+    return total;
+}
+
+std::uint64_t
+Process::stackHeapBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &area : _vmAreas) {
+        if (area.kind == VmArea::Kind::Stack
+            || area.kind == VmArea::Kind::Heap) {
+            total += area.bytes;
+        }
+    }
+    return total;
+}
+
+} // namespace lightpc::kernel

@@ -1,0 +1,101 @@
+#include "mem/backing_store.hh"
+
+#include <algorithm>
+
+namespace lightpc::mem
+{
+
+BackingStore::Page *
+BackingStore::findPage(Addr page_id) const
+{
+    auto it = pages.find(page_id);
+    return it == pages.end() ? nullptr : it->second.get();
+}
+
+BackingStore::Page &
+BackingStore::materialize(Addr page_id)
+{
+    auto &slot = pages[page_id];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+void
+BackingStore::read(Addr addr, void *out, std::uint64_t len) const
+{
+    auto *dst = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        const Addr page_id = addr / pageBytes;
+        const std::uint64_t offset = addr % pageBytes;
+        const std::uint64_t chunk = std::min(len, pageBytes - offset);
+        if (const Page *page = findPage(page_id))
+            std::memcpy(dst, page->data() + offset, chunk);
+        else
+            std::memset(dst, 0, chunk);
+        dst += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BackingStore::write(Addr addr, const void *in, std::uint64_t len)
+{
+    const auto *src = static_cast<const std::uint8_t *>(in);
+    while (len > 0) {
+        const Addr page_id = addr / pageBytes;
+        const std::uint64_t offset = addr % pageBytes;
+        const std::uint64_t chunk = std::min(len, pageBytes - offset);
+        Page &page = materialize(page_id);
+        std::memcpy(page.data() + offset, src, chunk);
+        src += chunk;
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+void
+BackingStore::clear(Addr addr, std::uint64_t len)
+{
+    while (len > 0) {
+        const Addr page_id = addr / pageBytes;
+        const std::uint64_t offset = addr % pageBytes;
+        const std::uint64_t chunk = std::min(len, pageBytes - offset);
+        if (offset == 0 && chunk == pageBytes) {
+            pages.erase(page_id);
+        } else if (Page *page = findPage(page_id)) {
+            std::memset(page->data() + offset, 0, chunk);
+        }
+        addr += chunk;
+        len -= chunk;
+    }
+}
+
+bool
+BackingStore::equals(const BackingStore &other) const
+{
+    // A page absent on one side must be all-zero on the other.
+    auto zero = [](const Page &p) {
+        return std::all_of(p.begin(), p.end(),
+                           [](std::uint8_t b) { return b == 0; });
+    };
+    for (const auto &[id, page] : pages) {
+        const Page *theirs = other.findPage(id);
+        if (theirs) {
+            if (*page != *theirs)
+                return false;
+        } else if (!zero(*page)) {
+            return false;
+        }
+    }
+    for (const auto &[id, page] : other.pages) {
+        if (!findPage(id) && !zero(*page))
+            return false;
+    }
+    return true;
+}
+
+} // namespace lightpc::mem

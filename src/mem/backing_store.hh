@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Sparse functional memory.
+ *
+ * Timing models in mem/ and psm/ are purely temporal; persistence
+ * correctness (object pools, crash/recovery tests, ECC round trips)
+ * additionally needs real bytes. BackingStore provides a sparse,
+ * page-granular byte store used as the functional half of OC-PMEM and
+ * DRAM.
+ */
+
+#ifndef LIGHTPC_MEM_BACKING_STORE_HH
+#define LIGHTPC_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/request.hh"
+
+namespace lightpc::mem
+{
+
+/**
+ * Sparse byte-addressable storage. Unwritten bytes read as zero.
+ */
+class BackingStore
+{
+  public:
+    /** Backing page size (an implementation detail, not a TLB page). */
+    static constexpr std::uint64_t pageBytes = 4096;
+
+    BackingStore() = default;
+
+    /** Read @p len bytes at @p addr into @p out. */
+    void read(Addr addr, void *out, std::uint64_t len) const;
+
+    /** Write @p len bytes from @p in at @p addr. */
+    void write(Addr addr, const void *in, std::uint64_t len);
+
+    /** Convenience: read a trivially-copyable value. */
+    template <typename T>
+    T
+    readValue(Addr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    /** Convenience: write a trivially-copyable value. */
+    template <typename T>
+    void
+    writeValue(Addr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(addr, &value, sizeof(T));
+    }
+
+    /** Zero-fill a range (releases whole pages when aligned). */
+    void clear(Addr addr, std::uint64_t len);
+
+    /** Drop all contents (the OC-PMEM reset port). */
+    void reset() { pages.clear(); }
+
+    /** Number of materialized pages (for footprint assertions). */
+    std::size_t materializedPages() const { return pages.size(); }
+
+    /** Deep equality against another store (crash/recovery checks). */
+    bool equals(const BackingStore &other) const;
+
+  private:
+    using Page = std::array<std::uint8_t, pageBytes>;
+
+    Page *findPage(Addr page_id) const;
+    Page &materialize(Addr page_id);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+};
+
+} // namespace lightpc::mem
+
+#endif // LIGHTPC_MEM_BACKING_STORE_HH

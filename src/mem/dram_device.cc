@@ -1,0 +1,75 @@
+#include "mem/dram_device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace lightpc::mem
+{
+
+DramDevice::DramDevice(const DramParams &params)
+    : _params(params), nextRefresh(_params.refreshInterval)
+{
+    if (_params.banks == 0)
+        fatal("DramDevice requires at least one bank");
+    bankState.resize(_params.banks);
+}
+
+void
+DramDevice::catchUpRefresh(Tick when)
+{
+    // All-bank refresh: every elapsed tREFI window blocks the DIMM
+    // for tRFC. Only windows that an access could actually collide
+    // with matter for timing; each is charged to every bank.
+    while (nextRefresh <= when) {
+        const Tick refresh_end = nextRefresh + _params.refreshLatency;
+        for (auto &bank : bankState)
+            bank.busyUntil = std::max(bank.busyUntil, refresh_end);
+        nextRefresh += _params.refreshInterval;
+        ++refreshes;
+    }
+}
+
+AccessResult
+DramDevice::access(const MemRequest &req, Tick when)
+{
+    catchUpRefresh(when);
+
+    const std::uint64_t global_row = req.addr / _params.rowBytes;
+    const std::uint32_t bank_idx =
+        static_cast<std::uint32_t>(global_row % _params.banks);
+    const std::uint64_t row = global_row / _params.banks;
+    Bank &bank = bankState[bank_idx];
+
+    AccessResult result;
+    const Tick start = std::max(when, bank.busyUntil);
+    const bool hit = bank.openRow == row;
+    result.rowBufferHit = hit;
+    const Tick latency =
+        hit ? _params.rowHitLatency : _params.rowMissLatency;
+    result.completeAt = start + latency;
+    result.mediaFreeAt = result.completeAt;
+    bank.busyUntil = result.completeAt;
+    bank.openRow = row;
+
+    if (hit)
+        ++hits;
+    else
+        ++misses;
+    if (req.op == MemOp::Read)
+        ++reads;
+    else
+        ++writes;
+    return result;
+}
+
+void
+DramDevice::reset()
+{
+    for (auto &bank : bankState)
+        bank = Bank{};
+    nextRefresh = _params.refreshInterval;
+    hits = misses = refreshes = reads = writes = 0;
+}
+
+} // namespace lightpc::mem

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Abstract memory port.
+ *
+ * Cores and caches talk to "whatever is below" through this
+ * interface; platform/ wires it to DRAM (LegacyPC), the PSM
+ * (LightPC / LightPC-B), or the Optane-style PMEM complex (the
+ * Fig. 4 modes).
+ */
+
+#ifndef LIGHTPC_MEM_MEMORY_PORT_HH
+#define LIGHTPC_MEM_MEMORY_PORT_HH
+
+#include "mem/request.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::mem
+{
+
+/**
+ * A timed request/response port.
+ */
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /** Service one access starting no earlier than @p when. */
+    virtual AccessResult access(const MemRequest &req, Tick when) = 0;
+
+    /**
+     * Fence: drain all buffered/outstanding work.
+     * @return The tick at which the memory below is quiescent.
+     */
+    virtual Tick fence(Tick when) { return when; }
+};
+
+} // namespace lightpc::mem
+
+#endif // LIGHTPC_MEM_MEMORY_PORT_HH

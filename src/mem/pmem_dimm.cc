@@ -1,0 +1,153 @@
+#include "mem/pmem_dimm.hh"
+
+#include <algorithm>
+
+namespace lightpc::mem
+{
+
+PmemDimm::PmemDimm(const PmemDimmParams &params)
+    : _params(params),
+      media(params.media),
+      sram(params.sramBytes, params.sramLineBytes, params.sramWays),
+      dram(params.dramBytes, params.dramLineBytes, params.dramWays)
+{
+}
+
+void
+PmemDimm::drainLsq(Tick now)
+{
+    while (!lsq.empty() && lsq.front().drainAt <= now) {
+        const LsqEntry entry = lsq.front();
+        lsq.pop_front();
+        fillSram(entry.block, /*dirty=*/true, entry.drainAt);
+    }
+}
+
+void
+PmemDimm::fillSram(Addr block, bool dirty, Tick now)
+{
+    const auto out = sram.access(block, dirty);
+    if (out.evicted && out.evictedDirty) {
+        // Inclusive hierarchy: SRAM castouts land in the DRAM buffer.
+        fillDram(out.evictedBlock, /*dirty=*/true, now);
+    } else if (!out.hit) {
+        // Keep inclusion: the block must also be resident below.
+        if (!dram.contains(block))
+            fillDram(block, /*dirty=*/false, now);
+    }
+}
+
+void
+PmemDimm::fillDram(Addr addr, bool dirty, Tick now)
+{
+    const auto out = dram.access(addr, dirty);
+    if (out.evicted && out.evictedDirty) {
+        // The dirty blocks of the castout become 256 B media writes;
+        // charge them as background work on the media timeline.
+        for (std::uint32_t i = 0; i < _params.castoutMediaWrites;
+             ++i) {
+            media.write(now,
+                        out.evictedBlock + Addr(i) * pmemMediaGranularity,
+                        /*early_return=*/true);
+        }
+    }
+}
+
+AccessResult
+PmemDimm::access(const MemRequest &req, Tick when)
+{
+    AccessResult result;
+    Tick t = when + _params.firmwareLatency;
+
+    // Firmware backpressure: once the media backlog passes the
+    // limit, the DIMM stops accepting work until it drains.
+    if (media.busyUntil() > t + _params.mediaBacklogLimit)
+        t = media.busyUntil() - _params.mediaBacklogLimit;
+    drainLsq(t);
+
+    const Addr block = mediaBlock(req.addr);
+
+    if (req.op == MemOp::Write) {
+        // Write combining: a pending entry for the same 256 B media
+        // block absorbs this cacheline for free.
+        for (const auto &entry : lsq) {
+            if (entry.block == block) {
+                ++combined;
+                result.completeAt = t;
+                result.mediaFreeAt = media.busyUntil();
+                result.internalCacheHit = true;
+                return result;
+            }
+        }
+        if (lsq.size() >= _params.lsqEntries) {
+            // Backpressure: wait for the oldest entry to drain.
+            const Tick drain_at = lsq.front().drainAt;
+            t = std::max(t, drain_at);
+            drainLsq(t);
+        }
+        t += _params.lsqInsertLatency;
+        const Tick drain_base = std::max(lastDrain, t);
+        const Tick drain_at = drain_base + _params.lsqDrainInterval;
+        lastDrain = drain_at;
+        lsq.push_back({block, drain_at});
+        result.completeAt = t;
+        result.mediaFreeAt = media.busyUntil();
+        return result;
+    }
+
+    // Read path: LSQ forwarding, then the inclusive SRAM/DRAM levels,
+    // then the media (which may be busy with evicted writes).
+    for (const auto &entry : lsq) {
+        if (entry.block == block) {
+            ++readHits;
+            result.completeAt = t + _params.sramLatency;
+            result.internalCacheHit = true;
+            result.mediaFreeAt = media.busyUntil();
+            return result;
+        }
+    }
+
+    t += _params.sramLatency;  // tag check always pays SRAM access
+    if (sram.contains(block)) {
+        ++readHits;
+        sram.access(block, /*dirty=*/false);
+        result.completeAt = t;
+        result.internalCacheHit = true;
+        result.mediaFreeAt = media.busyUntil();
+        return result;
+    }
+
+    t += _params.dramLatency;
+    if (dram.contains(req.addr)) {
+        ++readHits;
+        dram.access(req.addr, /*dirty=*/false);
+        fillSram(block, /*dirty=*/false, t);
+        result.completeAt = t;
+        result.internalCacheHit = true;
+        result.mediaFreeAt = media.busyUntil();
+        return result;
+    }
+
+    // Miss everywhere: a 256 B media read, serialized behind any
+    // write drains already occupying the PRAM.
+    const AccessResult media_read = media.read(t);
+    fillDram(req.addr, /*dirty=*/false, media_read.completeAt);
+    fillSram(block, /*dirty=*/false, media_read.completeAt);
+    result.completeAt = media_read.completeAt;
+    result.mediaFreeAt = media.busyUntil();
+    return result;
+}
+
+void
+PmemDimm::reset()
+{
+    media.reset();
+    sram.invalidateAll();
+    dram.invalidateAll();
+    lsq.clear();
+    lastDrain = 0;
+    readHits = 0;
+    combined = 0;
+}
+
+} // namespace lightpc::mem

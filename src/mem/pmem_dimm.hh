@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Optane-style PMEM DIMM complex (Figure 2a).
+ *
+ * Models the self-contained DIMM the paper reverse-engineers: a
+ * load-store queue that write-combines 64 B cachelines into 256 B
+ * media requests, a two-level inclusive internal cache (SRAM for
+ * 256 B read-modify operations, DRAM for 4 KB buffering and address
+ * translation), firmware management cost on every access, and the
+ * bare PRAM media underneath.
+ *
+ * The point of this model is Fig. 2b: DIMM-level reads are slower and
+ * far more variable than bare PRAM reads (multi-buffer lookups,
+ * firmware, media contention with evicted writes), while DIMM-level
+ * writes are faster than bare PRAM writes (absorbed by the buffers)
+ * until backpressure sets in.
+ */
+
+#ifndef LIGHTPC_MEM_PMEM_DIMM_HH
+#define LIGHTPC_MEM_PMEM_DIMM_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/pram_device.hh"
+#include "mem/request.hh"
+#include "mem/tag_cache.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::mem
+{
+
+/** Configuration of one PMEM DIMM. */
+struct PmemDimmParams
+{
+    /** Underlying PRAM media (256 B granularity at DIMM level). */
+    PramParams media;
+
+    /** Internal SRAM cache (256 B read-modify buffer). */
+    std::uint64_t sramBytes = 256 * 1024;
+    std::uint32_t sramLineBytes = pmemMediaGranularity;
+    std::uint32_t sramWays = 8;
+    Tick sramLatency = 15 * tickNs;
+
+    /** Internal DRAM buffer (4 KB translation/buffering granularity). */
+    std::uint64_t dramBytes = std::uint64_t(32) << 20;
+    std::uint32_t dramLineBytes = 4096;
+    std::uint32_t dramWays = 8;
+    Tick dramLatency = 45 * tickNs;
+
+    /** Firmware/translation overhead charged on every access. */
+    Tick firmwareLatency = 30 * tickNs;
+
+    /** Load-store queue entries (write combining window). */
+    std::uint32_t lsqEntries = 32;
+
+    /** LSQ allocation/reorder cost paid by each accepted write. */
+    Tick lsqInsertLatency = 45 * tickNs;
+
+    /** Interval at which the LSQ drains one entry into the SRAM. */
+    Tick lsqDrainInterval = 40 * tickNs;
+
+    /**
+     * Maximum media backlog the firmware tolerates before it stops
+     * accepting new requests (backpressure); bounds the queueing
+     * tail a saturating stream can build.
+     */
+    Tick mediaBacklogLimit = 2000 * tickNs;
+
+    /**
+     * Average 256 B media writes per dirty 4 KB castout. The DRAM
+     * buffer tracks dirtiness at 4 KB translation granularity, but
+     * only the blocks actually written go back to the media.
+     */
+    std::uint32_t castoutMediaWrites = 2;
+};
+
+/**
+ * The PMEM DIMM complex: LSQ + SRAM + DRAM + PRAM media + firmware.
+ */
+class PmemDimm
+{
+  public:
+    explicit PmemDimm(const PmemDimmParams &params = PmemDimmParams());
+
+    const PmemDimmParams &params() const { return _params; }
+
+    /** Service one 64 B access starting no earlier than @p when. */
+    AccessResult access(const MemRequest &req, Tick when);
+
+    /** Reads served from an internal buffer (SRAM/DRAM/LSQ). */
+    std::uint64_t internalReadHits() const { return readHits; }
+
+    /** Reads that reached the PRAM media. */
+    std::uint64_t mediaReads() const { return media.readCount(); }
+
+    /** Writes that reached the PRAM media. */
+    std::uint64_t mediaWrites() const { return media.writeCount(); }
+
+    /** Writes combined into an already-pending LSQ entry. */
+    std::uint64_t combinedWrites() const { return combined; }
+
+    /** Reset all internal state. */
+    void reset();
+
+  private:
+    struct LsqEntry
+    {
+        Addr block;    ///< 256 B media block address.
+        Tick drainAt;  ///< When this entry leaves the LSQ.
+    };
+
+    /** Retire LSQ entries whose drain time has passed. */
+    void drainLsq(Tick now);
+
+    /** Push one block into the SRAM, cascading evictions downward. */
+    void fillSram(Addr block, bool dirty, Tick now);
+
+    /** Push one block into the DRAM buffer, evicting to media. */
+    void fillDram(Addr addr, bool dirty, Tick now);
+
+    Addr mediaBlock(Addr addr) const
+    {
+        return addr & ~Addr(pmemMediaGranularity - 1);
+    }
+
+    PmemDimmParams _params;
+    PramDevice media;
+    TagCache sram;
+    TagCache dram;
+    std::deque<LsqEntry> lsq;
+    Tick lastDrain = 0;
+    std::uint64_t readHits = 0;
+    std::uint64_t combined = 0;
+};
+
+} // namespace lightpc::mem
+
+#endif // LIGHTPC_MEM_PMEM_DIMM_HH

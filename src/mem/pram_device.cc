@@ -1,0 +1,74 @@
+#include "mem/pram_device.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace lightpc::mem
+{
+
+PramDevice::PramDevice(const PramParams &params)
+    : _params(params)
+{
+    if (_params.wearRegionBytes == 0)
+        fatal("PramDevice wearRegionBytes must be nonzero");
+    const std::uint64_t regions =
+        (_params.capacityBytes + _params.wearRegionBytes - 1)
+        / _params.wearRegionBytes;
+    wear.assign(regions ? regions : 1, 0);
+}
+
+AccessResult
+PramDevice::read(Tick when)
+{
+    AccessResult result;
+    const Tick start = std::max(when, _busyUntil);
+    stalled += start - when;
+    result.completeAt = start + _params.readLatency;
+    result.mediaFreeAt = result.completeAt;
+    _busyUntil = result.completeAt;
+    ++reads;
+    return result;
+}
+
+AccessResult
+PramDevice::write(Tick when, Addr addr, bool early_return)
+{
+    AccessResult result;
+    const Tick start = std::max(when, _busyUntil);
+    stalled += start - when;
+    result.mediaFreeAt = start + _params.writeLatency;
+    result.completeAt = early_return ? start : result.mediaFreeAt;
+    _busyUntil = result.mediaFreeAt;
+    ++writes;
+    const std::uint64_t region =
+        (addr / _params.wearRegionBytes) % wear.size();
+    ++wear[region];
+    return result;
+}
+
+std::uint64_t
+PramDevice::maxRegionWear() const
+{
+    return *std::max_element(wear.begin(), wear.end());
+}
+
+double
+PramDevice::lifetimeRemaining() const
+{
+    const double used = static_cast<double>(maxRegionWear())
+        / static_cast<double>(_params.enduranceCycles);
+    return used >= 1.0 ? 0.0 : 1.0 - used;
+}
+
+void
+PramDevice::reset()
+{
+    _busyUntil = 0;
+    stalled = 0;
+    reads = 0;
+    writes = 0;
+    std::fill(wear.begin(), wear.end(), 0);
+}
+
+} // namespace lightpc::mem

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bare-metal PRAM (phase-change) device timing model.
+ *
+ * Models one crosspoint PRAM die as used on a Bare-NVDIMM: reads are
+ * nearly DRAM speed (1.1x, Table I), writes are ~4x slower because the
+ * thermal core must cool off before the cell can be touched again
+ * (Section V-A). The device is serialized: the media stays busy for
+ * the full write latency, which is exactly what produces the
+ * read-after-write head-of-line blocking that the PSM's early-return +
+ * ECC reconstruction removes.
+ *
+ * Endurance (set/reset cycles) is tracked per region so wear-leveling
+ * can be validated and lifetime projected (Section VIII).
+ */
+
+#ifndef LIGHTPC_MEM_PRAM_DEVICE_HH
+#define LIGHTPC_MEM_PRAM_DEVICE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/request.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::mem
+{
+
+/** Configuration of one PRAM die. */
+struct PramParams
+{
+    /** Media read latency for one device-granule access. */
+    Tick readLatency = 55 * tickNs;
+
+    /**
+     * Media write latency, including the thermal cooling window
+     * during which the die cannot be accessed again. The paper puts
+     * PRAM writes at 4-8x its reads at the processor side (Section
+     * V-A), and the PRAM part it cites ([61], 8 Gb, 40 MB/s program
+     * bandwidth) sustains one 32 B device write per ~800 ns.
+     */
+    Tick writeLatency = 800 * tickNs;
+
+    /** Die capacity in bytes. */
+    std::uint64_t capacityBytes = std::uint64_t(2) << 30;
+
+    /** Write endurance per cell region (set/reset cycles). */
+    std::uint64_t enduranceCycles = 100'000'000;
+
+    /** Wear-accounting region size in bytes. */
+    std::uint64_t wearRegionBytes = std::uint64_t(1) << 20;
+};
+
+/**
+ * One serialized PRAM die.
+ */
+class PramDevice
+{
+  public:
+    explicit PramDevice(const PramParams &params = PramParams());
+
+    const PramParams &params() const { return _params; }
+
+    /**
+     * Service a read beginning no earlier than @p when.
+     *
+     * The die serializes: if a write is still cooling off, the read
+     * waits (the blocking behaviour LightPC-B exhibits).
+     */
+    AccessResult read(Tick when);
+
+    /**
+     * Service a write beginning no earlier than @p when.
+     *
+     * @param when         Earliest start time.
+     * @param addr         Device-local byte address (wear tracking).
+     * @param early_return When true the issuer considers the write
+     *                     complete at acceptance (LightPC); the media
+     *                     still stays busy for the cooling window.
+     */
+    AccessResult write(Tick when, Addr addr, bool early_return);
+
+    /** Time at which the die becomes free. */
+    Tick busyUntil() const { return _busyUntil; }
+
+    /** True if the die would delay an access arriving at @p when. */
+    bool busyAt(Tick when) const { return _busyUntil > when; }
+
+    /** Total reads serviced. */
+    std::uint64_t readCount() const { return reads; }
+
+    /** Total writes serviced. */
+    std::uint64_t writeCount() const { return writes; }
+
+    /** Aggregate ticks requests spent waiting on a busy die. */
+    Tick stallTicks() const { return stalled; }
+
+    /** Per-region write counts (wear-leveling validation). */
+    const std::vector<std::uint64_t> &wearByRegion() const
+    {
+        return wear;
+    }
+
+    /** Largest per-region write count. */
+    std::uint64_t maxRegionWear() const;
+
+    /**
+     * Remaining lifetime fraction of the most-worn region in [0, 1].
+     */
+    double lifetimeRemaining() const;
+
+    /** Reset timing and wear state (the OC-PMEM reset port). */
+    void reset();
+
+  private:
+    PramParams _params;
+    Tick _busyUntil = 0;
+    Tick stalled = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::vector<std::uint64_t> wear;
+};
+
+} // namespace lightpc::mem
+
+#endif // LIGHTPC_MEM_PRAM_DEVICE_HH

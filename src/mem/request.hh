@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memory request and response types shared across the memory system.
+ */
+
+#ifndef LIGHTPC_MEM_REQUEST_HH
+#define LIGHTPC_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "sim/ticks.hh"
+
+namespace lightpc::mem
+{
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** Cache line size used throughout the system (bytes). */
+constexpr std::uint32_t cacheLineBytes = 64;
+
+/** Per-PRAM-device input granularity (bytes), per [58]. */
+constexpr std::uint32_t pramDeviceGranularity = 32;
+
+/** Per-DRAM-device input granularity (bytes). */
+constexpr std::uint32_t dramDeviceGranularity = 8;
+
+/** Physical access granularity of DIMM-level PRAM media (bytes). */
+constexpr std::uint32_t pmemMediaGranularity = 256;
+
+/** Kind of memory operation. */
+enum class MemOp
+{
+    Read,
+    Write,
+};
+
+/** A single memory access as seen below the caches. */
+struct MemRequest
+{
+    MemOp op = MemOp::Read;
+    Addr addr = 0;
+    std::uint32_t size = cacheLineBytes;
+
+    /** Line-aligned address. */
+    Addr lineAddr() const { return addr & ~Addr(cacheLineBytes - 1); }
+};
+
+/** Outcome of a timed access. */
+struct AccessResult
+{
+    /**
+     * When the data is available (reads) or the write is accepted
+     * from the issuer's point of view (early-return writes complete
+     * here even though media stays busy longer).
+     */
+    Tick completeAt = 0;
+
+    /** When the servicing media becomes free again. */
+    Tick mediaFreeAt = 0;
+
+    /** Read was served by ECC reconstruction instead of the target. */
+    bool reconstructed = false;
+
+    /** Read/write hit an open row buffer. */
+    bool rowBufferHit = false;
+
+    /** Read hit an internal (SRAM/DRAM) buffer of a PMEM DIMM. */
+    bool internalCacheHit = false;
+
+    /** Data was repaired from ECC after a device fault. */
+    bool corrected = false;
+
+    /**
+     * Uncorrectable: the error containment bit is set and the host
+     * must take the machine-check path.
+     */
+    bool containment = false;
+};
+
+} // namespace lightpc::mem
+
+#endif // LIGHTPC_MEM_REQUEST_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * OC-PMEM reserved-area layout for SnG's control blocks.
+ *
+ * Auto-Stop serializes three kinds of state into a reserved region
+ * at the top of OC-PMEM:
+ *
+ *  - BCB (bootloader control block): the commit flag, the machine
+ *    exception program counter (MEPC) Go re-executes from, registers
+ *    invisible to the kernel, the master's register file, and the
+ *    Start-Gap wear-leveler registers.
+ *  - PCB dump: per-process architectural state (Drive-to-Idle stores
+ *    each task's registers on its PCB; the PCBs themselves live in
+ *    OC-PMEM, so this dump is their authoritative persistent form).
+ *  - DCB dump: per-device context written during device stop.
+ */
+
+#ifndef LIGHTPC_PECOS_LAYOUT_HH
+#define LIGHTPC_PECOS_LAYOUT_HH
+
+#include <cstdint>
+
+#include "kernel/process.hh"
+#include "mem/request.hh"
+#include "psm/start_gap.hh"
+
+namespace lightpc::pecos
+{
+
+/** Magic value marking a valid committed EP-cut. */
+constexpr std::uint64_t epCutMagic = 0x4c69676874504321ULL;  // LightPC!
+
+/** Serialized bootloader control block. */
+struct Bcb
+{
+    std::uint64_t magic = 0;      ///< epCutMagic when committed
+    std::uint64_t mepc = 0;       ///< resume program counter
+    std::uint64_t machineRegs[8] = {};  ///< kernel-invisible registers
+    kernel::RegisterFile masterRegs;
+    psm::StartGapState wearState;
+    std::uint32_t cores = 0;
+    std::uint32_t processCount = 0;
+    std::uint32_t deviceCount = 0;
+    std::uint32_t pad = 0;
+};
+
+/** One serialized PCB entry. */
+struct PcbEntry
+{
+    std::uint32_t pid = 0;
+    std::uint32_t state = 0;  ///< kernel::TaskState
+    std::int32_t cpu = -1;
+    std::uint32_t pad = 0;
+    kernel::RegisterFile regs;
+};
+
+/** One serialized DCB entry. */
+struct DcbEntry
+{
+    std::uint64_t cookie = 0;
+    std::uint64_t contextBytes = 0;
+};
+
+/** Placement of the reserved area within OC-PMEM. */
+struct ReservedLayout
+{
+    mem::Addr base = 0;
+
+    explicit ReservedLayout(std::uint64_t pmem_capacity)
+    {
+        // The top 16 MB of OC-PMEM is reserved for SnG.
+        base = pmem_capacity - (std::uint64_t(16) << 20);
+    }
+
+    mem::Addr bcbAddr() const { return base; }
+    mem::Addr pcbAddr() const { return base + 4096; }
+
+    mem::Addr
+    dcbAddr() const
+    {
+        return base + (std::uint64_t(4) << 20);
+    }
+};
+
+} // namespace lightpc::pecos
+
+#endif // LIGHTPC_PECOS_LAYOUT_HH

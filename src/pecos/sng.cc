@@ -1,0 +1,346 @@
+#include "pecos/sng.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace lightpc::pecos
+{
+
+Sng::Sng(kernel::Kernel &kernel, psm::Psm &psm_in,
+         mem::BackingStore &pmem_in,
+         std::vector<cache::L1Cache *> caches_in, const SngCosts &costs)
+    : kern(kernel),
+      psm(psm_in),
+      pmem(pmem_in),
+      caches(std::move(caches_in)),
+      _costs(costs),
+      layout(psm_in.capacityBytes()),
+      port(psm_in),
+      timed(port, nullptr)
+{
+}
+
+bool
+Sng::hasCommit() const
+{
+    return pmem.readValue<std::uint64_t>(layout.bcbAddr()) == epCutMagic;
+}
+
+Tick
+Sng::driveToIdle(Tick when, StopReport &report)
+{
+    using kernel::TaskState;
+
+    // The core seizing the power-event interrupt becomes master and
+    // sets the system-wide persistent flag.
+    Tick t = when + _costs.setPersistentFlag;
+    kern.setPersistentFlag(true);
+
+    const std::uint32_t cores = kern.cores();
+    std::vector<Tick> core_done(cores, t);
+
+    // The master traverses every alive PCB derived from init; the
+    // walk streams IPIs to workers, so it overlaps with their work.
+    const Tick walk_done =
+        t + _costs.pcbWalkPerTask * kern.processCount();
+
+    // Wake sleepers and spread them over the cores by load.
+    std::vector<std::size_t> load(cores);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        load[c] = kern.runQueue(c).size();
+
+    auto sleepers = kern.sleepingProcesses();
+    report.sleepersWoken = sleepers.size();
+    for (kernel::Process *proc : sleepers) {
+        const std::uint32_t target = static_cast<std::uint32_t>(
+            std::min_element(load.begin(), load.end())
+            - load.begin());
+        ++load[target];
+        proc->setCpu(static_cast<int>(target));
+        proc->setSignalPending(true);
+
+        // IPI to the worker, fake signal handling from the kernel
+        // stack, any pending work, then a context switch out into
+        // TASK_UNINTERRUPTIBLE.
+        Tick cost = _costs.ipi;
+        if (!proc->isKernelThread())
+            cost += _costs.fakeSignal;
+        cost += _costs.pendingWorkItem * proc->pendingWork();
+        cost += _costs.contextSwitch + _costs.parkTask;
+        core_done[target] += cost;
+
+        proc->setPendingWork(0);
+        proc->setSignalPending(false);
+        proc->setNeedResched(false);
+        proc->setState(TaskState::Uninterruptible);
+        ++report.tasksParked;
+    }
+
+    // Park everything already running or queued on each core.
+    for (std::uint32_t c = 0; c < cores; ++c) {
+        auto &queue = kern.runQueue(c);
+        for (kernel::Process *proc : queue) {
+            Tick cost = 0;
+            if (!proc->isKernelThread())
+                cost += _costs.fakeSignal;
+            cost += _costs.pendingWorkItem * proc->pendingWork();
+            cost += _costs.contextSwitch + _costs.parkTask;
+            core_done[c] += cost;
+            proc->setPendingWork(0);
+            proc->setNeedResched(false);
+            proc->setState(TaskState::Uninterruptible);
+            ++report.tasksParked;
+        }
+        queue.clear();
+    }
+
+    // Serialize every PCB into the reserved area. The architectural
+    // state was stored on the PCB during each context switch (cost
+    // already charged above); this is its persistent image.
+    mem::Addr addr = layout.pcbAddr();
+    for (std::size_t i = 0; i < kern.processCount(); ++i) {
+        const kernel::Process &proc = kern.process(i);
+        PcbEntry entry;
+        entry.pid = proc.pid();
+        entry.state = static_cast<std::uint32_t>(proc.state());
+        entry.cpu = proc.cpu();
+        entry.regs = proc.regs();
+        pmem.writeValue(addr, entry);
+        addr += sizeof(PcbEntry);
+        report.controlBlockBytes += sizeof(PcbEntry);
+    }
+
+    // Each core finally places its idle task and synchronizes.
+    Tick done = walk_done;
+    for (std::uint32_t c = 0; c < cores; ++c)
+        done = std::max(done, core_done[c] + _costs.idlePlacement);
+    return done + _costs.barrier;
+}
+
+Tick
+Sng::autoStopDevices(Tick when, StopReport &report)
+{
+    const double quiesce = kern.params().busy
+        ? _costs.busyQuiesceFactor : _costs.idleQuiesceFactor;
+
+    Tick t = when;
+    mem::Addr dcb_addr = layout.dcbAddr();
+    mem::Addr payload_addr = layout.dcbAddr() + (64 << 10);
+    for (const auto &dev : kern.devices().list()) {
+        const kernel::DpmCosts &costs = dev->costs();
+        // dpm_prepare / dpm_suspend / dpm_suspend_noirq in list
+        // order (dependencies).
+        t += costs.prepare;
+        t += static_cast<Tick>(
+            static_cast<double>(costs.suspend) * quiesce);
+        t += costs.suspendNoirq;
+
+        // Device context into its DCB.
+        DcbEntry entry;
+        entry.cookie = dev->contextCookie();
+        entry.contextBytes = dev->contextBytes();
+        pmem.writeValue(dcb_addr, entry);
+        dcb_addr += sizeof(DcbEntry);
+        t = timed.writeSpan(t, payload_addr, dev->contextBytes());
+        payload_addr += dev->contextBytes();
+        report.controlBlockBytes += sizeof(DcbEntry)
+            + dev->contextBytes();
+
+        // Peripheral MMIO regions are not on OC-PMEM; copy them.
+        const std::uint64_t mmio_lines =
+            (dev->mmioBytes() + 63) / 64;
+        t += mmio_lines * _costs.mmioReadPer64B;
+        t = timed.writeSpan(t, payload_addr, dev->mmioBytes());
+        payload_addr += dev->mmioBytes();
+        report.controlBlockBytes += dev->mmioBytes();
+
+        dev->setSuspended(true);
+        ++report.devicesSuspended;
+    }
+
+    // The device-stop phase ends with the master's cache flush.
+    if (!caches.empty() && caches[0]) {
+        report.dirtyLinesFlushed += caches[0]->dirtyLines();
+        t = caches[0]->flushAll(t);
+    } else {
+        report.dirtyLinesFlushed += fallbackDirtyLines;
+        t = timed.writeSpan(t, layout.base,
+                            fallbackDirtyLines * mem::cacheLineBytes);
+    }
+    return t;
+}
+
+Tick
+Sng::drawEpCut(Tick when, StopReport &report)
+{
+    const std::uint32_t cores = kern.cores();
+
+    // Clean __cpu_up_task/stack_pointer so Go controls the bring-up
+    // sequence instead of finding stale idle-task pointers.
+    Tick t = when + Tick(cores) * _costs.cleanPointersPerCore;
+
+    // Workers offline one by one: IPI, cache dump, fence, report.
+    for (std::uint32_t c = 1; c < cores; ++c) {
+        t += _costs.ipi;
+        if (c < caches.size() && caches[c]) {
+            report.dirtyLinesFlushed += caches[c]->dirtyLines();
+            t = caches[c]->flushAll(t);
+        } else {
+            report.dirtyLinesFlushed += fallbackDirtyLines;
+            t = timed.writeSpan(t, layout.base,
+                                fallbackDirtyLines
+                                    * mem::cacheLineBytes);
+        }
+        t += _costs.perWorkerOffline;
+    }
+
+    // Master: exception into the bootloader, dump kernel-invisible
+    // registers + wear-leveler state into the BCB, record the MEPC,
+    // clear the persistent flag, and store the commit. Executed
+    // uncached from the bootloader, hence the large constant.
+    t += _costs.masterBootloaderConst;
+
+    Bcb bcb;
+    bcb.magic = epCutMagic;
+    bcb.mepc = 0xffffffff80000042ULL;  // kernel-side Go entry
+    for (std::size_t i = 0; i < std::size(bcb.machineRegs); ++i)
+        bcb.machineRegs[i] = 0xc0de0000 + i;
+    bcb.masterRegs = kern.process(0).regs();
+    bcb.wearState = psm.saveWearState();
+    bcb.cores = cores;
+    bcb.processCount =
+        static_cast<std::uint32_t>(kern.processCount());
+    bcb.deviceCount =
+        static_cast<std::uint32_t>(kern.devices().count());
+    pmem.writeValue(layout.bcbAddr(), bcb);
+    report.controlBlockBytes += sizeof(Bcb);
+    t = timed.writeBytes(t, layout.bcbAddr(), &bcb, sizeof(Bcb));
+
+    kern.setPersistentFlag(false);
+
+    // Final memory synchronization: no outstanding request may
+    // remain in the PSM or the row buffers.
+    t = psm.flush(t);
+    return t;
+}
+
+StopReport
+Sng::stop(Tick when, Tick holdup)
+{
+    StopReport report;
+    report.start = when;
+    report.processStopDone = driveToIdle(when, report);
+    report.deviceStopDone =
+        autoStopDevices(report.processStopDone, report);
+    report.offlineDone = drawEpCut(report.deviceStopDone, report);
+
+    if (holdup != maxTick && report.totalTicks() > holdup) {
+        // The rails died mid-Stop: everything written after the
+        // power fell out of specification — including the commit —
+        // never became durable.
+        report.commitFailed = true;
+        pmem.writeValue<std::uint64_t>(layout.bcbAddr(), 0);
+    }
+    return report;
+}
+
+GoReport
+Sng::resume(Tick when)
+{
+    using kernel::TaskState;
+
+    GoReport report;
+    report.start = when;
+
+    // Bootloader: is this a power recovery or a cold boot?
+    Tick t = when + _costs.commitCheck;
+    Bcb bcb = pmem.readValue<Bcb>(layout.bcbAddr());
+    if (bcb.magic != epCutMagic) {
+        report.coldBoot = true;
+        report.bcbRestored = report.coresUp = report.devicesResumed =
+            report.done = t;
+        return report;
+    }
+
+    // Restore bootloader/kernel registers and the wear-leveler.
+    t += _costs.bcbRestore;
+    t = timed.readSpan(t, layout.bcbAddr(), sizeof(Bcb));
+    psm.restoreWearState(bcb.wearState);
+    kern.process(0).regs() = bcb.masterRegs;
+    report.bcbRestored = t;
+
+    // Power up the workers one by one; they spin on the cleaned
+    // kernel task pointers until the master places idle tasks.
+    const std::uint32_t cores = kern.cores();
+    for (std::uint32_t c = 1; c < cores; ++c)
+        t += _costs.powerUpWorker + _costs.ipi;
+    report.coresUp = t;
+
+    // Revive devices in inverse dpm order: dpm_resume_noirq,
+    // dpm_resume, dpm_complete, plus DCB reads and MMIO restores.
+    const auto &devices = kern.devices().list();
+    mem::Addr dcb_addr = layout.dcbAddr()
+        + devices.size() * sizeof(DcbEntry);
+    for (auto it = devices.rbegin(); it != devices.rend(); ++it) {
+        kernel::Device &dev = **it;
+        dcb_addr -= sizeof(DcbEntry);
+        const DcbEntry entry = pmem.readValue<DcbEntry>(dcb_addr);
+        if (entry.cookie != dev.contextCookie())
+            warn("DCB cookie mismatch for device ", dev.name());
+        dev.setContextCookie(entry.cookie);
+
+        const kernel::DpmCosts &costs = dev.costs();
+        t += costs.resumeNoirq + costs.resume + costs.complete;
+        t = timed.readSpan(t, dcb_addr, dev.contextBytes());
+        const std::uint64_t mmio_lines = (dev.mmioBytes() + 63) / 64;
+        t += mmio_lines * _costs.mmioReadPer64B;
+        dev.setSuspended(false);
+        ++report.devicesRevived;
+    }
+    report.devicesResumed = t;
+
+    // Restore every PCB from OC-PMEM and reschedule: kernel tasks
+    // first, then user tasks, flipping TASK_UNINTERRUPTIBLE back to
+    // TASK_NORMAL and rebuilding the per-core run queues.
+    mem::Addr addr = layout.pcbAddr();
+    std::vector<PcbEntry> entries(kern.processCount());
+    for (auto &entry : entries) {
+        entry = pmem.readValue<PcbEntry>(addr);
+        addr += sizeof(PcbEntry);
+    }
+
+    for (int pass = 0; pass < 2; ++pass) {
+        for (std::size_t i = 0; i < kern.processCount(); ++i) {
+            kernel::Process &proc = kern.process(i);
+            const bool kernel_pass = pass == 0;
+            if (proc.isKernelThread() != kernel_pass)
+                continue;
+            const PcbEntry &entry = entries[i];
+            if (entry.pid != proc.pid())
+                warn("PCB order mismatch for pid ", proc.pid());
+            proc.regs() = entry.regs;
+            if (static_cast<TaskState>(entry.state)
+                == TaskState::Uninterruptible) {
+                proc.setState(TaskState::Runnable);
+                std::uint32_t cpu = entry.cpu < 0
+                    ? 0 : static_cast<std::uint32_t>(entry.cpu)
+                        % cores;
+                proc.setCpu(static_cast<int>(cpu));
+                kern.runQueue(cpu).push_back(&proc);
+                t += _costs.scheduleTask;
+                ++report.tasksScheduled;
+            }
+        }
+    }
+    t += Tick(cores) * _costs.tlbFlushPerCore;
+
+    // Clear the commit: the next boot without a new EP-cut is cold.
+    pmem.writeValue<std::uint64_t>(layout.bcbAddr(), 0);
+    t = timed.writeSpan(t, layout.bcbAddr(), sizeof(std::uint64_t));
+
+    report.done = t;
+    return report;
+}
+
+} // namespace lightpc::pecos

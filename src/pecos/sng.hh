@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Stop-and-Go: PecOS's single execution persistence cut (Sections
+ * III-B and IV).
+ *
+ * Stop runs in two phases when a power-event interrupt fires:
+ *
+ *  - Drive-to-Idle: the interrupted core becomes master, sets the
+ *    system-wide persistent flag, and walks every PCB from init.
+ *    User tasks get a fake signal (TIF_SIGPENDING) so they drain
+ *    their kernel-mode work; sleepers are woken and spread over the
+ *    workers (IPIs) in a load-balanced way, driven through pending
+ *    work, then context-switched out TASK_UNINTERRUPTIBLE and
+ *    removed from the run queues. No cache flush or fence happens in
+ *    this phase.
+ *
+ *  - Auto-Stop: the master suspends every dpm_list driver in order
+ *    (prepare / suspend / suspend_noirq), writes DCBs and MMIO
+ *    copies to OC-PMEM, then offlines the cores: kernel task/stack
+ *    pointers are cleaned, each worker dumps its caches and reports,
+ *    and the master finally traps into the bootloader to dump the
+ *    kernel-invisible registers and the wear-leveler state into the
+ *    BCB, record the MEPC, clear the persistent flag, and store the
+ *    commit — the EP-cut.
+ *
+ * Go mirrors it on power recovery: check the commit, restore the
+ * BCB, power the workers up one by one, resume drivers in inverse
+ * dpm order, restore MMIO regions, flush TLBs, and reschedule kernel
+ * then user tasks by flipping TASK_UNINTERRUPTIBLE back to normal.
+ */
+
+#ifndef LIGHTPC_PECOS_SNG_HH
+#define LIGHTPC_PECOS_SNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "kernel/kernel.hh"
+#include "mem/timed_mem.hh"
+#include "pecos/layout.hh"
+#include "psm/psm.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::pecos
+{
+
+/** Per-operation costs of the SnG implementation paths. */
+struct SngCosts
+{
+    // Drive-to-Idle.
+    Tick setPersistentFlag = 500;            ///< atomic flag, 0.5 us
+    Tick pcbWalkPerTask = 2 * tickUs;        ///< master PCB traversal
+    Tick ipi = 2 * tickUs;                   ///< IPI delivery
+    Tick fakeSignal = 14 * tickUs;           ///< signal + entry.S path
+    Tick pendingWorkItem = 38 * tickUs;      ///< drain one work item
+    Tick contextSwitch = 10 * tickUs;        ///< switch out + PCB store
+    Tick parkTask = 5 * tickUs;              ///< dequeue + state change
+    Tick idlePlacement = 3 * tickUs;         ///< idle task per core
+    Tick barrier = 2 * tickUs;               ///< core synchronization
+
+    // Auto-Stop.
+    Tick mmioReadPer64B = 40 * tickNs;       ///< uncached MMIO copy
+    Tick cleanPointersPerCore = 2 * tickUs;  ///< cpu_up_task/stack ptr
+    Tick perWorkerOffline = 45 * tickUs;     ///< IPI+suspend handshake
+    Tick masterBootloaderConst = 4300 * tickUs;  ///< uncached
+        ///< bootloader execution: exception, register dump, commit
+
+    // Go.
+    Tick commitCheck = 150 * tickUs;         ///< bootloader boot path
+    Tick bcbRestore = 400 * tickUs;          ///< registers + wear state
+    Tick powerUpWorker = 120 * tickUs;       ///< per-core bring-up
+    Tick tlbFlushPerCore = 15 * tickUs;
+    Tick scheduleTask = 10 * tickUs;         ///< wait-queue -> run queue
+
+    /**
+     * dpm_suspend() quiesce scaling when the system is busy
+     * (outstanding I/O to stop) vs idle.
+     */
+    double busyQuiesceFactor = 1.0;
+    double idleQuiesceFactor = 0.78;
+};
+
+/** Decomposed Stop latency (Fig. 8b). */
+struct StopReport
+{
+    Tick start = 0;
+    Tick processStopDone = 0;  ///< Drive-to-Idle complete
+    Tick deviceStopDone = 0;   ///< dpm suspend + DCB complete
+    Tick offlineDone = 0;      ///< EP-cut committed
+
+    /**
+     * The power rails fell out of specification before the commit
+     * landed: no EP-cut exists and the next boot is cold. Set when
+     * stop() is given a hold-up deadline it cannot meet.
+     */
+    bool commitFailed = false;
+
+    std::uint64_t tasksParked = 0;
+    std::uint64_t sleepersWoken = 0;
+    std::uint64_t devicesSuspended = 0;
+    std::uint64_t dirtyLinesFlushed = 0;
+    std::uint64_t controlBlockBytes = 0;
+
+    Tick processStopTicks() const { return processStopDone - start; }
+    Tick
+    deviceStopTicks() const
+    {
+        return deviceStopDone - processStopDone;
+    }
+    Tick offlineTicks() const { return offlineDone - deviceStopDone; }
+    Tick totalTicks() const { return offlineDone - start; }
+};
+
+/** Go latency decomposition. */
+struct GoReport
+{
+    Tick start = 0;
+    Tick bcbRestored = 0;
+    Tick coresUp = 0;
+    Tick devicesResumed = 0;
+    Tick done = 0;
+
+    bool coldBoot = false;  ///< no commit found
+    std::uint64_t devicesRevived = 0;
+    std::uint64_t tasksScheduled = 0;
+
+    Tick totalTicks() const { return done - start; }
+};
+
+/**
+ * The Stop-and-Go engine bound to one platform.
+ */
+class Sng
+{
+  public:
+    /**
+     * @param kernel  The PecOS kernel state to stop/resume.
+     * @param psm     OC-PMEM controller (flush port, wear state).
+     * @param pmem    Functional OC-PMEM contents (control blocks).
+     * @param caches  The live per-core caches to dump (may be empty;
+     *                then @p fallback_dirty_lines is used per core).
+     */
+    Sng(kernel::Kernel &kernel, psm::Psm &psm,
+        mem::BackingStore &pmem, std::vector<cache::L1Cache *> caches,
+        const SngCosts &costs = SngCosts());
+
+    const SngCosts &costs() const { return _costs; }
+
+    /** Dirty lines assumed per core when no cache model is bound. */
+    void setFallbackDirtyLines(std::uint64_t lines)
+    {
+        fallbackDirtyLines = lines;
+    }
+
+    /**
+     * Stop: produce the EP-cut. Mutates the kernel (all tasks
+     * parked, devices suspended) and OC-PMEM (BCB/PCB/DCB written,
+     * commit stored).
+     *
+     * @param when    The power-event interrupt tick.
+     * @param holdup  How long the PSU keeps the rails alive after
+     *                @p when. If Stop cannot finish in time, the
+     *                commit never lands (report.commitFailed) and
+     *                the next resume() is a cold boot — exactly the
+     *                failure mode Fig. 22 budgets against.
+     */
+    StopReport stop(Tick when, Tick holdup = maxTick);
+
+    /**
+     * Go: power-recovery path. Restores PCB register state from
+     * OC-PMEM (so any volatile-side corruption after the EP-cut is
+     * healed), revives devices in inverse dpm order, and reschedules
+     * every parked task.
+     */
+    GoReport resume(Tick when);
+
+    /** True when OC-PMEM holds a committed EP-cut. */
+    bool hasCommit() const;
+
+  private:
+    /** A MemoryPort view over the PSM for TimedMem. */
+    class PsmPort : public mem::MemoryPort
+    {
+      public:
+        explicit PsmPort(psm::Psm &psm) : psm(psm) {}
+
+        mem::AccessResult
+        access(const mem::MemRequest &req, Tick when) override
+        {
+            return psm.access(req, when);
+        }
+
+        Tick fence(Tick when) override { return psm.flush(when); }
+
+      private:
+        psm::Psm &psm;
+    };
+
+    Tick driveToIdle(Tick when, StopReport &report);
+    Tick autoStopDevices(Tick when, StopReport &report);
+    Tick drawEpCut(Tick when, StopReport &report);
+
+    kernel::Kernel &kern;
+    psm::Psm &psm;
+    mem::BackingStore &pmem;
+    std::vector<cache::L1Cache *> caches;
+    SngCosts _costs;
+    ReservedLayout layout;
+    PsmPort port;
+    mem::TimedMem timed;
+    std::uint64_t fallbackDirtyLines = 200;
+};
+
+} // namespace lightpc::pecos
+
+#endif // LIGHTPC_PECOS_SNG_HH

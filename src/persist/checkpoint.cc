@@ -1,0 +1,65 @@
+#include "persist/checkpoint.hh"
+
+#include <cmath>
+
+namespace lightpc::persist
+{
+
+ACheckPcStream::ACheckPcStream(cpu::InstrStream &inner_in,
+                               const ACheckPcParams &params_in)
+    : inner(inner_in), params(params_in), rng(params_in.seed)
+{
+    untilCheckpoint = static_cast<std::uint64_t>(
+        std::max(1.0, -params.meanFunctionInstr
+                          * std::log(1.0 - rng.uniform())));
+}
+
+void
+ACheckPcStream::startCheckpoint()
+{
+    ++_checkpoints;
+    // Exponentially distributed checkpoint size around the mean,
+    // minimum one line.
+    const double bytes = std::max(
+        64.0, -params.meanCheckpointBytes
+                  * std::log(1.0 - rng.uniform()));
+    copyLinesLeft = static_cast<std::uint64_t>(bytes + 63) / 64;
+    _copiedBytes += copyLinesLeft * 64;
+    copyPhaseIsLoad = true;
+    // Stack/heap pages of the process; spread to look like real
+    // variable dumps.
+    copySrc = params.dramBase + (rng.next() % (16 << 20) & ~63ull);
+    copyDst = params.pmemBase + (rng.next() % (64 << 20) & ~63ull);
+    untilCheckpoint = static_cast<std::uint64_t>(
+        std::max(1.0, -params.meanFunctionInstr
+                          * std::log(1.0 - rng.uniform())));
+}
+
+bool
+ACheckPcStream::next(cpu::Instr &out)
+{
+    if (copyLinesLeft > 0) {
+        // Synchronous copy loop: load a line from DRAM, store it to
+        // OC-PMEM; the benchmark is stalled for the duration.
+        if (copyPhaseIsLoad) {
+            out = {cpu::InstrKind::Load, copySrc};
+            copyPhaseIsLoad = false;
+        } else {
+            out = {cpu::InstrKind::Store, copyDst};
+            copyPhaseIsLoad = true;
+            copySrc += 64;
+            copyDst += 64;
+            --copyLinesLeft;
+        }
+        return true;
+    }
+
+    if (!inner.next(out))
+        return false;
+
+    if (untilCheckpoint-- == 0)
+        startCheckpoint();
+    return true;
+}
+
+} // namespace lightpc::persist

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The orthogonal-persistence baselines (Section VI):
+ *
+ *  - SysPc: system images. Execution runs unencumbered on LegacyPC;
+ *    on a power event the whole system image (every process
+ *    footprint + kernel) is dumped to OC-PMEM, and recovery loads it
+ *    back. The dump takes seconds — orders of magnitude past any
+ *    PSU hold-up time (Fig. 20) — so it needs external energy.
+ *
+ *  - ACheckPcStream: application-level checkpoint-restart (based on
+ *    user-level HPC checkpointing [59]). At the end of every
+ *    function the touched stack/heap bytes are copied DRAM ->
+ *    OC-PMEM *synchronously*, stalling the benchmark; implemented as
+ *    an instruction-stream decorator that interleaves real copy
+ *    loads/stores, so the slowdown arises in the memory system.
+ *
+ *  - SCheckPc: system-level checkpoint-restart (BLCR [60]). A kernel
+ *    service periodically dumps the target's vm_area_struct spans to
+ *    OC-PMEM; execution is quiesced during each dump (stop-the-world
+ *    first-order model).
+ *
+ * A/S-CheckPC cannot capture kernel state or machine-mode registers,
+ * so power recovery additionally pays a cold reboot before the
+ * restart (Fig. 21a's IPC spike).
+ */
+
+#ifndef LIGHTPC_PERSIST_CHECKPOINT_HH
+#define LIGHTPC_PERSIST_CHECKPOINT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "cpu/instr.hh"
+#include "mem/timed_mem.hh"
+#include "sim/rng.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::persist
+{
+
+/** Costs shared by the image-based baselines. */
+struct ImageCosts
+{
+    /** Snapshot/copy handling per 4 KB page on dump. */
+    Tick dumpPerPage = 5 * tickUs;
+
+    /** Page restore handling on load. */
+    Tick loadPerPage = 1500 * tickNs;
+
+    /** Cold reboot (kernel boot + driver probe) after power loss. */
+    Tick coldReboot = 1500 * tickMs;
+};
+
+/**
+ * SysPC: hibernate-style whole-system images.
+ */
+class SysPc
+{
+  public:
+    SysPc(mem::TimedMem &pmem, const ImageCosts &costs = ImageCosts())
+        : pmem(pmem), costs(costs)
+    {}
+
+    /** Dump @p image_bytes at power-down. @return completion tick. */
+    Tick
+    dumpImage(Tick when, std::uint64_t image_bytes)
+    {
+        const std::uint64_t pages = (image_bytes + 4095) / 4096;
+        Tick t = when + pages * costs.dumpPerPage;
+        return pmem.writeSpan(t, imageBase, image_bytes);
+    }
+
+    /** Load the image at power-up. @return completion tick. */
+    Tick
+    loadImage(Tick when, std::uint64_t image_bytes)
+    {
+        const std::uint64_t pages = (image_bytes + 4095) / 4096;
+        Tick t = when + pages * costs.loadPerPage;
+        return pmem.readSpan(t, imageBase, image_bytes);
+    }
+
+    static constexpr mem::Addr imageBase = std::uint64_t(1) << 40;
+
+  private:
+    mem::TimedMem &pmem;
+    ImageCosts costs;
+};
+
+/**
+ * S-CheckPC: periodic BLCR-style VM dumps.
+ */
+class SCheckPc
+{
+  public:
+    SCheckPc(mem::TimedMem &pmem, Tick period,
+             const ImageCosts &costs = ImageCosts())
+        : pmem(pmem), _period(period), costs(costs)
+    {}
+
+    Tick period() const { return _period; }
+
+    /** One periodic dump of @p vm_bytes. @return completion tick. */
+    Tick
+    dump(Tick when, std::uint64_t vm_bytes)
+    {
+        ++_dumps;
+        const std::uint64_t pages = (vm_bytes + 4095) / 4096;
+        // BLCR walks vm_area_structs; handling is lighter than a
+        // hibernate snapshot.
+        Tick t = when + pages * (costs.dumpPerPage / 4);
+        return pmem.writeSpan(t, SysPc::imageBase, vm_bytes);
+    }
+
+    /** Restore after the post-crash cold reboot. */
+    Tick
+    restore(Tick when, std::uint64_t vm_bytes)
+    {
+        const std::uint64_t pages = (vm_bytes + 4095) / 4096;
+        Tick t = when + pages * costs.loadPerPage;
+        return pmem.readSpan(t, SysPc::imageBase, vm_bytes);
+    }
+
+    std::uint64_t dumps() const { return _dumps; }
+
+  private:
+    mem::TimedMem &pmem;
+    Tick _period;
+    ImageCosts costs;
+    std::uint64_t _dumps = 0;
+};
+
+/** Parameters of the per-function checkpoint decorator. */
+struct ACheckPcParams
+{
+    /** Mean dynamic instructions per function body. */
+    double meanFunctionInstr = 2000.0;
+
+    /** Mean stack+heap bytes dumped per checkpoint. */
+    double meanCheckpointBytes = 18000.0;
+
+    /** Where the process data lives (DRAM on LegacyPC). */
+    mem::Addr dramBase = 0x4000000;
+
+    /** Where checkpoints are written (OC-PMEM region). */
+    mem::Addr pmemBase = std::uint64_t(1) << 41;
+
+    std::uint64_t seed = 97;
+};
+
+/**
+ * A-CheckPC: interleaves synchronous checkpoint copies into an
+ * instruction stream at function boundaries.
+ */
+class ACheckPcStream : public cpu::InstrStream
+{
+  public:
+    ACheckPcStream(cpu::InstrStream &inner,
+                   const ACheckPcParams &params = ACheckPcParams());
+
+    bool next(cpu::Instr &out) override;
+
+    /** Checkpoints emitted so far. */
+    std::uint64_t checkpoints() const { return _checkpoints; }
+
+    /** Copy bytes emitted so far. */
+    std::uint64_t copiedBytes() const { return _copiedBytes; }
+
+  private:
+    void startCheckpoint();
+
+    cpu::InstrStream &inner;
+    ACheckPcParams params;
+    Rng rng;
+    std::uint64_t untilCheckpoint;
+    std::uint64_t copyLinesLeft = 0;
+    bool copyPhaseIsLoad = true;
+    mem::Addr copySrc = 0;
+    mem::Addr copyDst = 0;
+    std::uint64_t _checkpoints = 0;
+    std::uint64_t _copiedBytes = 0;
+};
+
+} // namespace lightpc::persist
+
+#endif // LIGHTPC_PERSIST_CHECKPOINT_HH

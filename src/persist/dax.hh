@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Direct-access (DAX) mapping (Section II-B, Fig. 3a).
+ *
+ * Linux exposes PMEM as a device file; DAX maps it straight into the
+ * application's address space so that translation is a constant
+ * offset — "negligible overhead" per the paper, in contrast to the
+ * per-access object-ID swizzling libpmemobj adds on top.
+ */
+
+#ifndef LIGHTPC_PERSIST_DAX_HH
+#define LIGHTPC_PERSIST_DAX_HH
+
+#include "mem/request.hh"
+#include "sim/logging.hh"
+
+namespace lightpc::persist
+{
+
+/**
+ * One mmap'ed DAX region.
+ */
+class DaxMapping
+{
+  public:
+    /**
+     * @param va_base   Virtual base the file is mapped at.
+     * @param phys_base Physical base of the region within the device.
+     * @param length    Mapped length in bytes.
+     */
+    DaxMapping(mem::Addr va_base, mem::Addr phys_base,
+               std::uint64_t length)
+        : vaBase(va_base), physBase(phys_base), len(length)
+    {
+        if (length == 0)
+            fatal("DaxMapping of zero length");
+    }
+
+    mem::Addr vaStart() const { return vaBase; }
+    mem::Addr physStart() const { return physBase; }
+    std::uint64_t length() const { return len; }
+
+    /** True when @p va falls inside the mapping. */
+    bool
+    contains(mem::Addr va) const
+    {
+        return va >= vaBase && va - vaBase < len;
+    }
+
+    /** VA -> PA: a single offset add. */
+    mem::Addr
+    toPhys(mem::Addr va) const
+    {
+        if (!contains(va))
+            fatal("DAX translation outside mapping: ", va);
+        return physBase + (va - vaBase);
+    }
+
+    /** PA -> VA (for completeness). */
+    mem::Addr
+    toVirt(mem::Addr pa) const
+    {
+        if (pa < physBase || pa - physBase >= len)
+            fatal("DAX reverse translation outside mapping: ", pa);
+        return vaBase + (pa - physBase);
+    }
+
+  private:
+    mem::Addr vaBase;
+    mem::Addr physBase;
+    std::uint64_t len;
+};
+
+} // namespace lightpc::persist
+
+#endif // LIGHTPC_PERSIST_DAX_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * A bank of DRAM DIMMs behind one memory port (LegacyPC's working
+ * memory and the local-node DRAM of the PMEM complex).
+ */
+
+#ifndef LIGHTPC_PLATFORM_DRAM_ARRAY_HH
+#define LIGHTPC_PLATFORM_DRAM_ARRAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/dram_device.hh"
+#include "mem/memory_port.hh"
+#include "mem/request.hh"
+
+namespace lightpc::platform
+{
+
+/**
+ * Page-interleaved DRAM DIMMs.
+ */
+class DramArray : public mem::MemoryPort
+{
+  public:
+    /**
+     * @param dimms            Number of DIMMs (prototype board: 6).
+     * @param params           Per-DIMM configuration.
+     * @param interleave_bytes Address interleave granularity.
+     */
+    /**
+     * @param dimms            Number of DIMMs (prototype board: 6).
+     * @param params           Per-DIMM configuration.
+     * @param interleave_bytes Address interleave granularity.
+     * @param bus_latency      Front-side bus/controller latency,
+     *                         matching the PSM's AXI crossbar cost.
+     */
+    explicit DramArray(std::uint32_t dimms = 6,
+                       const mem::DramParams &params = mem::DramParams(),
+                       std::uint64_t interleave_bytes = 4096,
+                       Tick bus_latency = 10 * tickNs)
+        : interleave(interleave_bytes), busLatency(bus_latency)
+    {
+        for (std::uint32_t i = 0; i < dimms; ++i)
+            devices.push_back(
+                std::make_unique<mem::DramDevice>(params));
+    }
+
+    mem::AccessResult
+    access(const mem::MemRequest &req, Tick when) override
+    {
+        const std::uint64_t chunk = req.addr / interleave;
+        mem::DramDevice &dev = *devices[chunk % devices.size()];
+        mem::MemRequest local = req;
+        local.addr = (chunk / devices.size()) * interleave
+            + req.addr % interleave;
+        return dev.access(local, when + busLatency);
+    }
+
+    std::uint32_t dimmCount() const
+    {
+        return static_cast<std::uint32_t>(devices.size());
+    }
+
+    mem::DramDevice &dimm(std::uint32_t idx) { return *devices[idx]; }
+
+    /** Aggregate access counts (power accounting). */
+    std::uint64_t
+    totalAccesses() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &dev : devices)
+            n += dev->readCount() + dev->writeCount();
+        return n;
+    }
+
+  private:
+    std::uint64_t interleave;
+    Tick busLatency;
+    std::vector<std::unique_ptr<mem::DramDevice>> devices;
+};
+
+} // namespace lightpc::platform
+
+#endif // LIGHTPC_PLATFORM_DRAM_ARRAY_HH

@@ -1,0 +1,34 @@
+#include "power/power_model.hh"
+
+namespace lightpc::power
+{
+
+double
+PowerModel::staticWattsOf(const ActivitySample &sample) const
+{
+    double watts = k.uncoreWatts;
+    watts += sample.coresActive
+        * (k.core.idleWatts
+           + (k.core.activeWatts - k.core.idleWatts)
+               * sample.coreUtilization);
+    watts += sample.coresIdle * k.core.idleWatts;
+    watts += sample.dramDimms
+        * (k.dram.backgroundWatts + k.dram.refreshWatts);
+    watts += sample.pramDimms * k.pram.backgroundWatts;
+    watts += sample.pmemDimms * k.pmem.backgroundWatts;
+    return watts;
+}
+
+double
+PowerModel::energyOf(const ActivitySample &sample) const
+{
+    EnergyMeter meter;
+    meter.addStatic(staticWattsOf(sample), sample.duration);
+    meter.addDynamic(k.dram.accessNanojoules, sample.dramAccesses);
+    meter.addDynamic(k.pram.readNanojoules, sample.pramReads);
+    meter.addDynamic(k.pram.writeNanojoules, sample.pramWrites);
+    meter.addDynamic(k.pmem.accessNanojoules, sample.pmemAccesses);
+    return meter.joules();
+}
+
+} // namespace lightpc::power

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Component power models and energy integration.
+ *
+ * Power in LightPC's evaluation splits into a static part (core
+ * idle/active power, DRAM background + refresh — the burden LightPC
+ * removes) and a dynamic part (per-access energy). The PowerModel
+ * composes per-component contributions over simulated intervals;
+ * constants live in PowerConstants and are calibrated once in
+ * platform/ against the paper's 18.9 W (LegacyPC) / 5.3 W (LightPC)
+ * totals, then reused unchanged by every experiment.
+ */
+
+#ifndef LIGHTPC_POWER_POWER_MODEL_HH
+#define LIGHTPC_POWER_POWER_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace lightpc::power
+{
+
+/** Per-core power. */
+struct CorePower
+{
+    double activeWatts = 0.45;
+    double idleWatts = 0.08;
+};
+
+/** Per-DIMM DRAM power. */
+struct DramPower
+{
+    /** Background (precharge standby, I/O, PLL) per DIMM. */
+    double backgroundWatts = 1.35;
+
+    /** Refresh burden per DIMM (the part PRAM does not pay). */
+    double refreshWatts = 0.75;
+
+    /** Dynamic energy per 64 B access. */
+    double accessNanojoules = 18.0;
+};
+
+/** Per-DIMM bare PRAM power. */
+struct PramPower
+{
+    /** Standby power per Bare-NVDIMM (no refresh, no DLL). */
+    double backgroundWatts = 0.12;
+
+    /** Dynamic energy per 64 B read. */
+    double readNanojoules = 12.0;
+
+    /** Dynamic energy per 64 B write (RESET/SET pulses). */
+    double writeNanojoules = 55.0;
+};
+
+/** Per-DIMM Optane-style PMEM complex power. */
+struct PmemPower
+{
+    /** Controller + internal SRAM/DRAM + firmware standby. */
+    double backgroundWatts = 2.2;
+
+    /** Dynamic energy per 64 B access (buffer + media average). */
+    double accessNanojoules = 70.0;
+};
+
+/** The full constant set used by a platform. */
+struct PowerConstants
+{
+    CorePower core;
+    DramPower dram;
+    PramPower pram;
+    PmemPower pmem;
+
+    /** Baseboard / uncore / PSM logic overhead. */
+    double uncoreWatts = 0.55;
+};
+
+/**
+ * Accumulates energy from static power over intervals and dynamic
+ * energy per operation.
+ */
+class EnergyMeter
+{
+  public:
+    /** Charge @p watts of static power over @p duration. */
+    void
+    addStatic(double watts, Tick duration)
+    {
+        _joules += watts * ticksToSec(duration);
+    }
+
+    /** Charge @p count operations of @p nanojoules each. */
+    void
+    addDynamic(double nanojoules, std::uint64_t count)
+    {
+        _joules += nanojoules * 1e-9 * static_cast<double>(count);
+    }
+
+    /** Total accumulated energy. */
+    double joules() const { return _joules; }
+
+    /** Average power over @p duration. */
+    double
+    averageWatts(Tick duration) const
+    {
+        const double sec = ticksToSec(duration);
+        return sec > 0.0 ? _joules / sec : 0.0;
+    }
+
+    void reset() { _joules = 0.0; }
+
+  private:
+    double _joules = 0.0;
+};
+
+/** A snapshot of activity used to evaluate platform power. */
+struct ActivitySample
+{
+    Tick duration = 0;
+    std::uint32_t coresActive = 0;
+    std::uint32_t coresIdle = 0;
+    /** Fraction of the interval each active core actually computed. */
+    double coreUtilization = 1.0;
+    std::uint64_t dramAccesses = 0;
+    std::uint64_t pramReads = 0;
+    std::uint64_t pramWrites = 0;
+    std::uint64_t pmemAccesses = 0;
+    std::uint32_t dramDimms = 0;
+    std::uint32_t pramDimms = 0;
+    std::uint32_t pmemDimms = 0;
+};
+
+/**
+ * Evaluates power/energy for activity snapshots.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerConstants &constants =
+                            PowerConstants())
+        : k(constants)
+    {}
+
+    const PowerConstants &constants() const { return k; }
+
+    /** Energy of one activity sample, in joules. */
+    double energyOf(const ActivitySample &sample) const;
+
+    /** Average power of one activity sample, in watts. */
+    double
+    powerOf(const ActivitySample &sample) const
+    {
+        const double sec = ticksToSec(sample.duration);
+        return sec > 0.0 ? energyOf(sample) / sec : 0.0;
+    }
+
+    /** Static (time-proportional) platform power for a sample. */
+    double staticWattsOf(const ActivitySample &sample) const;
+
+  private:
+    PowerConstants k;
+};
+
+} // namespace lightpc::power
+
+#endif // LIGHTPC_POWER_POWER_MODEL_HH

@@ -1,0 +1,356 @@
+#include "psm/psm.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace lightpc::psm
+{
+
+Psm::Psm(const PsmParams &params)
+    : _params(params)
+{
+    if (_params.dimms == 0)
+        fatal("Psm requires at least one DIMM");
+    const std::uint64_t page_lines_check =
+        _params.rowBufferBytes / mem::cacheLineBytes;
+    if (page_lines_check == 0 || page_lines_check > 64)
+        fatal("Psm rowBufferBytes must hold 1..64 lines");
+
+    nvdimms.reserve(_params.dimms);
+    for (std::uint32_t i = 0; i < _params.dimms; ++i)
+        nvdimms.push_back(std::make_unique<BareNvdimm>(_params.dimm));
+
+    units = _params.dimms * nvdimms[0]->groupCount();
+    rowBuffers.assign(units, RowBuffer{});
+    eccBusyUntil.assign((units + 1) / 2, 0);
+    unitFaults.assign(units, 0);
+
+    capacity = 0;
+    for (std::uint32_t d = 0; d < _params.dimms; ++d)
+        for (std::uint32_t g = 0; g < nvdimms[d]->groupCount(); ++g)
+            capacity += nvdimms[d]->group(g).params().capacityBytes;
+
+    lineCount = capacity / mem::cacheLineBytes;
+    const std::uint64_t page_lines =
+        _params.rowBufferBytes / mem::cacheLineBytes;
+    // Round the managed line count down to a whole number of pages.
+    lineCount -= lineCount % page_lines;
+    StartGapParams sg;
+    sg.lines = lineCount;
+    sg.writeThreshold = _params.wearThreshold;
+    sg.randomizerSeed = _params.wearSeed;
+    sg.pageLines = page_lines;
+    wearLevel = std::make_unique<StartGap>(sg);
+}
+
+Psm::Route
+Psm::route(mem::Addr addr) const
+{
+    const std::uint64_t logical_line = (addr / mem::cacheLineBytes)
+        % lineCount;
+    const std::uint64_t physical_line = _params.wearLeveling
+        ? wearLevel->remap(logical_line)
+        : logical_line;
+
+    // Interleave at row-buffer-page granularity: a sequential page
+    // burst fills one group's row buffer while other pages spread
+    // over the remaining DIMMs/groups (intra- and inter-DIMM
+    // parallelism, Section V-B).
+    const std::uint64_t page_lines =
+        _params.rowBufferBytes / mem::cacheLineBytes;
+    const std::uint64_t global_page = physical_line / page_lines;
+
+    Route r;
+    r.unit = static_cast<std::uint32_t>(global_page % units);
+    const std::uint32_t groups_per_dimm = nvdimms[0]->groupCount();
+    r.dimm = r.unit / groups_per_dimm;
+    r.group = r.unit % groups_per_dimm;
+    r.page = global_page / units;
+    r.lineInPage =
+        static_cast<std::uint32_t>(physical_line % page_lines);
+    r.localAddr = (r.page * page_lines + r.lineInPage)
+        * mem::cacheLineBytes;
+    return r;
+}
+
+mem::PramDevice &
+Psm::unitDevice(const Route &r)
+{
+    return nvdimms[r.dimm]->group(r.group);
+}
+
+mem::AccessResult
+Psm::closeRowBuffer(std::uint32_t unit, Tick when)
+{
+    RowBuffer &rb = rowBuffers[unit];
+    mem::AccessResult drain;
+    drain.mediaFreeAt = when;
+    if (rb.dirtyMask != 0) {
+        const std::uint32_t groups_per_dimm = nvdimms[0]->groupCount();
+        BareNvdimm &dimm = *nvdimms[unit / groups_per_dimm];
+        mem::PramDevice &dev = dimm.group(unit % groups_per_dimm);
+        // The deferred dirty lines hit the media now, one cooling
+        // window each (the device serializes internally). Early-
+        // return semantics apply to the *requester*; the media
+        // always pays the full write time. On the DramLike layout
+        // every line write first reads the surrounding 256 B rank
+        // access (read-modify-write).
+        std::uint64_t mask = rb.dirtyMask;
+        for (std::uint32_t line = 0; mask != 0; ++line, mask >>= 1) {
+            if (!(mask & 1))
+                continue;
+            const mem::Addr line_addr =
+                rb.pageAddr + mem::Addr(line) * mem::cacheLineBytes;
+            Tick start = when;
+            if (dimm.needsReadModifyWrite())
+                start = dev.read(when).completeAt;
+            drain = dev.write(start, line_addr, /*early_return=*/true);
+        }
+        rb.dirtyMask = 0;
+    }
+    rb.openPage = ~std::uint64_t(0);
+    return drain;
+}
+
+mem::AccessResult
+Psm::access(const mem::MemRequest &req, Tick when)
+{
+    mem::AccessResult result;
+    Tick t = when + _params.busLatency;
+    const Route r = route(req.addr);
+    mem::PramDevice &dev = unitDevice(r);
+    RowBuffer &rb = rowBuffers[r.unit];
+    const mem::Addr page_base = r.page * _params.rowBufferBytes;
+
+    if (req.op == mem::MemOp::Write) {
+        ++_stats.writes;
+
+        // Start-Gap bookkeeping: every threshold-th write moves the
+        // gap, costing one extra line copy on the media.
+        if (_params.wearLeveling && wearLevel->recordWrite()) {
+            ++_stats.wearMoves;
+            const mem::AccessResult copy_read = dev.read(t);
+            dev.write(copy_read.completeAt, r.localAddr,
+                      /*early_return=*/true);
+        }
+
+        if (!_params.earlyReturnWrites) {
+            // LightPC-B: a conventional controller cannot track the
+            // PRAM thermal state, so every write is synchronous at
+            // the media — no row-buffer absorption, no early return.
+            // The full cooling window occupies the device and stalls
+            // the issuer (Section V-A).
+            Tick start = t;
+            if (nvdimms[r.dimm]->needsReadModifyWrite())
+                start = dev.read(t).completeAt;
+            const mem::AccessResult media =
+                dev.write(start, r.localAddr, /*early_return=*/false);
+            result.completeAt = media.completeAt;
+            result.mediaFreeAt = media.mediaFreeAt;
+            writeHist.add(result.completeAt - when);
+            return result;
+        }
+
+        if (rb.openPage == r.page) {
+            // Aggregated by the open row buffer.
+            ++_stats.rowBufferWriteHits;
+            rb.dirtyMask |= std::uint64_t(1) << r.lineInPage;
+            result.rowBufferHit = true;
+            result.completeAt = t + _params.rowBufferLatency;
+            result.mediaFreeAt = dev.busyUntil();
+            writeHist.add(result.completeAt - when);
+            return result;
+        }
+
+        // Page change: close the previous page (its dirty lines
+        // drain to the media in the background), then open the new
+        // one and absorb this write — early return to the issuer.
+        closeRowBuffer(r.unit, t);
+        rb.openPage = r.page;
+        rb.pageAddr = page_base;
+        rb.dirtyMask = std::uint64_t(1) << r.lineInPage;
+        result.completeAt = t + _params.rowBufferLatency;
+        result.mediaFreeAt = dev.busyUntil();
+        writeHist.add(result.completeAt - when);
+        return result;
+    }
+
+    // Read path.
+    ++_stats.reads;
+
+    if (rb.openPage == r.page
+        && (rb.dirtyMask & (std::uint64_t(1) << r.lineInPage))) {
+        // Forwarded from the open row buffer.
+        ++_stats.rowBufferReadHits;
+        result.rowBufferHit = true;
+        result.completeAt = t + _params.rowBufferLatency;
+        result.mediaFreeAt = dev.busyUntil();
+        readHist.add(result.completeAt - when);
+        return result;
+    }
+
+    // Reliability: media faults on this unit.
+    if (const std::uint8_t faults = unitFaults[r.unit]) {
+        Tick &ecc = eccBusyUntil[r.unit / 2];
+        const Tick start = std::max(t, ecc);
+        if (faults == 0x3) {
+            // Both halves dead. The XOR pair code is out of its
+            // depth: either the symbol-ECC tier recovers the line
+            // from the surviving devices, or the containment bit
+            // goes up and the host takes the MCE path.
+            if (_params.symbolEccFallback) {
+                ++_stats.symbolCorrections;
+                result.corrected = true;
+                result.completeAt = start
+                    + dev.params().readLatency
+                    + _params.symbolEccLatency;
+                ecc = result.completeAt;
+            } else {
+                raiseMce();
+                result.containment = true;
+                result.completeAt =
+                    start + dev.params().readLatency;
+            }
+        } else {
+            // One half dead: regenerate it from the healthy half
+            // and the parity device, one read + one XOR.
+            ++_stats.correctedReads;
+            result.corrected = true;
+            result.completeAt = start + dev.params().readLatency
+                + _params.xorLatency;
+            ecc = result.completeAt;
+        }
+        result.mediaFreeAt = dev.busyUntil();
+        readHist.add(result.completeAt - when);
+        return result;
+    }
+
+    if (dev.busyAt(t) && _params.eccReconstruction) {
+        // Non-blocking service: regenerate the target from the
+        // paired half + parity on the ECC lane instead of waiting
+        // for the in-flight write to cool off.
+        ++_stats.reconstructedReads;
+        Tick &ecc = eccBusyUntil[r.unit / 2];
+        const Tick start = std::max(t, ecc);
+        result.completeAt =
+            start + dev.params().readLatency + _params.xorLatency;
+        ecc = result.completeAt;
+        result.reconstructed = true;
+        result.mediaFreeAt = dev.busyUntil();
+        readHist.add(result.completeAt - when);
+        return result;
+    }
+
+    if (dev.busyAt(t)) {
+        // LightPC-B: head-of-line blocking behind the write.
+        ++_stats.blockedReads;
+        _stats.readStallTicks += dev.busyUntil() - t;
+    }
+    const mem::AccessResult media = dev.read(t);
+    result.completeAt = media.completeAt;
+    result.mediaFreeAt = dev.busyUntil();
+    readHist.add(result.completeAt - when);
+    return result;
+}
+
+Tick
+Psm::flush(Tick when)
+{
+    ++_stats.flushes;
+    Tick quiescent = when;
+    for (std::uint32_t u = 0; u < units; ++u) {
+        const mem::AccessResult drain = closeRowBuffer(u, when);
+        quiescent = std::max(quiescent, drain.mediaFreeAt);
+    }
+    for (const auto &dimm : nvdimms)
+        quiescent = std::max(quiescent, dimm->busyUntil());
+    for (Tick ecc : eccBusyUntil)
+        quiescent = std::max(quiescent, ecc);
+    return quiescent;
+}
+
+void
+Psm::resetPort()
+{
+    for (auto &dimm : nvdimms)
+        dimm->reset();
+    std::fill(rowBuffers.begin(), rowBuffers.end(), RowBuffer{});
+    std::fill(eccBusyUntil.begin(), eccBusyUntil.end(), Tick(0));
+    StartGapParams sg = wearLevel->params();
+    wearLevel = std::make_unique<StartGap>(sg);
+    _stats = PsmStats{};
+    readHist.reset();
+    writeHist.reset();
+}
+
+void
+Psm::resetStats()
+{
+    _stats = PsmStats{};
+    readHist.reset();
+    writeHist.reset();
+}
+
+void
+Psm::injectFault(std::uint32_t dimm_idx, std::uint32_t group,
+                 std::uint32_t half)
+{
+    if (dimm_idx >= _params.dimms
+        || group >= nvdimms[dimm_idx]->groupCount() || half > 1)
+        fatal("Psm::injectFault out of range");
+    const std::uint32_t unit =
+        dimm_idx * nvdimms[0]->groupCount() + group;
+    unitFaults[unit] |= std::uint8_t(1) << half;
+}
+
+void
+Psm::clearFaults()
+{
+    std::fill(unitFaults.begin(), unitFaults.end(), 0);
+}
+
+std::uint32_t
+Psm::faultCount() const
+{
+    std::uint32_t n = 0;
+    for (const std::uint8_t f : unitFaults)
+        n += (f & 1) + ((f >> 1) & 1);
+    return n;
+}
+
+bool
+Psm::handleContainment()
+{
+    if (_params.mcePolicy == McePolicy::Contain)
+        return false;
+    // The paper's current version: wipe OC-PMEM through the reset
+    // port and reinitialize the system with a cold boot.
+    const std::uint64_t preserved_mce = _stats.mceCount;
+    const std::uint64_t preserved_resets = _stats.resets + 1;
+    resetPort();
+    _stats.mceCount = preserved_mce;
+    _stats.resets = preserved_resets;
+    return true;
+}
+
+Tick
+Psm::reseedWearLeveler(Tick when, std::uint64_t new_seed)
+{
+    // Changing the static randomizer relocates every page: the
+    // media must be migrated to the new mapping. Each unit streams
+    // its contents through one read + one write per line, all units
+    // in parallel.
+    const std::uint64_t lines_per_unit = lineCount / units;
+    const Tick per_line = _params.dimm.device.readLatency
+        + _params.dimm.device.writeLatency;
+    const Tick done = when + lines_per_unit * per_line;
+
+    StartGapParams sg = wearLevel->params();
+    sg.randomizerSeed = new_seed;
+    wearLevel = std::make_unique<StartGap>(sg);
+    _params.wearSeed = new_seed;
+    return done;
+}
+
+} // namespace lightpc::psm

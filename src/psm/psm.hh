@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Persistent Support Module (Section V-A).
+ *
+ * The PSM sits between the processor complex and the Bare-NVDIMMs,
+ * exposing the conventional read/write ports plus the two persistence
+ * ports: flush (drain row buffers and fence all outstanding media
+ * work — the "memory synchronization" SnG relies on) and reset (wipe
+ * OC-PMEM after an uncontainable error).
+ *
+ * Conflict management (the LightPC vs LightPC-B distinction):
+ *
+ *  - Early-return writes: a write completes toward the issuer as soon
+ *    as the row buffer accepts it; the PRAM cooling window proceeds
+ *    in the background. LightPC-B instead holds the issuer until the
+ *    media write completes.
+ *
+ *  - XCC read reconstruction: a read targeting a group that is busy
+ *    cooling off a write is regenerated from the paired half and the
+ *    ECC device in one read latency + one XOR cycle, instead of
+ *    queueing behind the write (the head-of-line blocking LightPC-B
+ *    suffers in Fig. 16).
+ *
+ * Reliability: Start-Gap wear leveling rotates the line address
+ * space every `writeThreshold` writes (plus a static randomizer),
+ * and XCC provides half-line reconstruction for large-granularity
+ * faults with an error containment bit that raises an MCE.
+ */
+
+#ifndef LIGHTPC_PSM_PSM_HH
+#define LIGHTPC_PSM_PSM_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mem/request.hh"
+#include "psm/bare_nvdimm.hh"
+#include "psm/start_gap.hh"
+#include "stats/histogram.hh"
+
+namespace lightpc::psm
+{
+
+/** Host reaction to an uncorrectable (containment) fault. */
+enum class McePolicy
+{
+    /** Reset OC-PMEM and cold-boot (the paper's current version). */
+    ResetColdBoot,
+    /** Contain: fail the access, let the OS kill the owning task. */
+    Contain,
+};
+
+/** Configuration of the PSM and its channels. */
+struct PsmParams
+{
+    /** Number of Bare-NVDIMMs behind the PSM (prototype: six). */
+    std::uint32_t dimms = 6;
+
+    /** Per-DIMM geometry and device timing. */
+    BareNvdimmParams dimm;
+
+    /** Front-side bus (AXI crossbar) latency per access. */
+    Tick busLatency = 10 * tickNs;
+
+    /** Row-buffer hit service latency. */
+    Tick rowBufferLatency = 5 * tickNs;
+
+    /** XCC XOR stage: one cycle of fully combinational logic. */
+    Tick xorLatency = 1 * tickNs;
+
+    /** Row buffer (open page) size per group, in bytes. */
+    std::uint64_t rowBufferBytes = 2048;
+
+    /** LightPC: writes complete at row-buffer acceptance. */
+    bool earlyReturnWrites = true;
+
+    /** LightPC: reads to busy groups reconstruct via XCC. */
+    bool eccReconstruction = true;
+
+    /** Enable Start-Gap wear leveling. */
+    bool wearLeveling = true;
+
+    /** Gap movement period in writes. */
+    std::uint64_t wearThreshold = 100;
+
+    /** Static randomizer seed. */
+    std::uint64_t wearSeed = 0x5eedf00dULL;
+
+    /**
+     * Machine-check policy when XCC cannot contain a fault
+     * (Section V-A: "the MCE handler can be implemented in various
+     * ways"). ResetColdBoot is the paper's current version.
+     */
+    McePolicy mcePolicy = McePolicy::ResetColdBoot;
+
+    /**
+     * Section VIII future work: fall back to the symbol-based
+     * erasure code when two or more devices of a pair are dead,
+     * instead of containing. Costs symbolEccLatency per repaired
+     * read.
+     */
+    bool symbolEccFallback = false;
+    Tick symbolEccLatency = 150 * tickNs;
+};
+
+/** Aggregated PSM statistics. */
+struct PsmStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowBufferReadHits = 0;
+    std::uint64_t rowBufferWriteHits = 0;
+    std::uint64_t reconstructedReads = 0;
+    std::uint64_t blockedReads = 0;
+    Tick readStallTicks = 0;
+    std::uint64_t wearMoves = 0;
+    std::uint64_t flushes = 0;
+    std::uint64_t mceCount = 0;
+    std::uint64_t correctedReads = 0;     ///< XCC half-line repairs
+    std::uint64_t symbolCorrections = 0;  ///< symbol-ECC fallbacks
+    std::uint64_t resets = 0;             ///< MCE-triggered resets
+};
+
+/**
+ * The PSM controller.
+ */
+class Psm
+{
+  public:
+    explicit Psm(const PsmParams &params = PsmParams());
+
+    const PsmParams &params() const { return _params; }
+
+    /** Total OC-PMEM capacity in bytes. */
+    std::uint64_t capacityBytes() const { return capacity; }
+
+    /** Independent service units (dimms x groups per DIMM). */
+    std::uint32_t serviceUnits() const { return units; }
+
+    /** Service one line-sized access starting no earlier than @p when. */
+    mem::AccessResult access(const mem::MemRequest &req, Tick when);
+
+    /**
+     * Flush port: close every dirty row buffer and fence until all
+     * media work (including background early-return writes) retires.
+     *
+     * @return The tick at which OC-PMEM is quiescent.
+     */
+    Tick flush(Tick when);
+
+    /**
+     * Reset port: wipe timing/wear state; the host performs a cold
+     * boot afterwards (the current MCE containment policy).
+     */
+    void resetPort();
+
+    /** Record a detected uncorrectable fault (containment bit). */
+    void raiseMce() { ++_stats.mceCount; }
+
+    // --- reliability: fault injection and handling ----------------
+
+    /**
+     * Mark one 32 B half-device of a group permanently bad (large-
+     * granularity fault). Reads to the unit then take the XCC
+     * repair path; with both halves bad they take the symbol-ECC
+     * fallback or raise containment.
+     *
+     * @param half 0 or 1 within the dual-channel group.
+     */
+    void injectFault(std::uint32_t dimm, std::uint32_t group,
+                     std::uint32_t half);
+
+    /** Heal all injected faults (device replacement). */
+    void clearFaults();
+
+    /** Currently-faulty half-devices. */
+    std::uint32_t faultCount() const;
+
+    /**
+     * Host machine-check path for a containment result. Under
+     * ResetColdBoot wipes OC-PMEM via the reset port and reports
+     * true (the system must cold-boot); under Contain returns false
+     * (the OS kills the owning task and continues).
+     */
+    bool handleContainment();
+
+    /**
+     * Section VIII future work: rotate the static randomizer seed
+     * to break adversarial write patterns. The media must be
+     * migrated to the new mapping; the (timed) migration cost is
+     * returned via the completion tick.
+     *
+     * @return The tick at which the migration completes.
+     */
+    Tick reseedWearLeveler(Tick when, std::uint64_t new_seed);
+
+    /** Running statistics. */
+    const PsmStats &stats() const { return _stats; }
+
+    /** Read latency distribution (processor-visible). */
+    const stats::Histogram &readLatencyHist() const { return readHist; }
+
+    /** Write latency distribution (processor-visible). */
+    const stats::Histogram &writeLatencyHist() const
+    {
+        return writeHist;
+    }
+
+    /** The wear-leveler registers (persisted at the EP-cut). */
+    StartGapState saveWearState() const { return wearLevel->save(); }
+
+    /** Restore wear-leveler registers after power recovery. */
+    void restoreWearState(const StartGapState &s)
+    {
+        wearLevel->restore(s);
+    }
+
+    /** Direct access to a DIMM (tests, wear inspection). */
+    BareNvdimm &dimm(std::uint32_t idx) { return *nvdimms[idx]; }
+    const BareNvdimm &dimm(std::uint32_t idx) const
+    {
+        return *nvdimms[idx];
+    }
+
+    /** Reset statistics only (between benchmark phases). */
+    void resetStats();
+
+  private:
+    /** Where a physical line lives. */
+    struct Route
+    {
+        std::uint32_t dimm;
+        std::uint32_t group;
+        std::uint32_t unit;    ///< global service-unit index
+        mem::Addr localAddr;   ///< byte offset within the group
+        std::uint64_t page;    ///< group-local row-buffer page index
+        std::uint32_t lineInPage;
+    };
+
+    /** Per-group open-page write aggregation. */
+    struct RowBuffer
+    {
+        /** One bit per line of the open page. */
+        std::uint64_t dirtyMask = 0;
+        std::uint64_t openPage = ~std::uint64_t(0);
+        mem::Addr pageAddr = 0;
+    };
+
+    Route route(mem::Addr addr) const;
+    mem::PramDevice &unitDevice(const Route &r);
+
+    /** Close a dirty row buffer, emitting its media write. */
+    mem::AccessResult closeRowBuffer(std::uint32_t unit, Tick when);
+
+    PsmParams _params;
+    std::uint64_t capacity;
+    std::uint64_t lineCount;
+    std::uint32_t units;
+    std::vector<std::unique_ptr<BareNvdimm>> nvdimms;
+    std::vector<RowBuffer> rowBuffers;
+    /** Reconstruction lanes: one ECC timeline per two groups. */
+    std::vector<Tick> eccBusyUntil;
+    /** Per-unit fault flags: bit 0 = half A bad, bit 1 = half B. */
+    std::vector<std::uint8_t> unitFaults;
+    std::unique_ptr<StartGap> wearLevel;
+    PsmStats _stats;
+    stats::Histogram readHist;
+    stats::Histogram writeHist;
+};
+
+} // namespace lightpc::psm
+
+#endif // LIGHTPC_PSM_PSM_HH

@@ -1,0 +1,133 @@
+#include "psm/start_gap.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace lightpc::psm
+{
+
+namespace
+{
+
+/** splitmix64-style mixer used as the Feistel round function. */
+std::uint32_t
+mix32(std::uint32_t x, std::uint64_t key)
+{
+    std::uint64_t z = x + key + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint32_t>(z ^ (z >> 31));
+}
+
+} // namespace
+
+StartGap::StartGap(const StartGapParams &params)
+    : _params(params), gapReg(params.lines)
+{
+    if (_params.lines < 2)
+        fatal("StartGap requires at least two lines");
+    if (_params.writeThreshold == 0)
+        fatal("StartGap writeThreshold must be nonzero");
+    if (_params.pageLines == 0 || _params.lines % _params.pageLines != 0)
+        fatal("StartGap pageLines must be nonzero and divide lines");
+}
+
+std::uint64_t
+StartGap::randomize(std::uint64_t line) const
+{
+    if (!_params.randomize)
+        return line;
+
+    // Permute at page granularity: consecutive lines within a page
+    // stay adjacent (preserving row-buffer locality), while pages
+    // scatter over the whole space for wear spreading.
+    const std::uint64_t page = line / _params.pageLines;
+    const std::uint64_t offset = line % _params.pageLines;
+    const std::uint64_t page_count = _params.lines / _params.pageLines;
+
+    // Balanced Feistel network over an even number of bits covering
+    // [0, page_count); cycle-walk values that land outside the
+    // domain. The network is a fixed bijection for a given seed, so
+    // the "static randomizer" costs no metadata.
+    unsigned bits = 64u - static_cast<unsigned>(
+        std::countl_zero(page_count - 1));
+    if (bits < 2)
+        bits = 2;
+    if (bits & 1)
+        ++bits;
+    const unsigned half_bits = bits / 2;
+    const std::uint32_t half_mask =
+        half_bits >= 32 ? 0xffffffffu : ((1u << half_bits) - 1);
+
+    std::uint64_t value = page;
+    do {
+        std::uint32_t left = static_cast<std::uint32_t>(
+            (value >> half_bits) & half_mask);
+        std::uint32_t right =
+            static_cast<std::uint32_t>(value & half_mask);
+        for (unsigned round = 0; round < 4; ++round) {
+            const std::uint32_t tmp = right;
+            right = (left ^ mix32(right, _params.randomizerSeed + round))
+                & half_mask;
+            left = tmp;
+        }
+        value = (std::uint64_t(left) << half_bits) | right;
+    } while (value >= page_count);
+    return value * _params.pageLines + offset;
+}
+
+std::uint64_t
+StartGap::remap(std::uint64_t logical_line) const
+{
+    if (logical_line >= _params.lines)
+        panic("StartGap remap out of range: ", logical_line);
+    const std::uint64_t randomized = randomize(logical_line);
+    std::uint64_t pa = (randomized + startReg) % _params.lines;
+    if (pa >= gapReg)
+        ++pa;
+    return pa;
+}
+
+bool
+StartGap::recordWrite()
+{
+    if (++writeCounter < _params.writeThreshold)
+        return false;
+    writeCounter = 0;
+    ++moves;
+    if (gapReg == 0) {
+        // The gap wraps from slot 0 back to slot N and the whole
+        // space has rotated by one line.
+        gapReg = _params.lines;
+        startReg = (startReg + 1) % _params.lines;
+    } else {
+        --gapReg;
+    }
+    return true;
+}
+
+StartGapState
+StartGap::save() const
+{
+    StartGapState state;
+    state.start = startReg;
+    state.gap = gapReg;
+    state.writeCounter = writeCounter;
+    state.totalMoves = moves;
+    state.randomizerSeed = _params.randomizerSeed;
+    return state;
+}
+
+void
+StartGap::restore(const StartGapState &state)
+{
+    if (state.randomizerSeed != _params.randomizerSeed)
+        fatal("StartGap restore with mismatched randomizer seed");
+    startReg = state.start;
+    gapReg = state.gap;
+    writeCounter = state.writeCounter;
+    moves = state.totalMoves;
+}
+
+} // namespace lightpc::psm

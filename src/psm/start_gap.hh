@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Start-Gap wear leveling (Qureshi et al. [53], as adopted in
+ * Section V-A / VIII).
+ *
+ * The address space of N lines is laid out over N+1 physical slots;
+ * one slot (the gap) is always empty. Every `writeThreshold` writes
+ * the gap moves by one slot, slowly rotating the whole address space.
+ * A static randomizer (a fixed Feistel bijection over line indices,
+ * seeded once) is applied first so that spatially-correlated hot
+ * lines do not march through physical space together.
+ *
+ * The wear-leveler's entire persistent state — start, gap, the write
+ * counter, and the randomizer seed — is under 64 B and is saved into
+ * the EP-cut at SnG time so leveling survives power cycles.
+ */
+
+#ifndef LIGHTPC_PSM_START_GAP_HH
+#define LIGHTPC_PSM_START_GAP_HH
+
+#include <cstdint>
+
+namespace lightpc::psm
+{
+
+/** Configuration of the Start-Gap wear leveler. */
+struct StartGapParams
+{
+    /** Number of logical 64 B lines managed. */
+    std::uint64_t lines = 1 << 20;
+
+    /** Gap movement period in writes (paper default: 100). */
+    std::uint64_t writeThreshold = 100;
+
+    /** Seed of the static randomizer. */
+    std::uint64_t randomizerSeed = 0x5eedf00dULL;
+
+    /** Disable the static randomizer (for unit-testing raw gap math). */
+    bool randomize = true;
+
+    /**
+     * Randomizer granularity in lines: the Feistel permutation
+     * shuffles groups of this many consecutive lines as a unit so
+     * that wear spreads without destroying the row-buffer page
+     * locality the PSM depends on. Must divide `lines`.
+     */
+    std::uint64_t pageLines = 32;
+};
+
+/** The <64 B register file the EP-cut persists. */
+struct StartGapState
+{
+    std::uint64_t start = 0;
+    std::uint64_t gap = 0;
+    std::uint64_t writeCounter = 0;
+    std::uint64_t totalMoves = 0;
+    std::uint64_t randomizerSeed = 0;
+};
+
+/**
+ * Start-Gap remapper.
+ */
+class StartGap
+{
+  public:
+    explicit StartGap(const StartGapParams &params = StartGapParams());
+
+    const StartGapParams &params() const { return _params; }
+
+    /**
+     * Map a logical line index to its physical slot in [0, lines].
+     *
+     * @pre logical_line < params().lines.
+     */
+    std::uint64_t remap(std::uint64_t logical_line) const;
+
+    /**
+     * Record one line write; moves the gap when the threshold is
+     * reached.
+     *
+     * @return true when a gap movement occurred (the caller owes one
+     *         extra media line copy for the displaced line).
+     */
+    bool recordWrite();
+
+    /** Registers to persist at the EP-cut. */
+    StartGapState save() const;
+
+    /** Restore registers after power recovery. */
+    void restore(const StartGapState &state);
+
+    /** Current gap slot (testing/visualization). */
+    std::uint64_t gap() const { return gapReg; }
+
+    /** Current start register. */
+    std::uint64_t start() const { return startReg; }
+
+    /** Total gap movements so far. */
+    std::uint64_t totalMoves() const { return moves; }
+
+  private:
+    /** Static bijective randomizer over [0, lines). */
+    std::uint64_t randomize(std::uint64_t line) const;
+
+    StartGapParams _params;
+    std::uint64_t startReg = 0;
+    std::uint64_t gapReg;
+    std::uint64_t writeCounter = 0;
+    std::uint64_t moves = 0;
+};
+
+} // namespace lightpc::psm
+
+#endif // LIGHTPC_PSM_START_GAP_HH

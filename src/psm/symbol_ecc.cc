@@ -1,0 +1,152 @@
+#include "psm/symbol_ecc.hh"
+
+#include "psm/gf256.hh"
+#include "sim/logging.hh"
+
+namespace lightpc::psm
+{
+
+namespace
+{
+
+/** Evaluation point for codeword position i: alpha^i (distinct). */
+std::uint8_t
+point(unsigned i)
+{
+    return gf256::pow(gf256::generator, i);
+}
+
+} // namespace
+
+SymbolEcc::SymbolEcc(unsigned data_symbols, unsigned parity_symbols)
+    : k(data_symbols), r(parity_symbols)
+{
+    if (k == 0 || r == 0 || k + r > 255)
+        fatal("SymbolEcc requires 0 < k, 0 < r, k + r <= 255");
+}
+
+std::vector<std::uint8_t>
+SymbolEcc::encode(const std::vector<std::uint8_t> &data) const
+{
+    if (data.size() != k)
+        fatal("SymbolEcc::encode expects ", k, " symbols");
+    std::vector<std::uint8_t> codeword(k + r);
+    for (unsigned i = 0; i < k + r; ++i) {
+        // Horner evaluation of the data polynomial at point(i).
+        const std::uint8_t x = point(i);
+        std::uint8_t acc = 0;
+        for (unsigned j = k; j-- > 0;)
+            acc = gf256::add(gf256::mul(acc, x), data[j]);
+        codeword[i] = acc;
+    }
+    return codeword;
+}
+
+bool
+SymbolEcc::decode(const std::vector<std::uint8_t> &codeword,
+                  const std::vector<bool> &erased,
+                  std::vector<std::uint8_t> &out) const
+{
+    if (codeword.size() != k + r || erased.size() != k + r)
+        fatal("SymbolEcc::decode expects ", k + r, " symbols");
+
+    // Collect k surviving evaluations.
+    std::vector<unsigned> survivors;
+    for (unsigned i = 0; i < k + r && survivors.size() < k; ++i)
+        if (!erased[i])
+            survivors.push_back(i);
+    if (survivors.size() < k)
+        return false;  // beyond the code's erasure budget
+
+    // Solve the Vandermonde system V * data = values by Gaussian
+    // elimination over GF(2^8). k is small (device counts), so the
+    // cubic cost is irrelevant here; hardware would use a pipelined
+    // syndrome decoder.
+    std::vector<std::uint8_t> m(k * (k + 1));
+    for (unsigned row = 0; row < k; ++row) {
+        const std::uint8_t x = point(survivors[row]);
+        std::uint8_t p = 1;
+        for (unsigned col = 0; col < k; ++col) {
+            m[row * (k + 1) + col] = p;
+            p = gf256::mul(p, x);
+        }
+        m[row * (k + 1) + k] = codeword[survivors[row]];
+    }
+
+    for (unsigned col = 0; col < k; ++col) {
+        // Pivot.
+        unsigned pivot = col;
+        while (pivot < k && m[pivot * (k + 1) + col] == 0)
+            ++pivot;
+        if (pivot == k)
+            return false;  // should not happen: V is invertible
+        if (pivot != col) {
+            for (unsigned j = 0; j <= k; ++j)
+                std::swap(m[pivot * (k + 1) + j],
+                          m[col * (k + 1) + j]);
+        }
+        const std::uint8_t inv_p =
+            gf256::inv(m[col * (k + 1) + col]);
+        for (unsigned j = col; j <= k; ++j)
+            m[col * (k + 1) + j] =
+                gf256::mul(m[col * (k + 1) + j], inv_p);
+        for (unsigned row = 0; row < k; ++row) {
+            if (row == col)
+                continue;
+            const std::uint8_t f = m[row * (k + 1) + col];
+            if (f == 0)
+                continue;
+            for (unsigned j = col; j <= k; ++j)
+                m[row * (k + 1) + j] = gf256::add(
+                    m[row * (k + 1) + j],
+                    gf256::mul(f, m[col * (k + 1) + j]));
+        }
+    }
+
+    out.resize(k);
+    for (unsigned i = 0; i < k; ++i)
+        out[i] = m[i * (k + 1) + k];
+    return true;
+}
+
+std::vector<std::uint8_t>
+SymbolEcc::encodeLanes(const std::vector<std::uint8_t> &lanes,
+                       std::size_t lane_bytes) const
+{
+    if (lanes.size() != k * lane_bytes)
+        fatal("SymbolEcc::encodeLanes expects ", k, " lanes");
+    std::vector<std::uint8_t> coded((k + r) * lane_bytes);
+    std::vector<std::uint8_t> data(k);
+    for (std::size_t b = 0; b < lane_bytes; ++b) {
+        for (unsigned lane = 0; lane < k; ++lane)
+            data[lane] = lanes[lane * lane_bytes + b];
+        const auto codeword = encode(data);
+        for (unsigned lane = 0; lane < k + r; ++lane)
+            coded[lane * lane_bytes + b] = codeword[lane];
+    }
+    return coded;
+}
+
+bool
+SymbolEcc::decodeLanes(const std::vector<std::uint8_t> &lanes,
+                       std::size_t lane_bytes,
+                       const std::vector<bool> &erased,
+                       std::vector<std::uint8_t> &out) const
+{
+    if (lanes.size() != (k + r) * lane_bytes)
+        fatal("SymbolEcc::decodeLanes expects ", k + r, " lanes");
+    out.assign(k * lane_bytes, 0);
+    std::vector<std::uint8_t> codeword(k + r);
+    std::vector<std::uint8_t> data;
+    for (std::size_t b = 0; b < lane_bytes; ++b) {
+        for (unsigned lane = 0; lane < k + r; ++lane)
+            codeword[lane] = lanes[lane * lane_bytes + b];
+        if (!decode(codeword, erased, data))
+            return false;
+        for (unsigned lane = 0; lane < k; ++lane)
+            out[lane * lane_bytes + b] = data[lane];
+    }
+    return true;
+}
+
+} // namespace lightpc::psm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * XOR-based ECC codec (XCC, Section V-A).
+ *
+ * A 64 B cacheline is striped over a dual-channel PRAM group as two
+ * 32 B halves; XCC keeps their XOR as parity. Because the code is
+ * fully combinational (pure XOR), en/decoding costs one cycle in
+ * hardware and needs no metadata: parity location is statically
+ * mapped. XCC serves two purposes:
+ *
+ *  1. Conflict management: a read whose target half is busy cooling
+ *     off after a write is regenerated from the other half + parity
+ *     instead of waiting (the non-blocking service of LightPC).
+ *  2. Reliability: a corrupted half (large-granularity fault) is
+ *     detected against parity and either corrected from the healthy
+ *     half or flagged with an error containment bit, raising an MCE
+ *     at the host.
+ */
+
+#ifndef LIGHTPC_PSM_XCC_HH
+#define LIGHTPC_PSM_XCC_HH
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+#include "mem/request.hh"
+
+namespace lightpc::psm
+{
+
+/** One 32 B device half-line. */
+using HalfLine = std::array<std::uint8_t, mem::pramDeviceGranularity>;
+
+/** Decode outcome for reliability checks. */
+struct XccDecode
+{
+    /** Data is usable (possibly after correction). */
+    bool ok = false;
+    /** The error containment bit: raise an MCE at the host. */
+    bool containment = false;
+    /** Data was regenerated from parity. */
+    bool corrected = false;
+};
+
+/**
+ * Stateless XOR codec over 32 B halves.
+ */
+class XccCodec
+{
+  public:
+    /** parity = a XOR b. */
+    static HalfLine
+    encode(const HalfLine &a, const HalfLine &b)
+    {
+        HalfLine parity;
+        for (std::size_t i = 0; i < parity.size(); ++i)
+            parity[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+        return parity;
+    }
+
+    /** Regenerate a missing half from the other half and parity. */
+    static HalfLine
+    reconstruct(const HalfLine &other, const HalfLine &parity)
+    {
+        return encode(other, parity);
+    }
+
+    /** True when (a, b, parity) is a consistent codeword. */
+    static bool
+    consistent(const HalfLine &a, const HalfLine &b,
+               const HalfLine &parity)
+    {
+        return encode(a, b) == parity;
+    }
+
+    /**
+     * Reliability decode: checks the codeword and, when exactly one
+     * half is known-bad (@p a_bad / @p b_bad from per-device fault
+     * state), corrects it in place from parity.
+     *
+     * When both halves are bad, or the codeword is inconsistent with
+     * no known-bad half to blame, the error containment bit is set —
+     * the host raises an MCE (the current LightPC policy resets
+     * OC-PMEM and cold-boots, Section V-A).
+     */
+    static XccDecode
+    decode(HalfLine &a, HalfLine &b, const HalfLine &parity,
+           bool a_bad, bool b_bad)
+    {
+        XccDecode out;
+        if (a_bad && b_bad) {
+            out.containment = true;
+            return out;
+        }
+        if (a_bad) {
+            a = reconstruct(b, parity);
+            out.ok = true;
+            out.corrected = true;
+            return out;
+        }
+        if (b_bad) {
+            b = reconstruct(a, parity);
+            out.ok = true;
+            out.corrected = true;
+            return out;
+        }
+        if (!consistent(a, b, parity)) {
+            out.containment = true;
+            return out;
+        }
+        out.ok = true;
+        return out;
+    }
+};
+
+} // namespace lightpc::psm
+
+#endif // LIGHTPC_PSM_XCC_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The EventQueue orders callbacks by (tick, priority, sequence) and
+ * executes them in non-decreasing time order. Cores, devices, and the
+ * PecOS kernel all advance by scheduling events; the queue is the only
+ * source of simulated time.
+ */
+
+#ifndef LIGHTPC_SIM_EVENT_QUEUE_HH
+#define LIGHTPC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc
+{
+
+/** Ordering hint for events scheduled at the same tick. */
+enum class EventPriority : int
+{
+    PowerEvent = 0,   ///< Power-fail interrupts preempt everything.
+    Interrupt = 10,   ///< IPIs and device interrupts.
+    Default = 50,     ///< Ordinary model progress.
+    Stats = 90,       ///< Sampling after the tick's work is done.
+};
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/** An invalid event handle. */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * Time-ordered callback queue.
+ *
+ * Events scheduled at equal ticks run in priority order, then in
+ * scheduling order, which keeps multi-core interleavings
+ * deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @return A handle that can be passed to deschedule().
+     */
+    EventId
+    schedule(Tick when, std::function<void()> fn,
+             EventPriority prio = EventPriority::Default)
+    {
+        if (when < _now)
+            panic("scheduling event in the past: ", when, " < ", _now);
+        const EventId id = ++lastId;
+        heap.push(Entry{when, static_cast<int>(prio), id, std::move(fn)});
+        live.insert(id);
+        return id;
+    }
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    EventId
+    scheduleIn(Tick delta, std::function<void()> fn,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(_now + delta, std::move(fn), prio);
+    }
+
+    /** Cancel a previously scheduled event. Idempotent. */
+    void
+    deschedule(EventId id)
+    {
+        live.erase(id);
+    }
+
+    /** True when no live events remain. */
+    bool empty() const { return live.empty(); }
+
+    /** Number of live (scheduled, not cancelled) events. */
+    std::size_t size() const { return live.size(); }
+
+    /**
+     * Run events until the queue drains or time would pass @p limit.
+     *
+     * Events scheduled exactly at @p limit still execute.
+     * @return The time of the last executed event, or now() if none.
+     */
+    Tick
+    run(Tick limit = maxTick)
+    {
+        while (!heap.empty()) {
+            if (heap.top().when > limit)
+                break;
+            Entry entry = heap.top();
+            heap.pop();
+            if (live.erase(entry.id) == 0)
+                continue;  // descheduled
+            _now = entry.when;
+            entry.fn();
+        }
+        return _now;
+    }
+
+    /** Execute exactly one event. @return false if the queue is empty. */
+    bool
+    step()
+    {
+        while (!heap.empty()) {
+            Entry entry = heap.top();
+            heap.pop();
+            if (live.erase(entry.id) == 0)
+                continue;  // descheduled
+            _now = entry.when;
+            entry.fn();
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    Tick _now = 0;
+    EventId lastId = invalidEventId;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::unordered_set<EventId> live;
+};
+
+} // namespace lightpc
+
+#endif // LIGHTPC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,52 @@
+#include "sim/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace lightpc
+{
+
+namespace
+{
+bool logQuiet = false;
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    logQuiet = quiet;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *, int, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *, int, const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!logQuiet)
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!logQuiet)
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace lightpc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef LIGHTPC_SIM_SIM_OBJECT_HH
+#define LIGHTPC_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+namespace lightpc
+{
+
+class EventQueue;
+
+/**
+ * A named component attached to an event queue.
+ *
+ * Names follow a dotted hierarchy (e.g. "system.psm.rowbuf0") and are
+ * used to label statistics and log messages.
+ */
+class SimObject
+{
+  public:
+    SimObject(std::string name, EventQueue &eq)
+        : _name(std::move(name)), _eventQueue(&eq)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name. */
+    const std::string &name() const { return _name; }
+
+    /** The event queue this object schedules on. */
+    EventQueue &eventQueue() const { return *_eventQueue; }
+
+  private:
+    std::string _name;
+    EventQueue *_eventQueue;
+};
+
+} // namespace lightpc
+
+#endif // LIGHTPC_SIM_SIM_OBJECT_HH

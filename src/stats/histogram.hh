@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Log-bucketed latency histogram with percentile queries.
+ *
+ * Latency distributions in the paper (Fig. 2b) span three orders of
+ * magnitude, so buckets grow geometrically: each power of two is
+ * subdivided into a fixed number of linear sub-buckets, giving a
+ * bounded relative quantile error with O(1) insertion.
+ */
+
+#ifndef LIGHTPC_STATS_HISTOGRAM_HH
+#define LIGHTPC_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hh"
+
+namespace lightpc::stats
+{
+
+/**
+ * HDR-style histogram over non-negative 64-bit values.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param sub_buckets Linear sub-buckets per power of two; higher
+     *                    means finer quantiles (default 1/32 relative
+     *                    resolution).
+     */
+    explicit Histogram(unsigned sub_buckets = 32);
+
+    /** Record one value. */
+    void add(std::uint64_t value);
+
+    /** Number of recorded values. */
+    std::uint64_t count() const { return summary.count(); }
+
+    /** Arithmetic mean of recorded values. */
+    double mean() const { return summary.mean(); }
+
+    /** Smallest recorded value (0 when empty). */
+    std::uint64_t min() const;
+
+    /** Largest recorded value (0 when empty). */
+    std::uint64_t max() const;
+
+    /** Standard deviation. */
+    double stddev() const { return summary.stddev(); }
+
+    /** Coefficient of variation (non-determinism proxy). */
+    double cv() const { return summary.cv(); }
+
+    /**
+     * Value at quantile @p q in [0, 1]; approximate to bucket
+     * resolution. Returns 0 when empty.
+     */
+    std::uint64_t percentile(double q) const;
+
+    /** Reset all recorded data. */
+    void reset();
+
+  private:
+    std::size_t bucketIndex(std::uint64_t value) const;
+    std::uint64_t bucketLow(std::size_t index) const;
+
+    unsigned subBuckets;
+    unsigned subBucketShift;
+    std::vector<std::uint64_t> buckets;
+    Summary summary;
+};
+
+} // namespace lightpc::stats
+
+#endif // LIGHTPC_STATS_HISTOGRAM_HH

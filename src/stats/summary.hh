@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford) and small helpers.
+ */
+
+#ifndef LIGHTPC_STATS_SUMMARY_HH
+#define LIGHTPC_STATS_SUMMARY_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lightpc::stats
+{
+
+/**
+ * Running mean / variance / extrema without storing samples.
+ */
+class Summary
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++_count;
+        const double delta = x - _mean;
+        _mean += delta / static_cast<double>(_count);
+        _m2 += delta * (x - _mean);
+        if (x < _min)
+            _min = x;
+        if (x > _max)
+            _max = x;
+        _sum += x;
+    }
+
+    /** Number of observations. */
+    std::uint64_t count() const { return _count; }
+
+    /** Sum of observations. */
+    double sum() const { return _sum; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return _count ? _mean : 0.0; }
+
+    /** Population variance (0 when fewer than 2 samples). */
+    double
+    variance() const
+    {
+        return _count > 1 ? _m2 / static_cast<double>(_count) : 0.0;
+    }
+
+    /** Population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return _min; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return _max; }
+
+    /** Coefficient of variation: stddev / mean (0 when mean is 0). */
+    double
+    cv() const
+    {
+        return mean() != 0.0 ? stddev() / mean() : 0.0;
+    }
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        *this = Summary();
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _sum = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Geometric mean of a vector of positive values (0 when empty). */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace lightpc::stats
+
+#endif // LIGHTPC_STATS_SUMMARY_HH

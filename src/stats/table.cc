@@ -1,0 +1,105 @@
+#include "stats/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace lightpc::stats
+{
+
+Table::Table(std::vector<std::string> header_cols)
+    : header(std::move(header_cols))
+{
+    if (header.empty())
+        fatal("Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (row.size() != header.size())
+        fatal("Table row width ", row.size(), " != header width ",
+              header.size());
+    body.push_back(std::move(row));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        width[c] = header[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ")
+               << std::left << std::setw(static_cast<int>(width[c]))
+               << row[c];
+        }
+        os << '\n';
+    };
+
+    emit(header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto field = [&](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos) {
+            os << s;
+            return;
+        }
+        os << '"';
+        for (const char c : s) {
+            if (c == '"')
+                os << '"';
+            os << c;
+        }
+        os << '"';
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            field(row[c]);
+        }
+        os << '\n';
+    };
+    emit(header);
+    for (const auto &row : body)
+        emit(row);
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << v;
+    return os.str();
+}
+
+std::string
+Table::ratio(double v, int digits)
+{
+    return num(v, digits) + "x";
+}
+
+std::string
+Table::percent(double v, int digits)
+{
+    return num(v * 100.0, digits) + "%";
+}
+
+} // namespace lightpc::stats

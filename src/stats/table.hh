@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Plain-text table formatting shared by benches and examples.
+ */
+
+#ifndef LIGHTPC_STATS_TABLE_HH
+#define LIGHTPC_STATS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lightpc::stats
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"workload", "cycles", "norm"});
+ *   t.addRow({"mcf", "1234", "1.07"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return body.size(); }
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Render as RFC-4180-ish CSV (fields containing commas, quotes,
+     * or newlines are quoted) for plotting pipelines. The figure
+     * benches switch to this when LIGHTPC_CSV is set.
+     */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with @p digits significant decimals. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a ratio like "4.31x". */
+    static std::string ratio(double v, int digits = 2);
+
+    /** Format a percentage like "73%". */
+    static std::string percent(double v, int digits = 0);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace lightpc::stats
+
+#endif // LIGHTPC_STATS_TABLE_HH

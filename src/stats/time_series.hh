@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Time-series sampler for dynamic IPC and power traces (Fig. 21).
+ */
+
+#ifndef LIGHTPC_STATS_TIME_SERIES_HH
+#define LIGHTPC_STATS_TIME_SERIES_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace lightpc::stats
+{
+
+/** One labelled (time, value) trace. */
+class TimeSeries
+{
+  public:
+    struct Sample
+    {
+        Tick when;
+        double value;
+    };
+
+    explicit TimeSeries(std::string label) : _label(std::move(label)) {}
+
+    /** Record a sample; ticks must be non-decreasing. */
+    void
+    record(Tick when, double value)
+    {
+        _samples.push_back({when, value});
+    }
+
+    const std::string &label() const { return _label; }
+    const std::vector<Sample> &samples() const { return _samples; }
+    bool empty() const { return _samples.empty(); }
+
+    /** Integrate value over time (e.g. power -> energy in W*ticks). */
+    double
+    integrate() const
+    {
+        double acc = 0.0;
+        for (std::size_t i = 1; i < _samples.size(); ++i) {
+            const double dt = static_cast<double>(
+                _samples[i].when - _samples[i - 1].when);
+            acc += _samples[i - 1].value * dt;
+        }
+        return acc;
+    }
+
+    /**
+     * Downsample to at most @p max_points by averaging equal-width
+     * time windows; used when printing figure series.
+     */
+    std::vector<Sample>
+    downsample(std::size_t max_points) const
+    {
+        if (_samples.size() <= max_points || max_points == 0)
+            return _samples;
+        std::vector<Sample> out;
+        out.reserve(max_points);
+        const std::size_t stride =
+            (_samples.size() + max_points - 1) / max_points;
+        for (std::size_t i = 0; i < _samples.size(); i += stride) {
+            double sum = 0.0;
+            std::size_t n = 0;
+            for (std::size_t j = i;
+                 j < _samples.size() && j < i + stride; ++j, ++n)
+                sum += _samples[j].value;
+            out.push_back({_samples[i].when,
+                           sum / static_cast<double>(n)});
+        }
+        return out;
+    }
+
+    void clear() { _samples.clear(); }
+
+  private:
+    std::string _label;
+    std::vector<Sample> _samples;
+};
+
+} // namespace lightpc::stats
+
+#endif // LIGHTPC_STATS_TIME_SERIES_HH

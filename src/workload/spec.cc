@@ -1,0 +1,120 @@
+#include "workload/spec.hh"
+
+#include "sim/logging.hh"
+
+namespace lightpc::workload
+{
+
+namespace
+{
+
+constexpr std::uint64_t M = 1'000'000;
+constexpr std::uint64_t K = 1'000;
+
+std::vector<WorkloadSpec>
+buildTable()
+{
+    // name, category, reads, writes, read-hit, write-hit, MT,
+    // then knobs: memFraction, seqRunLines, rawAffinity, footprint.
+    auto mb = [](std::uint64_t n) { return n << 20; };
+    std::vector<WorkloadSpec> t;
+
+    auto add = [&](std::string name, Category cat, std::uint64_t r,
+                   std::uint64_t w, double rh, double wh, bool mt,
+                   double memf, double run, double raw,
+                   std::uint64_t foot) {
+        WorkloadSpec s;
+        s.name = std::move(name);
+        s.category = cat;
+        s.reads = r;
+        s.writes = w;
+        s.readHitRate = rh;
+        s.writeHitRate = wh;
+        s.multithread = mt;
+        s.memFraction = memf;
+        s.seqRunLines = run;
+        s.rawAffinity = raw;
+        s.footprintBytes = foot;
+        t.push_back(std::move(s));
+    };
+
+    // Crypto: tiny working sets, compute bound, almost no misses.
+    add("AES", Category::Crypto, 21'700 * K, 4'500 * K,
+        0.995, 0.989, false, 0.20, 4.0, 0.30, mb(8));
+    add("SHA512", Category::Crypto, 6'300 * K, 438 * K,
+        0.999, 0.999, false, 0.18, 4.0, 0.15, mb(4));
+
+    // HPC proxies: multithreaded, long sequential sweeps.
+    add("miniFE", Category::Hpc, 419 * M, 37'300 * K,
+        0.933, 0.994, true, 0.33, 16.0, 0.40, mb(96));
+    add("AMG", Category::Hpc, 513 * M, 46'700 * K,
+        0.841, 0.898, true, 0.35, 12.0, 0.40, mb(128));
+    add("SNAP", Category::Hpc, 370 * M, 137 * M,
+        0.979, 0.990, true, 0.33, 16.0, 0.55, mb(96));
+
+    // SPEC CPU2006 (single-threaded per the paper's methodology).
+    add("perlbench", Category::Spec, 239 * M, 38'900 * K,
+        0.802, 0.813, false, 0.35, 6.0, 0.35, mb(64));
+    add("bzip2", Category::Spec, 123 * M, 47'200 * K,
+        0.946, 0.544, false, 0.32, 10.0, 0.45, mb(48));
+    add("gcc", Category::Spec, 360 * M, 81'300 * K,
+        0.990, 0.984, false, 0.34, 8.0, 0.40, mb(64));
+    add("mcf", Category::Spec, 578 * M, 1'700 * K,
+        0.934, 0.955, false, 0.45, 2.0, 0.05, mb(192));
+    add("astar", Category::Spec, 789 * M, 296 * M,
+        0.962, 0.987, false, 0.38, 3.0, 0.55, mb(128));
+    add("cactusADM", Category::Spec, 428 * M, 36'800 * K,
+        0.961, 0.941, false, 0.34, 14.0, 0.40, mb(96));
+    add("dealII", Category::Spec, 352 * M, 26'700 * K,
+        0.758, 0.975, false, 0.36, 6.0, 0.35, mb(96));
+    add("wrf", Category::Spec, 345 * M, 80'100 * K,
+        0.962, 0.942, false, 0.35, 10.0, 0.80, mb(96));
+
+    // In-memory databases: multithreaded request processing.
+    add("Redis", Category::InMemoryDb, 377 * M, 60'400 * K,
+        0.979, 0.991, true, 0.38, 5.0, 0.45, mb(128));
+    add("KeyDB", Category::InMemoryDb, 195 * M, 75'700 * K,
+        0.977, 0.990, true, 0.38, 5.0, 0.50, mb(128));
+    add("Memcached", Category::InMemoryDb, 354 * M, 57'300 * K,
+        0.953, 0.985, true, 0.38, 5.0, 0.45, mb(128));
+    add("SQLite", Category::InMemoryDb, 187 * M, 14'900 * K,
+        0.781, 0.984, true, 0.36, 6.0, 0.35, mb(64));
+
+    return t;
+}
+
+} // namespace
+
+const std::vector<WorkloadSpec> &
+tableTwo()
+{
+    static const std::vector<WorkloadSpec> table = buildTable();
+    return table;
+}
+
+const WorkloadSpec &
+findWorkload(const std::string &name)
+{
+    for (const auto &spec : tableTwo())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown workload: ", name);
+}
+
+std::string
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::Crypto:
+        return "Crypto";
+      case Category::Hpc:
+        return "HPC";
+      case Category::Spec:
+        return "SPEC";
+      case Category::InMemoryDb:
+        return "In-memory DB";
+    }
+    return "?";
+}
+
+} // namespace lightpc::workload

@@ -1,0 +1,155 @@
+#include "workload/stream_bench.hh"
+
+#include "sim/logging.hh"
+
+namespace lightpc::workload
+{
+
+std::string
+streamKernelName(StreamKernel kernel)
+{
+    switch (kernel) {
+      case StreamKernel::Copy:
+        return "Copy";
+      case StreamKernel::Scale:
+        return "Scale";
+      case StreamKernel::Add:
+        return "Add";
+      case StreamKernel::Triad:
+        return "Triad";
+    }
+    return "?";
+}
+
+std::uint64_t
+streamBytesPerIteration(StreamKernel kernel)
+{
+    switch (kernel) {
+      case StreamKernel::Copy:
+      case StreamKernel::Scale:
+        return 16;  // one load + one store of 8 B
+      case StreamKernel::Add:
+      case StreamKernel::Triad:
+        return 24;  // two loads + one store
+    }
+    return 0;
+}
+
+StreamWorkload::StreamWorkload(StreamKernel kernel_in,
+                               std::uint64_t elements,
+                               mem::Addr base_addr,
+                               std::uint32_t thread_id,
+                               std::uint32_t threads)
+    : kernel(kernel_in)
+{
+    if (elements == 0 || threads == 0 || thread_id >= threads)
+        fatal("StreamWorkload: bad elements/threads configuration");
+
+    const std::uint64_t array_bytes = elements * elementBytes;
+    arrayA = base_addr;
+    arrayB = base_addr + array_bytes;
+    arrayC = base_addr + 2 * array_bytes;
+
+    const std::uint64_t chunk = (elements + threads - 1) / threads;
+    begin = std::min<std::uint64_t>(thread_id * chunk, elements);
+    end = std::min<std::uint64_t>(begin + chunk, elements);
+    index = begin;
+}
+
+std::uint64_t
+StreamWorkload::bytesMoved() const
+{
+    return iterations() * streamBytesPerIteration(kernel);
+}
+
+bool
+StreamWorkload::next(cpu::Instr &out)
+{
+    if (index >= end)
+        return false;
+
+    const mem::Addr off = index * elementBytes;
+    // Micro-sequence per iteration, element granularity so that line
+    // reuse within a cache line arises naturally.
+    switch (kernel) {
+      case StreamKernel::Copy:
+        // load a[i]; store c[i]
+        switch (microStep) {
+          case 0:
+            out = {cpu::InstrKind::Load, arrayA + off};
+            ++microStep;
+            return true;
+          default:
+            out = {cpu::InstrKind::Store, arrayC + off};
+            microStep = 0;
+            ++index;
+            return true;
+        }
+
+      case StreamKernel::Scale:
+        // load c[i]; mul; store b[i]
+        switch (microStep) {
+          case 0:
+            out = {cpu::InstrKind::Load, arrayC + off};
+            ++microStep;
+            return true;
+          case 1:
+            out = {cpu::InstrKind::Alu, 0};
+            ++microStep;
+            return true;
+          default:
+            out = {cpu::InstrKind::Store, arrayB + off};
+            microStep = 0;
+            ++index;
+            return true;
+        }
+
+      case StreamKernel::Add:
+        // load a[i]; load b[i]; add; store c[i]
+        switch (microStep) {
+          case 0:
+            out = {cpu::InstrKind::Load, arrayA + off};
+            ++microStep;
+            return true;
+          case 1:
+            out = {cpu::InstrKind::Load, arrayB + off};
+            ++microStep;
+            return true;
+          case 2:
+            out = {cpu::InstrKind::Alu, 0};
+            ++microStep;
+            return true;
+          default:
+            out = {cpu::InstrKind::Store, arrayC + off};
+            microStep = 0;
+            ++index;
+            return true;
+        }
+
+      case StreamKernel::Triad:
+        // load b[i]; load c[i]; mul; add; store a[i]
+        switch (microStep) {
+          case 0:
+            out = {cpu::InstrKind::Load, arrayB + off};
+            ++microStep;
+            return true;
+          case 1:
+            out = {cpu::InstrKind::Load, arrayC + off};
+            ++microStep;
+            return true;
+          case 2:
+          case 3:
+            out = {cpu::InstrKind::Alu, 0};
+            ++microStep;
+            return true;
+          default:
+            out = {cpu::InstrKind::Store, arrayA + off};
+            microStep = 0;
+            ++index;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace lightpc::workload

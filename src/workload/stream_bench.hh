@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The STREAM sustainable-bandwidth kernels (McCalpin [68], Fig. 17).
+ *
+ * Unlike the Table II generators this is a faithful access-level
+ * implementation: the four kernels walk real arrays element by
+ * element (8 B doubles), so cache-line effects, write-allocate fills,
+ * and uncached streaming writes arise naturally. STREAM's mostly-
+ * write behaviour is precisely what narrows LightPC's advantage in
+ * Fig. 17 (78% of LegacyPC bandwidth on average).
+ */
+
+#ifndef LIGHTPC_WORKLOAD_STREAM_BENCH_HH
+#define LIGHTPC_WORKLOAD_STREAM_BENCH_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/instr.hh"
+#include "mem/request.hh"
+
+namespace lightpc::workload
+{
+
+/** The four STREAM kernels. */
+enum class StreamKernel
+{
+    Copy,   ///< c[i] = a[i]
+    Scale,  ///< b[i] = s * c[i]
+    Add,    ///< c[i] = a[i] + b[i]
+    Triad,  ///< a[i] = b[i] + s * c[i]
+};
+
+/** Display name of a kernel. */
+std::string streamKernelName(StreamKernel kernel);
+
+/** Bytes moved per loop iteration (STREAM's bandwidth accounting). */
+std::uint64_t streamBytesPerIteration(StreamKernel kernel);
+
+/**
+ * Instruction stream for one STREAM kernel.
+ */
+class StreamWorkload : public cpu::InstrStream
+{
+  public:
+    /**
+     * @param kernel    Which kernel to run.
+     * @param elements  Array length (each array `elements` doubles).
+     * @param base_addr Placement of the three arrays.
+     * @param thread_id Thread index (arrays are chunked per thread).
+     * @param threads   Total threads.
+     */
+    StreamWorkload(StreamKernel kernel, std::uint64_t elements,
+                   mem::Addr base_addr, std::uint32_t thread_id = 0,
+                   std::uint32_t threads = 1);
+
+    bool next(cpu::Instr &out) override;
+
+    /** Total bytes this thread's slice moves (for MB/s). */
+    std::uint64_t bytesMoved() const;
+
+    /** Iterations this slice executes. */
+    std::uint64_t iterations() const { return end - begin; }
+
+  private:
+    static constexpr std::uint64_t elementBytes = 8;
+
+    mem::Addr arrayA, arrayB, arrayC;
+    StreamKernel kernel;
+    std::uint64_t begin;
+    std::uint64_t end;
+    std::uint64_t index;
+    std::uint32_t microStep = 0;
+};
+
+} // namespace lightpc::workload
+
+#endif // LIGHTPC_WORKLOAD_STREAM_BENCH_HH

@@ -1,0 +1,140 @@
+#include "workload/trace.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace lightpc::workload
+{
+
+TraceWriter::TraceWriter(std::ostream &os) : os(os)
+{
+    os << "# lightpc instruction trace v1\n";
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
+}
+
+void
+TraceWriter::append(const cpu::Instr &instr)
+{
+    if (instr.kind == cpu::InstrKind::Alu) {
+        ++pendingAlu;
+        return;
+    }
+    finish();
+    os << (instr.kind == cpu::InstrKind::Load ? "L " : "S ")
+       << std::hex << instr.addr << std::dec << '\n';
+}
+
+void
+TraceWriter::finish()
+{
+    if (pendingAlu > 0) {
+        os << "A " << pendingAlu << '\n';
+        pendingAlu = 0;
+    }
+}
+
+std::uint64_t
+TraceWriter::capture(cpu::InstrStream &stream)
+{
+    cpu::Instr instr;
+    std::uint64_t n = 0;
+    while (stream.next(instr)) {
+        append(instr);
+        ++n;
+    }
+    finish();
+    return n;
+}
+
+TraceStream::TraceStream(std::istream &is)
+{
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char kind;
+        ls >> kind;
+        Record record{};
+        switch (kind) {
+          case 'A':
+            record.kind = cpu::InstrKind::Alu;
+            ls >> std::dec >> record.value;
+            if (record.value == 0)
+                fatal("trace: zero-length ALU run");
+            total += record.value;
+            break;
+          case 'L':
+            record.kind = cpu::InstrKind::Load;
+            ls >> std::hex >> record.value;
+            ++total;
+            break;
+          case 'S':
+            record.kind = cpu::InstrKind::Store;
+            ls >> std::hex >> record.value;
+            ++total;
+            break;
+          default:
+            fatal("trace: unknown record kind '", kind, "'");
+        }
+        if (ls.fail())
+            fatal("trace: malformed record: ", line);
+        records.push_back(record);
+    }
+}
+
+bool
+TraceStream::next(cpu::Instr &out)
+{
+    if (runLeft > 0) {
+        --runLeft;
+        out = {cpu::InstrKind::Alu, 0};
+        return true;
+    }
+    if (recordPos >= records.size())
+        return false;
+    const Record &record = records[recordPos++];
+    if (record.kind == cpu::InstrKind::Alu) {
+        runLeft = record.value - 1;
+        out = {cpu::InstrKind::Alu, 0};
+        return true;
+    }
+    out = {record.kind, record.value};
+    return true;
+}
+
+void
+TraceStream::rewind()
+{
+    recordPos = 0;
+    runLeft = 0;
+}
+
+std::uint64_t
+captureTraceFile(const std::string &path, cpu::InstrStream &stream)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open trace file for writing: ", path);
+    TraceWriter writer(os);
+    return writer.capture(stream);
+}
+
+std::unique_ptr<TraceStream>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open trace file: ", path);
+    return std::make_unique<TraceStream>(is);
+}
+
+} // namespace lightpc::workload

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Instruction-trace recording and replay.
+ *
+ * Any InstrStream can be captured to a compact text trace and
+ * replayed later — the standard workflow for driving a memory-system
+ * simulator from real-application traces (e.g. produced by a PIN /
+ * DynamoRIO tool) instead of the built-in synthetic generators.
+ *
+ * Format: one record per line.
+ *   A <count>   — <count> consecutive non-memory instructions
+ *   L <hexaddr> — one load
+ *   S <hexaddr> — one store
+ * Lines starting with '#' are comments.
+ */
+
+#ifndef LIGHTPC_WORKLOAD_TRACE_HH
+#define LIGHTPC_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/instr.hh"
+
+namespace lightpc::workload
+{
+
+/**
+ * Streams instructions into a trace file.
+ */
+class TraceWriter
+{
+  public:
+    /** Write to @p os (kept open by the caller). */
+    explicit TraceWriter(std::ostream &os);
+    ~TraceWriter();
+
+    /** Append one instruction (ALU runs are length-encoded). */
+    void append(const cpu::Instr &instr);
+
+    /** Flush any pending ALU run. */
+    void finish();
+
+    /** Drain @p stream entirely into the trace. @return count. */
+    std::uint64_t capture(cpu::InstrStream &stream);
+
+  private:
+    std::ostream &os;
+    std::uint64_t pendingAlu = 0;
+};
+
+/**
+ * Replays a trace as an InstrStream.
+ */
+class TraceStream : public cpu::InstrStream
+{
+  public:
+    /** Parse from @p is eagerly (whole trace in memory). */
+    explicit TraceStream(std::istream &is);
+
+    bool next(cpu::Instr &out) override;
+
+    /** Total instructions in the trace. */
+    std::uint64_t totalInstructions() const { return total; }
+
+    /** Restart from the beginning. */
+    void rewind();
+
+  private:
+    struct Record
+    {
+        cpu::InstrKind kind;
+        std::uint64_t value;  ///< addr, or run length for Alu
+    };
+
+    std::vector<Record> records;
+    std::uint64_t total = 0;
+    std::size_t recordPos = 0;
+    std::uint64_t runLeft = 0;
+};
+
+/** Capture a stream to a file. @return instructions captured. */
+std::uint64_t captureTraceFile(const std::string &path,
+                               cpu::InstrStream &stream);
+
+/** Load a trace file. fatal() if unreadable. */
+std::unique_ptr<TraceStream> loadTraceFile(const std::string &path);
+
+} // namespace lightpc::workload
+
+#endif // LIGHTPC_WORKLOAD_TRACE_HH

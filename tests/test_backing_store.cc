@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the functional backing store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/backing_store.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using mem::BackingStore;
+
+TEST(BackingStore, UnwrittenReadsAsZero)
+{
+    BackingStore store;
+    std::uint8_t buf[16];
+    std::memset(buf, 0xff, sizeof(buf));
+    store.read(0x1000, buf, sizeof(buf));
+    for (std::uint8_t b : buf)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(BackingStore, RoundTripsValues)
+{
+    BackingStore store;
+    store.writeValue<std::uint64_t>(0x42, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(store.readValue<std::uint64_t>(0x42),
+              0xdeadbeefcafef00dULL);
+}
+
+TEST(BackingStore, CrossPageAccess)
+{
+    BackingStore store;
+    const std::uint64_t addr = BackingStore::pageBytes - 4;
+    store.writeValue<std::uint64_t>(addr, 0x0123456789abcdefULL);
+    EXPECT_EQ(store.readValue<std::uint64_t>(addr),
+              0x0123456789abcdefULL);
+    EXPECT_EQ(store.materializedPages(), 2u);
+}
+
+TEST(BackingStore, ClearZeroesAndReleasesWholePages)
+{
+    BackingStore store;
+    store.writeValue<std::uint32_t>(0, 7);
+    store.writeValue<std::uint32_t>(BackingStore::pageBytes, 9);
+    EXPECT_EQ(store.materializedPages(), 2u);
+    store.clear(0, BackingStore::pageBytes);
+    EXPECT_EQ(store.materializedPages(), 1u);
+    EXPECT_EQ(store.readValue<std::uint32_t>(0), 0u);
+    EXPECT_EQ(store.readValue<std::uint32_t>(BackingStore::pageBytes),
+              9u);
+}
+
+TEST(BackingStore, PartialClearZeroesRange)
+{
+    BackingStore store;
+    store.writeValue<std::uint32_t>(100, 0xaaaaaaaa);
+    store.writeValue<std::uint32_t>(200, 0xbbbbbbbb);
+    store.clear(100, 4);
+    EXPECT_EQ(store.readValue<std::uint32_t>(100), 0u);
+    EXPECT_EQ(store.readValue<std::uint32_t>(200), 0xbbbbbbbbu);
+}
+
+TEST(BackingStore, EqualsIgnoresZeroPages)
+{
+    BackingStore a, b;
+    a.writeValue<std::uint32_t>(0x5000, 0);  // explicit zero page
+    EXPECT_TRUE(a.equals(b));
+    EXPECT_TRUE(b.equals(a));
+    b.writeValue<std::uint32_t>(0x5000, 3);
+    EXPECT_FALSE(a.equals(b));
+    EXPECT_FALSE(b.equals(a));
+}
+
+TEST(BackingStore, EqualsDetectsDifferences)
+{
+    BackingStore a, b;
+    a.writeValue<std::uint64_t>(64, 1);
+    b.writeValue<std::uint64_t>(64, 1);
+    EXPECT_TRUE(a.equals(b));
+    b.writeValue<std::uint64_t>(72, 2);
+    EXPECT_FALSE(a.equals(b));
+}
+
+TEST(BackingStore, ResetDropsEverything)
+{
+    BackingStore store;
+    store.writeValue<std::uint64_t>(0, 1);
+    store.reset();
+    EXPECT_EQ(store.materializedPages(), 0u);
+    EXPECT_EQ(store.readValue<std::uint64_t>(0), 0u);
+}
+
+TEST(BackingStore, LargeBlockCopy)
+{
+    BackingStore store;
+    std::vector<std::uint8_t> data(3 * BackingStore::pageBytes + 17);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    store.write(12345, data.data(), data.size());
+    std::vector<std::uint8_t> back(data.size());
+    store.read(12345, back.data(), back.size());
+    EXPECT_EQ(data, back);
+}
+
+} // namespace

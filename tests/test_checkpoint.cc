@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the persistence baselines (SysPC, A-CheckPC, S-CheckPC).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_port.hh"
+#include "mem/timed_mem.hh"
+#include "persist/checkpoint.hh"
+#include "power/psu.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::persist;
+
+class FixedPort : public mem::MemoryPort
+{
+  public:
+    explicit FixedPort(Tick latency) : latency(latency) {}
+
+    mem::AccessResult
+    access(const mem::MemRequest &, Tick when) override
+    {
+        mem::AccessResult result;
+        result.completeAt = when + latency;
+        return result;
+    }
+
+    Tick latency;
+};
+
+TEST(SysPc, DumpTakesSecondsForGigabyteImages)
+{
+    FixedPort port(200 * tickNs);
+    mem::TimedMem mem(port);
+    SysPc syspc(mem);
+    const std::uint64_t image = std::uint64_t(2) << 30;
+    const Tick done = syspc.dumpImage(0, image);
+    // Fig. 20: orders of magnitude past any PSU hold-up time.
+    EXPECT_GT(done, 100 * power::PsuModel::atx().spec().specHoldup);
+    EXPECT_GT(ticksToSec(done), 1.0);
+}
+
+TEST(SysPc, LoadIsFasterThanDump)
+{
+    FixedPort port(100 * tickNs);
+    mem::TimedMem mem(port);
+    SysPc syspc(mem);
+    const std::uint64_t image = std::uint64_t(1) << 30;
+    EXPECT_LT(syspc.loadImage(0, image), syspc.dumpImage(0, image));
+}
+
+TEST(SCheckPc, PeriodicDumpsAccumulate)
+{
+    FixedPort port(100 * tickNs);
+    mem::TimedMem mem(port);
+    SCheckPc blcr(mem, tickSec);
+    blcr.dump(0, 1 << 20);
+    blcr.dump(tickSec, 1 << 20);
+    EXPECT_EQ(blcr.dumps(), 2u);
+}
+
+TEST(SCheckPc, DumpScalesWithVmSize)
+{
+    FixedPort port(100 * tickNs);
+    mem::TimedMem mem(port);
+    SCheckPc blcr(mem, tickSec);
+    const Tick small = blcr.dump(0, 1 << 20);
+    const Tick large = blcr.dump(0, 64 << 20);
+    EXPECT_GT(large, 20 * small);
+}
+
+/** Pass-through stream of N ALU instructions. */
+class AluStream : public cpu::InstrStream
+{
+  public:
+    explicit AluStream(std::uint64_t n) : remaining(n) {}
+
+    bool
+    next(cpu::Instr &out) override
+    {
+        if (remaining == 0)
+            return false;
+        --remaining;
+        out = {cpu::InstrKind::Alu, 0};
+        return true;
+    }
+
+  private:
+    std::uint64_t remaining;
+};
+
+TEST(ACheckPc, InsertsCheckpointCopies)
+{
+    AluStream inner(100000);
+    ACheckPcParams params;
+    params.meanFunctionInstr = 500;
+    ACheckPcStream wrapped(inner, params);
+
+    cpu::Instr instr;
+    std::uint64_t total = 0, loads = 0, stores = 0;
+    while (wrapped.next(instr)) {
+        ++total;
+        loads += instr.kind == cpu::InstrKind::Load;
+        stores += instr.kind == cpu::InstrKind::Store;
+    }
+    // ~200 checkpoints of ~32 lines each: load+store pairs.
+    EXPECT_GT(wrapped.checkpoints(), 100u);
+    EXPECT_EQ(loads, stores);
+    EXPECT_GT(loads, 1000u);
+    EXPECT_GT(total, 100000u);
+    EXPECT_EQ(wrapped.copiedBytes() / 64, loads);
+}
+
+TEST(ACheckPc, CopiesTargetDramAndPmemRegions)
+{
+    AluStream inner(50000);
+    ACheckPcParams params;
+    params.meanFunctionInstr = 200;
+    ACheckPcStream wrapped(inner, params);
+    cpu::Instr instr;
+    while (wrapped.next(instr)) {
+        if (instr.kind == cpu::InstrKind::Load) {
+            EXPECT_GE(instr.addr, params.dramBase);
+        }
+        if (instr.kind == cpu::InstrKind::Store) {
+            EXPECT_GE(instr.addr, params.pmemBase);
+        }
+    }
+}
+
+TEST(ACheckPc, PreservesInnerInstructionCount)
+{
+    AluStream inner(10000);
+    ACheckPcParams params;
+    ACheckPcStream wrapped(inner, params);
+    cpu::Instr instr;
+    std::uint64_t alu = 0;
+    while (wrapped.next(instr))
+        alu += instr.kind == cpu::InstrKind::Alu;
+    EXPECT_EQ(alu, 10000u);
+}
+
+TEST(ACheckPc, CheckpointFrequencyFollowsMean)
+{
+    AluStream inner(200000);
+    ACheckPcParams params;
+    params.meanFunctionInstr = 1000;
+    ACheckPcStream wrapped(inner, params);
+    cpu::Instr instr;
+    while (wrapped.next(instr)) {
+    }
+    EXPECT_NEAR(static_cast<double>(wrapped.checkpoints()), 200.0,
+                60.0);
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/ticks.hh"
+
+namespace
+{
+
+using namespace lightpc;
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); },
+                EventPriority::Default);
+    eq.schedule(5, [&] { order.push_back(2); },
+                EventPriority::Default);
+    eq.schedule(5, [&] { order.push_back(0); },
+                EventPriority::PowerEvent);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, RunWithLimitStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsScheduledExactlyAtLimitExecute)
+{
+    EventQueue eq;
+    bool fired = false;
+    eq.schedule(50, [&] { fired = true; });
+    eq.run(50);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int chain = 0;
+    std::function<void()> step = [&] {
+        if (++chain < 5)
+            eq.scheduleIn(10, step);
+    };
+    eq.schedule(0, step);
+    eq.run();
+    EXPECT_EQ(chain, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    const EventId id = eq.schedule(10, [&] { fired = true; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleIsIdempotentAndIgnoresInvalid)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.deschedule(invalidEventId);
+    eq.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue eq;
+    const EventId a = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.size(), 2u);
+    eq.deschedule(a);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.size(), 0u);
+}
+
+TEST(Ticks, ClockDomainConversions)
+{
+    ClockDomain clk(1600);  // 1.6 GHz -> 625 ps
+    EXPECT_EQ(clk.period(), 625u);
+    EXPECT_EQ(clk.toTicks(1000), 625'000u);
+    EXPECT_EQ(clk.toCycles(625'000), 1000u);
+    EXPECT_EQ(clk.toCycles(1), 1u);  // rounds up
+}
+
+TEST(Ticks, UnitConstants)
+{
+    EXPECT_EQ(tickNs, 1000u);
+    EXPECT_EQ(tickMs, 1'000'000'000u);
+    EXPECT_DOUBLE_EQ(ticksToMs(16 * tickMs), 16.0);
+}
+
+} // namespace

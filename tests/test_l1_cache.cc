@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the L1 cache timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/l1_cache.hh"
+#include "mem/memory_port.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::cache;
+using mem::AccessResult;
+using mem::MemOp;
+using mem::MemRequest;
+
+/** A scripted memory below the cache: fixed latency, logs requests. */
+class StubMemory : public mem::MemoryPort
+{
+  public:
+    explicit StubMemory(Tick latency) : latency(latency) {}
+
+    AccessResult
+    access(const MemRequest &req, Tick when) override
+    {
+        requests.push_back(req);
+        AccessResult result;
+        result.completeAt = when + latency;
+        result.mediaFreeAt = result.completeAt;
+        return result;
+    }
+
+    Tick latency;
+    std::vector<MemRequest> requests;
+};
+
+L1Params
+tinyCache()
+{
+    L1Params p;
+    p.capacityBytes = 512;  // 8 lines
+    p.ways = 2;
+    return p;
+}
+
+TEST(L1Cache, LoadMissFillsThenHits)
+{
+    StubMemory mem(100 * tickNs);
+    L1Cache cache(tinyCache(), mem);
+
+    const auto miss = cache.load(0, 0);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_GE(miss.completeAt, 100 * tickNs);
+    ASSERT_EQ(mem.requests.size(), 1u);
+    EXPECT_EQ(mem.requests[0].op, MemOp::Read);
+
+    const auto hit = cache.load(32, miss.completeAt);  // same line
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.completeAt,
+              miss.completeAt + cache.params().hitLatency);
+    EXPECT_EQ(mem.requests.size(), 1u);
+}
+
+TEST(L1Cache, StoreMissWriteAllocates)
+{
+    StubMemory mem(100 * tickNs);
+    L1Cache cache(tinyCache(), mem);
+    const auto miss = cache.store(64, 0);
+    EXPECT_FALSE(miss.hit);
+    ASSERT_EQ(mem.requests.size(), 1u);
+    EXPECT_EQ(mem.requests[0].op, MemOp::Read);  // allocate fill
+    EXPECT_EQ(cache.dirtyLines(), 1u);
+}
+
+TEST(L1Cache, DirtyEvictionWritesBack)
+{
+    StubMemory mem(10 * tickNs);
+    L1Cache cache(tinyCache(), mem);
+    // 4 sets x 2 ways; addresses 0, 256, 512 collide in set 0 (line
+    // 64B, 4 sets -> stride 256).
+    cache.store(0, 0);
+    cache.store(256, 1000);
+    cache.store(512, 2000);  // evicts line 0 (dirty)
+    bool saw_writeback = false;
+    for (const auto &req : mem.requests)
+        saw_writeback |= req.op == MemOp::Write && req.addr == 0;
+    EXPECT_TRUE(saw_writeback);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(L1Cache, CleanEvictionDoesNotWriteBack)
+{
+    StubMemory mem(10 * tickNs);
+    L1Cache cache(tinyCache(), mem);
+    cache.load(0, 0);
+    cache.load(256, 1000);
+    cache.load(512, 2000);
+    for (const auto &req : mem.requests)
+        EXPECT_EQ(req.op, MemOp::Read);
+}
+
+TEST(L1Cache, WritebackBufferBackpressureStalls)
+{
+    L1Params params = tinyCache();
+    params.writebackEntries = 1;
+    StubMemory mem(1000 * tickNs);  // slow writes
+    L1Cache cache(params, mem);
+    cache.store(0, 0);
+    cache.store(256, 0);
+    cache.store(512, 0);   // writeback #1 fills the single slot
+    cache.store(768, 0);   // writeback #2 must wait for #1
+    EXPECT_GT(cache.stats().writebackStallTicks, 0u);
+}
+
+TEST(L1Cache, FlushAllWritesEveryDirtyLine)
+{
+    StubMemory mem(10 * tickNs);
+    L1Cache cache(tinyCache(), mem);
+    cache.store(0, 0);
+    cache.store(64, 0);
+    cache.load(128, 0);
+    EXPECT_EQ(cache.dirtyLines(), 2u);
+
+    mem.requests.clear();
+    const Tick done = cache.flushAll(1000);
+    EXPECT_EQ(mem.requests.size(), 2u);
+    for (const auto &req : mem.requests)
+        EXPECT_EQ(req.op, MemOp::Write);
+    EXPECT_GT(done, 1000u);
+    EXPECT_EQ(cache.dirtyLines(), 0u);
+    // Contents stay resident (clean) after a flush.
+    EXPECT_TRUE(cache.load(0, done).hit);
+}
+
+TEST(L1Cache, FlushAllOnCleanCacheIsFree)
+{
+    StubMemory mem(10 * tickNs);
+    L1Cache cache(tinyCache(), mem);
+    cache.load(0, 0);
+    EXPECT_EQ(cache.flushAll(500), 500u);
+}
+
+TEST(L1Cache, InvalidateAllDropsContents)
+{
+    StubMemory mem(10 * tickNs);
+    L1Cache cache(tinyCache(), mem);
+    cache.store(0, 0);
+    cache.invalidateAll();
+    EXPECT_EQ(cache.validLines(), 0u);
+    EXPECT_FALSE(cache.load(0, 100).hit);
+}
+
+TEST(L1Cache, HitRateStats)
+{
+    StubMemory mem(10 * tickNs);
+    L1Cache cache(tinyCache(), mem);
+    cache.load(0, 0);
+    cache.load(0, 100);
+    cache.load(0, 200);
+    cache.load(64, 300);
+    EXPECT_DOUBLE_EQ(cache.stats().loadHitRate(), 0.5);
+}
+
+} // namespace

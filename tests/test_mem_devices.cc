@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the PRAM, DRAM, and PMEM DIMM timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_device.hh"
+#include "mem/pmem_dimm.hh"
+#include "mem/pram_device.hh"
+#include "sim/rng.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::mem;
+
+TEST(PramDevice, ReadLatencyIsConfigured)
+{
+    PramDevice dev;
+    const auto result = dev.read(1000);
+    EXPECT_EQ(result.completeAt, 1000 + dev.params().readLatency);
+    EXPECT_EQ(result.mediaFreeAt, result.completeAt);
+}
+
+TEST(PramDevice, WriteOccupiesCoolingWindow)
+{
+    PramDevice dev;
+    const auto result = dev.write(0, 0, /*early_return=*/false);
+    EXPECT_EQ(result.completeAt, dev.params().writeLatency);
+    EXPECT_EQ(dev.busyUntil(), dev.params().writeLatency);
+}
+
+TEST(PramDevice, EarlyReturnCompletesAtAcceptance)
+{
+    PramDevice dev;
+    const auto result = dev.write(100, 0, /*early_return=*/true);
+    EXPECT_EQ(result.completeAt, 100u);
+    EXPECT_EQ(result.mediaFreeAt, 100 + dev.params().writeLatency);
+    // The media is still busy: a read queues behind the write.
+    const auto read = dev.read(150);
+    EXPECT_EQ(read.completeAt,
+              100 + dev.params().writeLatency
+                  + dev.params().readLatency);
+}
+
+TEST(PramDevice, SerializesBackToBackAccesses)
+{
+    PramDevice dev;
+    const auto first = dev.read(0);
+    const auto second = dev.read(0);
+    EXPECT_EQ(second.completeAt,
+              first.completeAt + dev.params().readLatency);
+    EXPECT_EQ(dev.stallTicks(), first.completeAt);
+}
+
+TEST(PramDevice, WearTracksRegions)
+{
+    PramParams params;
+    params.capacityBytes = 4 << 20;
+    params.wearRegionBytes = 1 << 20;
+    PramDevice dev(params);
+    dev.write(0, 0, true);
+    dev.write(0, (1 << 20) + 5, true);
+    dev.write(0, 7, true);
+    EXPECT_EQ(dev.wearByRegion()[0], 2u);
+    EXPECT_EQ(dev.wearByRegion()[1], 1u);
+    EXPECT_EQ(dev.maxRegionWear(), 2u);
+}
+
+TEST(PramDevice, LifetimeShrinksWithWear)
+{
+    PramParams params;
+    params.enduranceCycles = 100;
+    PramDevice dev(params);
+    EXPECT_DOUBLE_EQ(dev.lifetimeRemaining(), 1.0);
+    for (int i = 0; i < 50; ++i)
+        dev.write(0, 0, true);
+    EXPECT_NEAR(dev.lifetimeRemaining(), 0.5, 0.01);
+}
+
+TEST(PramDevice, ResetClearsState)
+{
+    PramDevice dev;
+    dev.write(0, 0, true);
+    dev.reset();
+    EXPECT_EQ(dev.busyUntil(), 0u);
+    EXPECT_EQ(dev.writeCount(), 0u);
+    EXPECT_EQ(dev.maxRegionWear(), 0u);
+}
+
+TEST(DramDevice, RowHitIsFasterThanMiss)
+{
+    DramDevice dev;
+    MemRequest req;
+    req.addr = 0;
+    const auto miss = dev.access(req, 0);
+    EXPECT_FALSE(miss.rowBufferHit);
+    const auto hit = dev.access(req, miss.completeAt);
+    EXPECT_TRUE(hit.rowBufferHit);
+    EXPECT_EQ(miss.completeAt, dev.params().rowMissLatency);
+    EXPECT_EQ(hit.completeAt - miss.completeAt,
+              dev.params().rowHitLatency);
+}
+
+TEST(DramDevice, DifferentBanksDoNotConflict)
+{
+    DramDevice dev;
+    MemRequest a, b;
+    a.addr = 0;
+    b.addr = dev.params().rowBytes;  // next row -> next bank
+    const auto ra = dev.access(a, 0);
+    const auto rb = dev.access(b, 0);
+    // Both start at 0 in their own bank.
+    EXPECT_EQ(ra.completeAt, rb.completeAt);
+}
+
+TEST(DramDevice, SameBankConflicts)
+{
+    DramDevice dev;
+    MemRequest a, b;
+    a.addr = 0;
+    b.addr = dev.params().rowBytes * dev.params().banks;  // same bank
+    const auto ra = dev.access(a, 0);
+    const auto rb = dev.access(b, 0);
+    EXPECT_GT(rb.completeAt, ra.completeAt);
+    EXPECT_FALSE(rb.rowBufferHit);
+}
+
+TEST(DramDevice, RefreshDelaysCollidingAccess)
+{
+    DramParams params;
+    params.refreshInterval = 1000 * tickNs;
+    params.refreshLatency = 300 * tickNs;
+    DramDevice dev(params);
+    MemRequest req;
+    req.addr = 0;
+    // Arrive just after the first refresh window opened.
+    const auto result = dev.access(req, params.refreshInterval + 1);
+    EXPECT_GE(result.completeAt,
+              params.refreshInterval + params.refreshLatency);
+    EXPECT_GE(dev.refreshCount(), 1u);
+}
+
+TEST(DramDevice, CountsReadsAndWrites)
+{
+    DramDevice dev;
+    MemRequest read, write;
+    read.op = MemOp::Read;
+    write.op = MemOp::Write;
+    dev.access(read, 0);
+    dev.access(write, 0);
+    dev.access(write, 0);
+    EXPECT_EQ(dev.readCount(), 1u);
+    EXPECT_EQ(dev.writeCount(), 2u);
+}
+
+// --- PMEM DIMM (Fig. 2) -------------------------------------------
+
+PmemDimmParams
+smallPmem()
+{
+    PmemDimmParams params;
+    params.sramBytes = 4 * 1024;
+    params.dramBytes = 64 * 1024;
+    return params;
+}
+
+TEST(PmemDimm, FirstReadMissesToMedia)
+{
+    PmemDimm dimm(smallPmem());
+    MemRequest req;
+    req.op = MemOp::Read;
+    req.addr = 0;
+    const auto result = dimm.access(req, 0);
+    EXPECT_EQ(dimm.mediaReads(), 1u);
+    // Full path: firmware + SRAM + DRAM lookups + media read.
+    const auto &p = dimm.params();
+    EXPECT_GE(result.completeAt,
+              p.firmwareLatency + p.sramLatency + p.dramLatency
+                  + p.media.readLatency);
+}
+
+TEST(PmemDimm, SecondReadHitsInternally)
+{
+    PmemDimm dimm(smallPmem());
+    MemRequest req;
+    req.op = MemOp::Read;
+    req.addr = 0;
+    const auto first = dimm.access(req, 0);
+    const auto second = dimm.access(req, first.completeAt);
+    EXPECT_TRUE(second.internalCacheHit);
+    EXPECT_LT(second.completeAt - first.completeAt,
+              first.completeAt);
+    EXPECT_EQ(dimm.internalReadHits(), 1u);
+}
+
+TEST(PmemDimm, WritesAreBufferedAndFast)
+{
+    PmemDimm dimm(smallPmem());
+    MemRequest req;
+    req.op = MemOp::Write;
+    req.addr = 4096;
+    const auto result = dimm.access(req, 0);
+    // Accepted at firmware + LSQ cost, far below a bare PRAM write.
+    EXPECT_LE(result.completeAt,
+              dimm.params().firmwareLatency
+                  + dimm.params().lsqInsertLatency + 1);
+    EXPECT_LT(result.completeAt, dimm.params().media.writeLatency);
+}
+
+TEST(PmemDimm, WriteCombiningMergesSameMediaBlock)
+{
+    PmemDimm dimm(smallPmem());
+    MemRequest a, b;
+    a.op = b.op = MemOp::Write;
+    a.addr = 0;
+    b.addr = 64;  // same 256 B media block
+    dimm.access(a, 0);
+    dimm.access(b, 10);
+    EXPECT_EQ(dimm.combinedWrites(), 1u);
+}
+
+TEST(PmemDimm, LsqForwardsReadsOfPendingWrites)
+{
+    PmemDimm dimm(smallPmem());
+    MemRequest write, read;
+    write.op = MemOp::Write;
+    write.addr = 512;
+    read.op = MemOp::Read;
+    read.addr = 512;
+    dimm.access(write, 0);
+    const auto result = dimm.access(read, 5);
+    EXPECT_TRUE(result.internalCacheHit);
+    EXPECT_EQ(dimm.mediaReads(), 0u);
+}
+
+TEST(PmemDimm, RandomReadsSlowerAndMoreVariableThanBarePram)
+{
+    // The Fig. 2b property: DIMM-level random reads pay the
+    // multi-buffer lookup and are non-deterministic; bare PRAM reads
+    // are flat.
+    PmemDimm dimm;  // default: 256 KB SRAM, 32 MB DRAM buffer
+    PramDevice bare;
+    Rng rng(5);
+    stats::Summary dimm_lat, bare_lat;
+    // Mixed locality: half the reads in a buffer-resident hot set,
+    // half streaming over a footprint far beyond the buffers. The
+    // up-to-date line may sit in SRAM, DRAM, or media — the source
+    // of the paper's non-determinism.
+    const std::uint64_t hot = std::uint64_t(8) << 20;
+    const std::uint64_t footprint = std::uint64_t(1) << 30;
+
+    Tick t_dimm = 0, t_bare = 0;
+    for (int i = 0; i < 4000; ++i) {
+        MemRequest req;
+        req.op = MemOp::Read;
+        req.addr = (rng.chance(0.5) ? rng.below(hot)
+                                    : rng.below(footprint))
+            & ~std::uint64_t(63);
+        const auto rd = dimm.access(req, t_dimm);
+        dimm_lat.add(static_cast<double>(rd.completeAt - t_dimm));
+        t_dimm = rd.completeAt;
+
+        const auto rb = bare.read(t_bare);
+        bare_lat.add(static_cast<double>(rb.completeAt - t_bare));
+        t_bare = rb.completeAt;
+    }
+
+    EXPECT_GT(dimm_lat.mean(), 2.0 * bare_lat.mean());
+    EXPECT_GT(dimm_lat.cv(), 10.0 * std::max(bare_lat.cv(), 0.01));
+}
+
+TEST(PmemDimm, SustainedRandomWritesBackpressure)
+{
+    PmemDimmParams params = smallPmem();
+    params.lsqEntries = 4;
+    PmemDimm dimm(params);
+    Rng rng(6);
+    Tick t = 0;
+    Tick max_latency = 0;
+    for (int i = 0; i < 500; ++i) {
+        MemRequest req;
+        req.op = MemOp::Write;
+        // Distinct 4 KB regions: every write eventually reaches media.
+        req.addr = (std::uint64_t(i) * 4096 * 7)
+            % (std::uint64_t(1) << 28);
+        const auto result = dimm.access(req, t);
+        max_latency = std::max(max_latency, result.completeAt - t);
+        t = result.completeAt;
+    }
+    // Backpressure must show up: some writes wait on LSQ drains.
+    EXPECT_GT(max_latency, dimm.params().firmwareLatency);
+    EXPECT_GT(dimm.mediaWrites(), 0u);
+}
+
+} // namespace

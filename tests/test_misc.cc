@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Odds and ends: the umbrella header, logging, and small validation
+ * paths not covered elsewhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lightpc.hh"  // the umbrella header must be self-contained
+
+namespace
+{
+
+using namespace lightpc;
+
+TEST(UmbrellaHeader, ProvidesTheWholeApi)
+{
+    // Touch one symbol from each layer to prove the single include
+    // suffices.
+    EventQueue eq;
+    stats::Summary summary;
+    mem::BackingStore store;
+    psm::XccCodec codec;
+    power::PsuModel atx = power::PsuModel::atx();
+    kernel::KernelParams kparams;
+    workload::SyntheticConfig wconfig;
+    platform::SystemConfig sconfig;
+    (void)eq;
+    (void)summary;
+    (void)store;
+    (void)codec;
+    (void)kparams;
+    (void)wconfig;
+    (void)sconfig;
+    EXPECT_GT(atx.spec().storedJoules, 0.0);
+    EXPECT_EQ(workload::tableTwo().size(), 17u);
+}
+
+TEST(Logging, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad ", 42, " config");
+        FAIL() << "fatal() returned";
+    } catch (const FatalError &err) {
+        EXPECT_STREQ(err.what(), "bad 42 config");
+    }
+}
+
+TEST(Logging, QuietModeSuppressesOutput)
+{
+    setLogQuiet(true);
+    ::testing::internal::CaptureStderr();
+    warn("should not appear");
+    EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+    setLogQuiet(false);
+    ::testing::internal::CaptureStderr();
+    warn("should appear");
+    EXPECT_FALSE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Validation, SyntheticConfigRejectsZeroScale)
+{
+    workload::SyntheticConfig config;
+    config.scaleDivisor = 0;
+    EXPECT_THROW(workload::SyntheticStream(
+                     workload::findWorkload("AES"), config, 0, 0),
+                 FatalError);
+}
+
+TEST(Validation, PsmRejectsSillyRowBuffer)
+{
+    psm::PsmParams params;
+    params.rowBufferBytes = 32;  // less than one line
+    EXPECT_THROW(psm::Psm{params}, FatalError);
+    params.rowBufferBytes = 128 * 64;  // 128 lines > 64-bit mask
+    EXPECT_THROW(psm::Psm{params}, FatalError);
+}
+
+TEST(Validation, MemRequestLineAddr)
+{
+    mem::MemRequest req;
+    req.addr = 0x12345;
+    EXPECT_EQ(req.lineAddr(), 0x12340u);
+}
+
+TEST(Validation, KernelRejectsZeroCores)
+{
+    kernel::KernelParams params;
+    params.cores = 0;
+    EXPECT_THROW(kernel::Kernel{params}, FatalError);
+}
+
+} // namespace

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit and crash-consistency property tests for the persistent
+ * object pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "mem/backing_store.hh"
+#include "persist/object_pool.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::persist;
+
+constexpr std::uint64_t poolSize = 8 << 20;
+
+TEST(ObjectPool, FormatsFreshPool)
+{
+    mem::BackingStore store;
+    ObjectPool pool(store, 0, poolSize);
+    EXPECT_FALSE(pool.openedExisting());
+    EXPECT_EQ(pool.allocatedBytes(), 0u);
+}
+
+TEST(ObjectPool, ReopensExistingPool)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectId oid;
+    {
+        ObjectPool pool(store, 0, poolSize);
+        oid = pool.allocate(t, 100);
+        pool.writeObject(oid, 0, "hello", 6);
+    }
+    ObjectPool reopened(store, 0, poolSize);
+    EXPECT_TRUE(reopened.openedExisting());
+    char buf[6];
+    reopened.readObject(oid, 0, buf, 6);
+    EXPECT_STREQ(buf, "hello");
+}
+
+TEST(ObjectPool, RootIsStable)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectPool pool(store, 0, poolSize);
+    const ObjectId a = pool.root(t, 256);
+    const ObjectId b = pool.root(t, 256);
+    EXPECT_EQ(a, b);
+    ObjectPool reopened(store, 0, poolSize);
+    EXPECT_EQ(reopened.root(t, 256), a);
+}
+
+TEST(ObjectPool, AllocateDistinctObjects)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectPool pool(store, 0, poolSize);
+    const ObjectId a = pool.allocate(t, 64);
+    const ObjectId b = pool.allocate(t, 64);
+    EXPECT_NE(a.offset, b.offset);
+    EXPECT_GE(pool.sizeOf(a), 64u);
+    Tick t2 = 0;
+    const mem::Addr pa = pool.direct(t2, a);
+    const mem::Addr pb = pool.direct(t2, b);
+    EXPECT_GE(pb > pa ? pb - pa : pa - pb, 64u);
+    EXPECT_GT(t2, 0u);  // swizzling costs time
+}
+
+TEST(ObjectPool, FreeListReusesSpace)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectPool pool(store, 0, poolSize);
+    const ObjectId a = pool.allocate(t, 128);
+    pool.free(t, a);
+    const ObjectId b = pool.allocate(t, 128);
+    EXPECT_EQ(a.offset, b.offset);
+    EXPECT_EQ(pool.stats().frees, 1u);
+}
+
+TEST(ObjectPool, AllocatedBytesTracked)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectPool pool(store, 0, poolSize);
+    const ObjectId a = pool.allocate(t, 100);
+    EXPECT_EQ(pool.allocatedBytes(), 112u);  // rounded to 16
+    pool.free(t, a);
+    EXPECT_EQ(pool.allocatedBytes(), 0u);
+}
+
+TEST(ObjectPool, CommittedTransactionPersists)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectPool pool(store, 0, poolSize);
+    const ObjectId oid = pool.allocate(t, 64);
+    const std::uint64_t before = 111, after = 222;
+    pool.writeObject(oid, 0, &before, 8);
+
+    pool.txBegin(t);
+    pool.txAddRange(t, oid, 0, 8);
+    pool.writeObject(oid, 0, &after, 8);
+    pool.txCommit(t);
+
+    ObjectPool reopened(store, 0, poolSize);
+    std::uint64_t value = 0;
+    reopened.readObject(oid, 0, &value, 8);
+    EXPECT_EQ(value, after);
+    EXPECT_EQ(reopened.stats().recoveries, 0u);
+}
+
+TEST(ObjectPool, CrashMidTransactionRollsBack)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectId oid;
+    {
+        ObjectPool pool(store, 0, poolSize);
+        oid = pool.allocate(t, 64);
+        const std::uint64_t before = 111, partial = 999;
+        pool.writeObject(oid, 0, &before, 8);
+        pool.txBegin(t);
+        pool.txAddRange(t, oid, 0, 8);
+        pool.writeObject(oid, 0, &partial, 8);
+        pool.crash();  // power failure before commit
+    }
+    ObjectPool recovered(store, 0, poolSize);
+    EXPECT_EQ(recovered.stats().recoveries, 1u);
+    std::uint64_t value = 0;
+    recovered.readObject(oid, 0, &value, 8);
+    EXPECT_EQ(value, 111u);
+}
+
+TEST(ObjectPool, AbortRestoresOldContents)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectPool pool(store, 0, poolSize);
+    const ObjectId oid = pool.allocate(t, 64);
+    const std::uint32_t before = 7;
+    pool.writeObject(oid, 0, &before, 4);
+    pool.txBegin(t);
+    pool.txAddRange(t, oid, 0, 4);
+    const std::uint32_t scratch = 12345;
+    pool.writeObject(oid, 0, &scratch, 4);
+    pool.txAbort(t);
+    std::uint32_t value = 0;
+    pool.readObject(oid, 0, &value, 4);
+    EXPECT_EQ(value, 7u);
+    EXPECT_FALSE(pool.inTransaction());
+}
+
+TEST(ObjectPool, CommitCostsScaleWithRangeSize)
+{
+    mem::BackingStore store;
+    ObjectPool pool(store, 0, poolSize);
+    Tick t_small = 0, t_large = 0;
+
+    const ObjectId small = pool.allocate(t_small, 64);
+    pool.txBegin(t_small);
+    Tick mark = t_small;
+    pool.txAddRange(t_small, small, 0, 64);
+    pool.txCommit(t_small);
+    const Tick small_cost = t_small - mark;
+
+    const ObjectId large = pool.allocate(t_large, 64 * 64);
+    pool.txBegin(t_large);
+    mark = t_large;
+    pool.txAddRange(t_large, large, 0, 64 * 64);
+    pool.txCommit(t_large);
+    const Tick large_cost = t_large - mark;
+
+    EXPECT_GT(large_cost, 10 * small_cost);
+    EXPECT_GE(pool.stats().linesFlushed, 65u);
+}
+
+TEST(ObjectPool, NestedTransactionsRejected)
+{
+    mem::BackingStore store;
+    Tick t = 0;
+    ObjectPool pool(store, 0, poolSize);
+    pool.txBegin(t);
+    EXPECT_THROW(pool.txBegin(t), FatalError);
+    pool.txCommit(t);
+    EXPECT_THROW(pool.txCommit(t), FatalError);
+}
+
+TEST(ObjectPool, RejectsTinyRegion)
+{
+    mem::BackingStore store;
+    EXPECT_THROW(ObjectPool(store, 0, 4096), FatalError);
+}
+
+/** Property: a linked list built in transactions survives a crash at
+ *  any point with prefix-consistency (committed nodes intact). */
+class ObjectPoolCrash : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ObjectPoolCrash, LinkedListPrefixConsistency)
+{
+    const int crash_after = GetParam();
+    mem::BackingStore store;
+    Tick t = 0;
+
+    struct Node
+    {
+        std::uint64_t value;
+        ObjectId next;
+    };
+
+    int committed = 0;
+    {
+        ObjectPool pool(store, 0, poolSize);
+        const ObjectId root = pool.root(t, sizeof(ObjectId));
+
+        ObjectId head{};
+        for (int i = 0; i < 20; ++i) {
+            pool.txBegin(t);
+            const ObjectId node = pool.allocate(t, sizeof(Node));
+            Node n;
+            n.value = 1000 + i;
+            n.next = head;
+            pool.txAddRange(t, node, 0, sizeof(Node));
+            pool.writeObject(node, 0, &n, sizeof(Node));
+            pool.txAddRange(t, root, 0, sizeof(ObjectId));
+            pool.writeObject(root, 0, &node, sizeof(ObjectId));
+            if (i == crash_after) {
+                pool.crash();
+                break;
+            }
+            pool.txCommit(t);
+            head = node;
+            ++committed;
+        }
+    }
+
+    // Recover and walk the list: exactly `committed` nodes, values
+    // in insertion order, no torn node.
+    ObjectPool pool(store, 0, poolSize);
+    const ObjectId root = pool.root(t, sizeof(ObjectId));
+    ObjectId cursor;
+    pool.readObject(root, 0, &cursor, sizeof(ObjectId));
+    int count = 0;
+    std::uint64_t expect = 1000 + committed - 1;
+    while (cursor.valid()) {
+        Node n;
+        pool.readObject(cursor, 0, &n, sizeof(Node));
+        EXPECT_EQ(n.value, expect);
+        --expect;
+        cursor = n.next;
+        ++count;
+        ASSERT_LE(count, 20);
+    }
+    EXPECT_EQ(count, committed);
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPoints, ObjectPoolCrash,
+                         ::testing::Range(0, 20, 3));
+
+} // namespace

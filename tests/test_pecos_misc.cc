@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Focused tests: the OC-PMEM reserved layout, SnG report
+ * arithmetic, and Go's rescheduling order.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.hh"
+#include "mem/backing_store.hh"
+#include "pecos/layout.hh"
+#include "pecos/sng.hh"
+#include "psm/psm.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::pecos;
+
+TEST(ReservedLayout, SitsAtTheTopOfPmem)
+{
+    const std::uint64_t capacity = std::uint64_t(96) << 30;
+    ReservedLayout layout(capacity);
+    EXPECT_EQ(layout.base, capacity - (std::uint64_t(16) << 20));
+    EXPECT_EQ(layout.bcbAddr(), layout.base);
+    EXPECT_GT(layout.pcbAddr(), layout.bcbAddr());
+    EXPECT_GT(layout.dcbAddr(), layout.pcbAddr());
+    EXPECT_LT(layout.dcbAddr(), capacity);
+}
+
+TEST(ReservedLayout, PcbAreaHoldsTheBusySystem)
+{
+    ReservedLayout layout(std::uint64_t(96) << 30);
+    // 121 processes of PcbEntry each must fit before the DCB area.
+    const std::uint64_t pcb_bytes = 121 * sizeof(PcbEntry);
+    EXPECT_LT(layout.pcbAddr() + pcb_bytes, layout.dcbAddr());
+}
+
+TEST(StopReport, PhaseArithmetic)
+{
+    StopReport report;
+    report.start = 100;
+    report.processStopDone = 300;
+    report.deviceStopDone = 700;
+    report.offlineDone = 1500;
+    EXPECT_EQ(report.processStopTicks(), 200u);
+    EXPECT_EQ(report.deviceStopTicks(), 400u);
+    EXPECT_EQ(report.offlineTicks(), 800u);
+    EXPECT_EQ(report.totalTicks(), 1400u);
+    EXPECT_EQ(report.processStopTicks() + report.deviceStopTicks()
+                  + report.offlineTicks(),
+              report.totalTicks());
+}
+
+TEST(GoReport, TotalSpansStartToDone)
+{
+    GoReport report;
+    report.start = 50;
+    report.done = 850;
+    EXPECT_EQ(report.totalTicks(), 800u);
+}
+
+TEST(Go, ReschedulesKernelTasksBeforeUserTasks)
+{
+    // Section IV-C: "Go schedules other kernel process tasks in
+    // first and then user-level process tasks."
+    kernel::Kernel kern;
+    psm::Psm psm;
+    mem::BackingStore pmem;
+    Sng sng(kern, psm, pmem, {});
+    sng.stop(0);
+    sng.resume(100 * tickMs);
+
+    for (std::uint32_t c = 0; c < kern.cores(); ++c) {
+        bool seen_user = false;
+        for (const kernel::Process *proc : kern.runQueue(c)) {
+            if (proc->isKernelThread())
+                EXPECT_FALSE(seen_user)
+                    << "kernel thread queued after a user task on"
+                       " core "
+                    << c;
+            else
+                seen_user = true;
+        }
+    }
+}
+
+TEST(Go, RestoredTasksKeepTheirCores)
+{
+    kernel::Kernel kern;
+    psm::Psm psm;
+    mem::BackingStore pmem;
+    Sng sng(kern, psm, pmem, {});
+
+    // Record the per-core assignment Drive-to-Idle balances out.
+    sng.stop(0);
+    std::vector<int> parked_cpu(kern.processCount());
+    for (std::size_t i = 0; i < kern.processCount(); ++i)
+        parked_cpu[i] = kern.process(i).cpu();
+
+    sng.resume(100 * tickMs);
+    for (std::size_t i = 0; i < kern.processCount(); ++i) {
+        if (parked_cpu[i] >= 0) {
+            EXPECT_EQ(kern.process(i).cpu(), parked_cpu[i]);
+        }
+    }
+}
+
+TEST(Bcb, MagicDistinguishesColdBoot)
+{
+    mem::BackingStore pmem;
+    // Garbage in the BCB area is not a commit.
+    pmem.writeValue<std::uint64_t>((std::uint64_t(96) << 30)
+                                       - (std::uint64_t(16) << 20),
+                                   0x1234);
+    kernel::Kernel kern;
+    psm::Psm psm;
+    Sng sng(kern, psm, pmem, {});
+    EXPECT_FALSE(sng.hasCommit());
+    EXPECT_TRUE(sng.resume(0).coldBoot);
+}
+
+TEST(Sng, ControlBlockBytesAccounted)
+{
+    kernel::Kernel kern;
+    psm::Psm psm;
+    mem::BackingStore pmem;
+    Sng sng(kern, psm, pmem, {});
+    const auto report = sng.stop(0);
+    // At least one PCB per process, one DCB entry + context per
+    // device, and the BCB.
+    EXPECT_GE(report.controlBlockBytes,
+              kern.processCount() * sizeof(PcbEntry)
+                  + kern.devices().count() * sizeof(DcbEntry)
+                  + sizeof(Bcb));
+}
+
+} // namespace

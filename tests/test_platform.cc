@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Integration tests over full platforms: the qualitative orderings
+ * the paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/pmem_modes.hh"
+#include "platform/system.hh"
+#include "workload/spec.hh"
+#include "workload/stream_bench.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::platform;
+
+RunResult
+runOn(PlatformKind kind, const std::string &workload,
+      std::uint64_t scale = 20000)
+{
+    SystemConfig config;
+    config.kind = kind;
+    config.scaleDivisor = scale;
+    System system(config);
+    return system.run(workload::findWorkload(workload));
+}
+
+TEST(PlatformIntegration, LightPcWithinModestFactorOfDramOnly)
+{
+    // Fig. 15: LightPC is only ~12% slower than LegacyPC on
+    // average; allow a loose band per-workload.
+    const auto legacy = runOn(PlatformKind::LegacyPC, "Redis");
+    const auto light = runOn(PlatformKind::LightPC, "Redis");
+    const double slowdown = static_cast<double>(light.elapsed)
+        / static_cast<double>(legacy.elapsed);
+    EXPECT_GT(slowdown, 0.95);
+    EXPECT_LT(slowdown, 1.5);
+}
+
+TEST(PlatformIntegration, BaselinePsmIsMuchSlowerThanLightPc)
+{
+    // Fig. 15: LightPC beats LightPC-B, most dramatically where
+    // many threads share the write-pressured PSM (SNAP, KeyDB).
+    for (const char *name : {"SNAP", "KeyDB"}) {
+        const auto b = runOn(PlatformKind::LightPCB, name);
+        const auto light = runOn(PlatformKind::LightPC, name);
+        const double speedup = static_cast<double>(b.elapsed)
+            / static_cast<double>(light.elapsed);
+        EXPECT_GT(speedup, 1.4) << name;
+    }
+}
+
+TEST(PlatformIntegration, ReadLatencyBlowupOnBaseline)
+{
+    // Fig. 16: memory-level read latency of LightPC-B exceeds
+    // LightPC's on every RAW-prone workload, most where writes are
+    // heaviest (see EXPERIMENTS.md for the magnitude discussion).
+    for (const char *name : {"wrf", "bzip2", "SNAP"}) {
+        const auto b = runOn(PlatformKind::LightPCB, name);
+        const auto light = runOn(PlatformKind::LightPC, name);
+        EXPECT_GT(b.memReadLatencyNs, 1.25 * light.memReadLatencyNs)
+            << name;
+    }
+}
+
+TEST(PlatformIntegration, McfBenefitsLeastFromReconstruction)
+{
+    // Fig. 16: mcf writes so rarely that LightPC-B and LightPC are
+    // nearly indistinguishable.
+    const auto b = runOn(PlatformKind::LightPCB, "mcf");
+    const auto light = runOn(PlatformKind::LightPC, "mcf");
+    EXPECT_LT(static_cast<double>(b.elapsed)
+                  / static_cast<double>(light.elapsed),
+              1.15);
+}
+
+TEST(PlatformIntegration, LightPcDrawsFarLessPower)
+{
+    // Fig. 18: ~73% lower platform power.
+    const auto legacy = runOn(PlatformKind::LegacyPC, "SNAP");
+    const auto light = runOn(PlatformKind::LightPC, "SNAP");
+    EXPECT_LT(light.watts, 0.45 * legacy.watts);
+}
+
+TEST(PlatformIntegration, LightPcSavesEnergyDespiteSlowdown)
+{
+    // Fig. 18: ~69% energy saving end to end.
+    const auto legacy = runOn(PlatformKind::LegacyPC, "gcc");
+    const auto light = runOn(PlatformKind::LightPC, "gcc");
+    EXPECT_LT(light.joules, 0.6 * legacy.joules);
+}
+
+TEST(PlatformIntegration, CacheHitRatesTrackTableTwo)
+{
+    const auto &spec = workload::findWorkload("AMG");
+    SystemConfig config;
+    config.kind = PlatformKind::LightPC;
+    config.scaleDivisor = 10000;
+    System system(config);
+    const auto result = system.run(spec);
+    EXPECT_NEAR(result.loadHitRate, spec.readHitRate, 0.05);
+    EXPECT_NEAR(result.storeHitRate, spec.writeHitRate, 0.05);
+}
+
+TEST(PlatformIntegration, MultithreadedWorkloadsUseAllCores)
+{
+    SystemConfig config;
+    config.scaleDivisor = 20000;
+    System system(config);
+    const auto result =
+        system.run(workload::findWorkload("Memcached"));
+    // All 8 cores retire work.
+    for (std::uint32_t c = 0; c < system.coreCount(); ++c)
+        EXPECT_GT(system.core(c).stats().instructions, 0u);
+    EXPECT_GT(result.ipc, 1.0);  // aggregate over 8 cores
+}
+
+TEST(PlatformIntegration, SingleThreadedWorkloadsUseOneCore)
+{
+    SystemConfig config;
+    config.scaleDivisor = 20000;
+    System system(config);
+    system.run(workload::findWorkload("bzip2"));
+    EXPECT_GT(system.core(0).stats().instructions, 0u);
+    for (std::uint32_t c = 1; c < system.coreCount(); ++c)
+        EXPECT_EQ(system.core(c).stats().instructions, 0u);
+}
+
+TEST(PlatformIntegration, StreamBandwidthRatioIsReasonable)
+{
+    // Fig. 17: LightPC sustains a sizable fraction (avg ~78%) of
+    // LegacyPC bandwidth on STREAM.
+    auto bandwidth = [](PlatformKind kind) {
+        SystemConfig config;
+        config.kind = kind;
+        System system(config);
+        std::vector<std::unique_ptr<workload::StreamWorkload>> owned;
+        std::vector<cpu::InstrStream *> raw;
+        for (std::uint32_t tid = 0; tid < 8; ++tid) {
+            owned.push_back(
+                std::make_unique<workload::StreamWorkload>(
+                    workload::StreamKernel::Copy, 1 << 18,
+                    System::workloadBase, tid, 8));
+            raw.push_back(owned.back().get());
+        }
+        const auto result = System(config).runStreams(raw);
+        double bytes = 0;
+        for (const auto &s : owned)
+            bytes += static_cast<double>(s->bytesMoved());
+        return bytes / ticksToSec(result.elapsed);
+    };
+    const double legacy = bandwidth(PlatformKind::LegacyPC);
+    const double light = bandwidth(PlatformKind::LightPC);
+    EXPECT_GT(light / legacy, 0.4);
+    EXPECT_LT(light / legacy, 1.1);
+}
+
+TEST(PlatformIntegration, SngOnLiveSystemMeetsHoldup)
+{
+    // Run a workload, pull the plug mid-flight, verify the EP-cut
+    // lands within the ATX spec budget with real dirty caches.
+    SystemConfig config;
+    config.kind = PlatformKind::LightPC;
+    config.scaleDivisor = 10000;
+    System system(config);
+    const auto &spec = workload::findWorkload("KeyDB");
+
+    workload::SyntheticConfig wconfig;
+    wconfig.scaleDivisor = config.scaleDivisor;
+    auto streams = workload::makeStreams(spec, wconfig, 8,
+                                         System::workloadBase);
+    for (std::size_t i = 0; i < streams.size(); ++i)
+        system.core(static_cast<std::uint32_t>(i))
+            .run(*streams[i], 0);
+
+    // Let it run a while, then power-fail.
+    system.eventQueue().run(2 * tickMs);
+    for (std::uint32_t c = 0; c < system.coreCount(); ++c)
+        system.core(c).stop();
+    const Tick when = system.eventQueue().now();
+    const auto stop = system.sng().stop(when);
+    EXPECT_GT(stop.dirtyLinesFlushed, 0u);
+    EXPECT_LE(stop.totalTicks(), 16 * tickMs);
+
+    const auto go = system.sng().resume(stop.offlineDone + tickMs);
+    EXPECT_FALSE(go.coldBoot);
+}
+
+TEST(PmemModes, MemModeTracksDramOnly)
+{
+    // Fig. 4: mem-mode within a couple percent of DRAM-only.
+    const auto &spec = workload::findWorkload("SHA512");
+    const auto dram = runPmemMode(PmemMode::DramOnly, spec, 10000);
+    const auto mem = runPmemMode(PmemMode::MemMode, spec, 10000);
+    const double ratio = static_cast<double>(mem.run.elapsed)
+        / static_cast<double>(dram.run.elapsed);
+    EXPECT_LT(ratio, 1.15);
+}
+
+TEST(PmemModes, OrderingMatchesFigFour)
+{
+    // DRAM-only <= mem < app < object < trans (latency).
+    const auto &spec = workload::findWorkload("KeyDB");
+    const auto dram = runPmemMode(PmemMode::DramOnly, spec, 20000);
+    const auto app = runPmemMode(PmemMode::AppMode, spec, 20000);
+    const auto object = runPmemMode(PmemMode::ObjectMode, spec, 20000);
+    const auto trans = runPmemMode(PmemMode::TransMode, spec, 20000);
+
+    EXPECT_GT(app.run.elapsed, dram.run.elapsed);
+    EXPECT_GT(object.run.elapsed, app.run.elapsed);
+    EXPECT_GT(trans.run.elapsed, 2 * object.run.elapsed);
+    // The headline: trans-mode is many times DRAM-only.
+    const double blowup = static_cast<double>(trans.run.elapsed)
+        / static_cast<double>(dram.run.elapsed);
+    EXPECT_GT(blowup, 4.0);
+}
+
+TEST(PmemModes, PersistenceModesBurnMoreMemoryPower)
+{
+    const auto &spec = workload::findWorkload("Redis");
+    const auto dram = runPmemMode(PmemMode::DramOnly, spec, 20000);
+    const auto object = runPmemMode(PmemMode::ObjectMode, spec, 20000);
+    EXPECT_GT(object.memWatts, dram.memWatts);
+    EXPECT_GT(object.memJoules, 1.3 * dram.memJoules);
+}
+
+} // namespace

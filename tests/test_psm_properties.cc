@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Property tests over the PSM: invariants that must hold for any
+ * request sequence, in every operating mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "psm/psm.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::psm;
+
+struct PsmCase
+{
+    bool earlyReturn;
+    bool reconstruction;
+    bool wearLeveling;
+    DimmLayout layout;
+    std::uint64_t seed;
+};
+
+class PsmProperty : public ::testing::TestWithParam<PsmCase>
+{
+};
+
+TEST_P(PsmProperty, AccessInvariantsUnderRandomTraffic)
+{
+    const PsmCase c = GetParam();
+    PsmParams params;
+    params.earlyReturnWrites = c.earlyReturn;
+    params.eccReconstruction = c.reconstruction;
+    params.wearLeveling = c.wearLeveling;
+    params.dimm.layout = c.layout;
+    Psm psm(params);
+    Rng rng(c.seed);
+
+    Tick t = 0;
+    std::uint64_t reads = 0, writes = 0;
+    for (int i = 0; i < 20000; ++i) {
+        mem::MemRequest req;
+        req.op = rng.chance(0.7) ? mem::MemOp::Read
+                                 : mem::MemOp::Write;
+        req.addr = rng.below(std::uint64_t(1) << 32) & ~63ull;
+        const Tick when = t;
+        const auto result = psm.access(req, when);
+
+        // Completion never precedes issue + the mandatory bus hop.
+        ASSERT_GE(result.completeAt, when + params.busLatency);
+        // The media is never freed before the issuer's completion
+        // when the access was synchronous.
+        if (!c.earlyReturn && req.op == mem::MemOp::Write) {
+            ASSERT_GE(result.mediaFreeAt, result.completeAt);
+        }
+
+        if (req.op == mem::MemOp::Read)
+            ++reads;
+        else
+            ++writes;
+
+        // Mix open-loop and closed-loop issue.
+        t = rng.chance(0.5) ? result.completeAt
+                            : when + rng.below(500 * tickNs);
+    }
+
+    // Stats account exactly the traffic offered.
+    EXPECT_EQ(psm.stats().reads, reads);
+    EXPECT_EQ(psm.stats().writes, writes);
+    EXPECT_EQ(psm.readLatencyHist().count(), reads);
+    EXPECT_EQ(psm.writeLatencyHist().count(), writes);
+
+    // In full-LightPC mode nothing ever blocked; in baseline mode
+    // nothing was ever reconstructed.
+    if (c.reconstruction) {
+        EXPECT_EQ(psm.stats().blockedReads, 0u);
+    } else {
+        EXPECT_EQ(psm.stats().reconstructedReads, 0u);
+    }
+
+    // A flush quiesces everything: afterwards a read at the fence
+    // tick is served without blocking or reconstruction.
+    const Tick fence = psm.flush(t);
+    ASSERT_GE(fence, t);
+    mem::MemRequest probe;
+    probe.op = mem::MemOp::Read;
+    probe.addr = 0;
+    const auto after = psm.access(probe, fence);
+    EXPECT_FALSE(after.reconstructed);
+    EXPECT_FALSE(after.rowBufferHit);
+    EXPECT_LE(after.completeAt,
+              fence + params.busLatency
+                  + params.dimm.device.readLatency);
+
+    // Wear accounting matches the media writes that happened.
+    for (std::uint32_t d = 0; d < params.dimms; ++d) {
+        auto &dimm = psm.dimm(d);
+        for (std::uint32_t g = 0; g < dimm.groupCount(); ++g) {
+            const auto &dev = dimm.group(g);
+            std::uint64_t sum = 0;
+            for (const auto w : dev.wearByRegion())
+                sum += w;
+            ASSERT_EQ(sum, dev.writeCount());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, PsmProperty,
+    ::testing::Values(
+        PsmCase{true, true, true, DimmLayout::DualChannel, 1},
+        PsmCase{true, true, false, DimmLayout::DualChannel, 2},
+        PsmCase{false, false, true, DimmLayout::DualChannel, 3},
+        PsmCase{false, false, false, DimmLayout::DualChannel, 4},
+        PsmCase{true, false, true, DimmLayout::DualChannel, 5},
+        PsmCase{true, true, true, DimmLayout::DramLike, 6},
+        PsmCase{false, false, true, DimmLayout::DramLike, 7}));
+
+TEST(PsmProperty, DeterministicAcrossIdenticalRuns)
+{
+    auto run = [] {
+        Psm psm;
+        Rng rng(77);
+        Tick t = 0;
+        for (int i = 0; i < 5000; ++i) {
+            mem::MemRequest req;
+            req.op = rng.chance(0.6) ? mem::MemOp::Read
+                                     : mem::MemOp::Write;
+            req.addr =
+                rng.below(std::uint64_t(1) << 30) & ~63ull;
+            t = psm.access(req, t).completeAt;
+        }
+        return t;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Soak test: randomized end-to-end sequences of execution, power
+ * cycles, and device faults, with invariants checked throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "platform/system.hh"
+#include "sim/rng.hh"
+#include "workload/spec.hh"
+#include "workload/synthetic.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::platform;
+
+class Soak : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Soak, RandomizedLifecycle)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    SystemConfig config;
+    config.kind = rng.chance(0.5) ? PlatformKind::LightPC
+                                  : PlatformKind::LegacyPC;
+    config.scaleDivisor = 40000;
+    config.seed = seed;
+    psm::PsmParams params =
+        psmParamsFor(config.kind, config.pmemDimms);
+    params.symbolEccFallback = rng.chance(0.5);
+    config.psmParams = params;
+    System system(config);
+
+    // Enable the symbol fallback on half the runs and poke a fault.
+    if (params.symbolEccFallback && rng.chance(0.7)) {
+        system.psm().injectFault(
+            static_cast<std::uint32_t>(rng.below(6)),
+            static_cast<std::uint32_t>(rng.below(4)),
+            static_cast<std::uint32_t>(rng.below(2)));
+    }
+
+    const auto &table = workload::tableTwo();
+    Tick t = system.eventQueue().now();
+
+    for (int phase = 0; phase < 4; ++phase) {
+        // Run a random workload fragment.
+        const auto &spec = table[rng.below(table.size())];
+        workload::SyntheticConfig wconfig;
+        wconfig.scaleDivisor = config.scaleDivisor;
+        wconfig.seed = rng.next();
+        auto streams = workload::makeStreams(
+            spec, wconfig, system.coreCount(), System::workloadBase);
+        for (std::size_t i = 0; i < streams.size(); ++i)
+            system.core(static_cast<std::uint32_t>(i))
+                .run(*streams[i], t);
+
+        // Run fully or cut it short with a power event.
+        const bool powerfail = rng.chance(0.6);
+        if (powerfail) {
+            system.eventQueue().run(t + rng.below(2 * tickMs));
+            for (std::uint32_t c = 0; c < system.coreCount(); ++c)
+                system.core(c).stop();
+        } else {
+            system.eventQueue().run();
+        }
+        t = std::max(system.eventQueue().now(), t);
+
+        if (powerfail) {
+            system.kernel().scramble(rng);
+            const auto before = system.kernel().snapshot();
+            const auto stop = system.sng().stop(t);
+            ASSERT_LE(stop.totalTicks(), 20 * tickMs)
+                << "Stop blew past any plausible hold-up";
+            ASSERT_EQ(stop.tasksParked,
+                      system.kernel().processCount());
+            const auto go =
+                system.sng().resume(stop.offlineDone + tickMs);
+            ASSERT_FALSE(go.coldBoot);
+            const auto after = system.kernel().snapshot();
+            for (std::size_t i = 0; i < before.entries.size(); ++i)
+                ASSERT_EQ(before.entries[i].regs,
+                          after.entries[i].regs);
+            t = go.done;
+        }
+
+        // Memory-system invariants hold at every phase boundary.
+        const auto &stats = system.psm().stats();
+        if (params.symbolEccFallback) {
+            EXPECT_EQ(stats.mceCount, 0u)
+                << "fallback-enabled runs must never contain";
+        }
+        const Tick quiescent = system.eventQueue().now() < t
+            ? t : system.eventQueue().now();
+        const Tick fenced = system.psm().flush(quiescent);
+        EXPECT_GE(fenced, quiescent);
+        t = fenced + tickUs;
+    }
+
+    // Wear accounting stays coherent.
+    for (std::uint32_t d = 0; d < config.pmemDimms; ++d) {
+        auto &dimm = system.psm().dimm(d);
+        for (std::uint32_t g = 0; g < dimm.groupCount(); ++g) {
+            const auto &dev = dimm.group(g);
+            std::uint64_t sum = 0;
+            for (const auto w : dev.wearByRegion())
+                sum += w;
+            EXPECT_EQ(sum, dev.writeCount());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soak,
+                         ::testing::Values(101, 202, 303, 404, 505,
+                                           606));
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit and property tests for Start-Gap wear leveling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "psm/start_gap.hh"
+#include "sim/logging.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::psm;
+
+StartGapParams
+smallParams(bool randomize = false)
+{
+    StartGapParams p;
+    p.lines = 64;
+    p.pageLines = 4;
+    p.writeThreshold = 10;
+    p.randomize = randomize;
+    return p;
+}
+
+/** The core invariant: the mapping is a bijection into lines+1
+ *  slots, with the gap slot unused. */
+void
+expectBijective(const StartGap &sg)
+{
+    std::set<std::uint64_t> used;
+    for (std::uint64_t la = 0; la < sg.params().lines; ++la) {
+        const std::uint64_t pa = sg.remap(la);
+        EXPECT_LE(pa, sg.params().lines);
+        EXPECT_NE(pa, sg.gap()) << "logical line " << la
+                                << " mapped onto the gap";
+        EXPECT_TRUE(used.insert(pa).second)
+            << "collision at physical slot " << pa;
+    }
+}
+
+TEST(StartGap, InitialMappingIsIdentityWithoutRandomizer)
+{
+    StartGap sg(smallParams());
+    for (std::uint64_t la = 0; la < 64; ++la)
+        EXPECT_EQ(sg.remap(la), la);
+}
+
+TEST(StartGap, BijectiveInitially)
+{
+    expectBijective(StartGap(smallParams()));
+    expectBijective(StartGap(smallParams(true)));
+}
+
+TEST(StartGap, GapMovesEveryThresholdWrites)
+{
+    StartGap sg(smallParams());
+    for (int i = 0; i < 9; ++i)
+        EXPECT_FALSE(sg.recordWrite());
+    EXPECT_TRUE(sg.recordWrite());
+    EXPECT_EQ(sg.totalMoves(), 1u);
+    EXPECT_EQ(sg.gap(), 63u);  // N -> N-1
+}
+
+TEST(StartGap, BijectiveAfterManyMoves)
+{
+    StartGap sg(smallParams());
+    for (int w = 0; w < 10 * 200; ++w)
+        sg.recordWrite();
+    EXPECT_EQ(sg.totalMoves(), 200u);
+    expectBijective(sg);
+}
+
+TEST(StartGap, BijectiveAfterManyMovesWithRandomizer)
+{
+    StartGap sg(smallParams(true));
+    for (int w = 0; w < 10 * 333; ++w)
+        sg.recordWrite();
+    expectBijective(sg);
+}
+
+TEST(StartGap, GapWrapIncrementsStart)
+{
+    StartGap sg(smallParams());
+    // 65 moves: gap walks 64 -> 0, then wraps with start++.
+    for (std::uint64_t m = 0; m < 65; ++m)
+        for (int w = 0; w < 10; ++w)
+            sg.recordWrite();
+    EXPECT_EQ(sg.start(), 1u);
+    EXPECT_EQ(sg.gap(), sg.params().lines);
+    expectBijective(sg);
+}
+
+TEST(StartGap, FullRotationShiftsEverything)
+{
+    StartGap sg(smallParams());
+    // After N+1 moves the whole address space has rotated by one.
+    for (std::uint64_t m = 0; m < 65; ++m)
+        for (int w = 0; w < 10; ++w)
+            sg.recordWrite();
+    for (std::uint64_t la = 0; la < 63; ++la)
+        EXPECT_EQ(sg.remap(la), la + 1);
+}
+
+TEST(StartGap, EachMoveDisplacesExactlyOneLine)
+{
+    StartGap sg(smallParams());
+    std::vector<std::uint64_t> before(64);
+    for (std::uint64_t la = 0; la < 64; ++la)
+        before[la] = sg.remap(la);
+    for (int w = 0; w < 10; ++w)
+        sg.recordWrite();
+    int changed = 0;
+    for (std::uint64_t la = 0; la < 64; ++la)
+        changed += sg.remap(la) != before[la] ? 1 : 0;
+    EXPECT_EQ(changed, 1);
+}
+
+TEST(StartGap, RandomizerPreservesPageAdjacency)
+{
+    StartGap sg(smallParams(true));
+    // Lines within a randomizer page stay adjacent.
+    for (std::uint64_t page = 0; page < 16; ++page) {
+        const std::uint64_t base = sg.remap(page * 4);
+        for (std::uint64_t off = 1; off < 4; ++off)
+            EXPECT_EQ(sg.remap(page * 4 + off), base + off);
+    }
+}
+
+TEST(StartGap, RandomizerScattersPages)
+{
+    StartGapParams p;
+    p.lines = 1 << 16;
+    p.pageLines = 32;
+    p.randomize = true;
+    StartGap sg(p);
+    // Consecutive pages should not stay consecutive.
+    int adjacent = 0;
+    for (std::uint64_t page = 0; page + 1 < 256; ++page) {
+        const std::uint64_t a = sg.remap(page * 32) / 32;
+        const std::uint64_t b = sg.remap((page + 1) * 32) / 32;
+        adjacent += (b == a + 1) ? 1 : 0;
+    }
+    EXPECT_LT(adjacent, 16);
+}
+
+TEST(StartGap, SaveRestoreRoundTrip)
+{
+    StartGap sg(smallParams(true));
+    for (int w = 0; w < 137; ++w)
+        sg.recordWrite();
+    const StartGapState saved = sg.save();
+
+    StartGap fresh(smallParams(true));
+    fresh.restore(saved);
+    for (std::uint64_t la = 0; la < 64; ++la)
+        EXPECT_EQ(fresh.remap(la), sg.remap(la));
+    EXPECT_EQ(fresh.totalMoves(), sg.totalMoves());
+}
+
+TEST(StartGap, RestoreRejectsWrongSeed)
+{
+    StartGap sg(smallParams(true));
+    StartGapState state = sg.save();
+    state.randomizerSeed ^= 1;
+    EXPECT_THROW(sg.restore(state), FatalError);
+}
+
+TEST(StartGap, StateFitsInSixtyFourBytes)
+{
+    // "taking less than 64B per 4TB~6TB memory" (Section VIII).
+    EXPECT_LE(sizeof(StartGapState), 64u);
+}
+
+TEST(StartGap, RejectsBadParams)
+{
+    StartGapParams p;
+    p.lines = 1;
+    EXPECT_THROW(StartGap{p}, FatalError);
+    p = smallParams();
+    p.writeThreshold = 0;
+    EXPECT_THROW(StartGap{p}, FatalError);
+    p = smallParams();
+    p.pageLines = 5;  // does not divide 64
+    EXPECT_THROW(StartGap{p}, FatalError);
+}
+
+/** Property sweep over sizes/seeds: always bijective after churn. */
+struct SgCase
+{
+    std::uint64_t lines;
+    std::uint64_t page_lines;
+    std::uint64_t seed;
+};
+
+class StartGapProperty : public ::testing::TestWithParam<SgCase>
+{
+};
+
+TEST_P(StartGapProperty, BijectiveUnderChurn)
+{
+    const SgCase c = GetParam();
+    StartGapParams p;
+    p.lines = c.lines;
+    p.pageLines = c.page_lines;
+    p.writeThreshold = 3;
+    p.randomizerSeed = c.seed;
+    StartGap sg(p);
+    for (int w = 0; w < 1000; ++w)
+        sg.recordWrite();
+    expectBijective(sg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, StartGapProperty,
+    ::testing::Values(SgCase{32, 1, 1}, SgCase{32, 4, 2},
+                      SgCase{96, 8, 3}, SgCase{128, 32, 4},
+                      SgCase{100, 10, 5}, SgCase{2048, 32, 6}));
+
+} // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for summaries, histograms, time series, and tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "stats/time_series.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::stats;
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.4);
+}
+
+TEST(Summary, EmptyIsSafe)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(Summary, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({1.0, 4.0, 16.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Histogram, CountMeanMinMax)
+{
+    Histogram h;
+    for (std::uint64_t v : {10u, 20u, 30u, 40u})
+        h.add(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 25.0);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 40u);
+}
+
+TEST(Histogram, PercentilesApproximateWithinBucketResolution)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.add(v);
+    // 1/32 relative resolution.
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 500.0, 32.0);
+    EXPECT_NEAR(static_cast<double>(h.percentile(0.99)), 990.0, 64.0);
+    EXPECT_EQ(h.percentile(0.0), 1u);
+}
+
+TEST(Histogram, LargeValues)
+{
+    Histogram h;
+    h.add(std::uint64_t(1) << 40);
+    h.add(std::uint64_t(1) << 41);
+    EXPECT_EQ(h.count(), 2u);
+    // Bucket lower bound within 1/32 of the actual value.
+    EXPECT_GE(h.percentile(1.0),
+              (std::uint64_t(1) << 41) - (std::uint64_t(1) << 36));
+}
+
+TEST(Histogram, CvDetectsVariation)
+{
+    Histogram constant, varying;
+    for (int i = 0; i < 100; ++i) {
+        constant.add(50);
+        varying.add(i % 2 == 0 ? 10 : 100);
+    }
+    EXPECT_NEAR(constant.cv(), 0.0, 1e-9);
+    EXPECT_GT(varying.cv(), 0.5);
+}
+
+TEST(Histogram, RejectsBadSubBuckets)
+{
+    EXPECT_THROW(Histogram(0), FatalError);
+    EXPECT_THROW(Histogram(33), FatalError);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.add(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(TimeSeries, IntegrateIsAreaUnderCurve)
+{
+    TimeSeries ts("power");
+    ts.record(0, 2.0);
+    ts.record(10, 4.0);
+    ts.record(20, 4.0);
+    // 2.0 * 10 + 4.0 * 10
+    EXPECT_DOUBLE_EQ(ts.integrate(), 60.0);
+}
+
+TEST(TimeSeries, DownsampleBoundsPoints)
+{
+    TimeSeries ts("ipc");
+    for (Tick t = 0; t < 1000; ++t)
+        ts.record(t, 1.0);
+    const auto down = ts.downsample(10);
+    EXPECT_LE(down.size(), 11u);
+    for (const auto &s : down)
+        EXPECT_DOUBLE_EQ(s.value, 1.0);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::ratio(4.3, 1), "4.3x");
+    EXPECT_EQ(Table::percent(0.73), "73%");
+}
+
+} // namespace
+
+namespace
+{
+
+TEST(Table, CsvOutput)
+{
+    Table t({"name", "value"});
+    t.addRow({"plain", "1"});
+    t.addRow({"with,comma", "2"});
+    t.addRow({"with\"quote", "3"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(),
+              "name,value\n"
+              "plain,1\n"
+              "\"with,comma\",2\n"
+              "\"with\"\"quote\",3\n");
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for GF(2^8) arithmetic and the symbol-based erasure code.
+ */
+
+#include <gtest/gtest.h>
+
+#include "psm/gf256.hh"
+#include "psm/symbol_ecc.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::psm;
+
+TEST(Gf256, AdditionIsXor)
+{
+    EXPECT_EQ(gf256::add(0x57, 0x83), 0x57 ^ 0x83);
+    EXPECT_EQ(gf256::add(0xff, 0xff), 0);
+}
+
+TEST(Gf256, KnownProduct)
+{
+    // The classic AES example: 0x57 * 0x83 = 0xc1 under 0x11d...
+    // verify against a slow bitwise multiply instead of a constant.
+    auto slow_mul = [](std::uint8_t a, std::uint8_t b) {
+        std::uint16_t acc = 0;
+        std::uint16_t aa = a;
+        for (int i = 0; i < 8; ++i) {
+            if (b & (1 << i))
+                acc ^= aa << i;
+        }
+        for (int i = 15; i >= 8; --i)
+            if (acc & (1 << i))
+                acc ^= 0x11d << (i - 8);
+        return static_cast<std::uint8_t>(acc);
+    };
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.next());
+        const auto b = static_cast<std::uint8_t>(rng.next());
+        ASSERT_EQ(gf256::mul(a, b), slow_mul(a, b));
+    }
+}
+
+TEST(Gf256, MultiplicationByZeroAndOne)
+{
+    for (int a = 0; a < 256; ++a) {
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), 0), 0);
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), 1), a);
+    }
+}
+
+TEST(Gf256, InverseRoundTrip)
+{
+    for (int a = 1; a < 256; ++a) {
+        const auto inv = gf256::inv(static_cast<std::uint8_t>(a));
+        EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a), inv), 1);
+    }
+}
+
+TEST(Gf256, DivisionInvertsMultiplication)
+{
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const auto a = static_cast<std::uint8_t>(rng.next());
+        const auto b =
+            static_cast<std::uint8_t>(rng.between(1, 255));
+        EXPECT_EQ(gf256::div(gf256::mul(a, b), b), a);
+    }
+}
+
+TEST(SymbolEcc, EncodeDecodeNoErasures)
+{
+    SymbolEcc code(8, 2);
+    Rng rng(3);
+    std::vector<std::uint8_t> data(8);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    const auto codeword = code.encode(data);
+    EXPECT_EQ(codeword.size(), 10u);
+
+    std::vector<std::uint8_t> out;
+    EXPECT_TRUE(code.decode(codeword, std::vector<bool>(10, false),
+                            out));
+    EXPECT_EQ(out, data);
+}
+
+TEST(SymbolEcc, RecoversUpToParityErasures)
+{
+    SymbolEcc code(8, 2);
+    Rng rng(4);
+    std::vector<std::uint8_t> data(8);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    auto codeword = code.encode(data);
+
+    // Erase any two symbols.
+    std::vector<bool> erased(10, false);
+    erased[3] = erased[9] = true;
+    codeword[3] = 0xaa;
+    codeword[9] = 0x55;
+
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(code.decode(codeword, erased, out));
+    EXPECT_EQ(out, data);
+}
+
+TEST(SymbolEcc, FailsBeyondParityBudget)
+{
+    SymbolEcc code(4, 2);
+    std::vector<std::uint8_t> data{1, 2, 3, 4};
+    const auto codeword = code.encode(data);
+    std::vector<bool> erased(6, false);
+    erased[0] = erased[1] = erased[2] = true;  // 3 > r = 2
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(code.decode(codeword, erased, out));
+}
+
+TEST(SymbolEcc, LaneInterface)
+{
+    SymbolEcc code(4, 2);
+    Rng rng(5);
+    std::vector<std::uint8_t> lanes(4 * 32);
+    for (auto &b : lanes)
+        b = static_cast<std::uint8_t>(rng.next());
+    auto coded = code.encodeLanes(lanes, 32);
+    EXPECT_EQ(coded.size(), 6u * 32);
+
+    // Kill two whole lanes (devices).
+    std::vector<bool> erased(6, false);
+    erased[1] = erased[4] = true;
+    for (int b = 0; b < 32; ++b) {
+        coded[1 * 32 + b] = 0xde;
+        coded[4 * 32 + b] = 0xad;
+    }
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(code.decodeLanes(coded, 32, erased, out));
+    EXPECT_EQ(out, lanes);
+}
+
+TEST(SymbolEcc, RejectsBadGeometry)
+{
+    EXPECT_THROW(SymbolEcc(0, 2), FatalError);
+    EXPECT_THROW(SymbolEcc(2, 0), FatalError);
+    EXPECT_THROW(SymbolEcc(200, 60), FatalError);
+}
+
+/** Property sweep: random (k, r), random erasure sets up to r. */
+struct EccCase
+{
+    unsigned k;
+    unsigned r;
+    std::uint64_t seed;
+};
+
+class SymbolEccProperty : public ::testing::TestWithParam<EccCase>
+{
+};
+
+TEST_P(SymbolEccProperty, MdsRecovery)
+{
+    const EccCase c = GetParam();
+    SymbolEcc code(c.k, c.r);
+    Rng rng(c.seed);
+    std::vector<std::uint8_t> data(c.k);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    auto codeword = code.encode(data);
+
+    // Erase exactly r random distinct positions.
+    std::vector<bool> erased(c.k + c.r, false);
+    unsigned erased_count = 0;
+    while (erased_count < c.r) {
+        const auto pos = rng.below(c.k + c.r);
+        if (!erased[pos]) {
+            erased[pos] = true;
+            codeword[pos] = static_cast<std::uint8_t>(rng.next());
+            ++erased_count;
+        }
+    }
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(code.decode(codeword, erased, out));
+    EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SymbolEccProperty,
+    ::testing::Values(EccCase{2, 1, 1}, EccCase{4, 2, 2},
+                      EccCase{8, 2, 3}, EccCase{8, 4, 4},
+                      EccCase{16, 2, 5}, EccCase{16, 8, 6},
+                      EccCase{12, 4, 7}, EccCase{10, 6, 8},
+                      EccCase{32, 4, 9}, EccCase{24, 8, 10}));
+
+} // namespace

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for the platform System assembly itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/system.hh"
+#include "sim/logging.hh"
+#include "workload/spec.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::platform;
+
+SystemConfig
+configFor(PlatformKind kind)
+{
+    SystemConfig config;
+    config.kind = kind;
+    return config;
+}
+
+TEST(System, PlatformNames)
+{
+    EXPECT_EQ(platformName(PlatformKind::LegacyPC), "LegacyPC");
+    EXPECT_EQ(platformName(PlatformKind::LightPCB), "LightPC-B");
+    EXPECT_EQ(platformName(PlatformKind::LightPC), "LightPC");
+}
+
+TEST(System, LegacyHasDramOthersDoNot)
+{
+    System legacy(configFor(PlatformKind::LegacyPC));
+    System light(configFor(PlatformKind::LightPC));
+    EXPECT_NE(legacy.dram(), nullptr);
+    EXPECT_EQ(light.dram(), nullptr);
+}
+
+TEST(System, KindSelectsPsmFeatures)
+{
+    System b(configFor(PlatformKind::LightPCB));
+    System light(configFor(PlatformKind::LightPC));
+    EXPECT_FALSE(b.psm().params().eccReconstruction);
+    EXPECT_FALSE(b.psm().params().earlyReturnWrites);
+    EXPECT_TRUE(light.psm().params().eccReconstruction);
+}
+
+TEST(System, PsmOverrideWins)
+{
+    psm::PsmParams params =
+        psmParamsFor(PlatformKind::LightPC, 6);
+    params.busLatency = 123 * tickNs;
+    SystemConfig config;
+    config.psmParams = params;
+    System system(config);
+    EXPECT_EQ(system.psm().params().busLatency, 123 * tickNs);
+}
+
+TEST(System, LegacyRoutesPmemWindowToPsm)
+{
+    System system(configFor(PlatformKind::LegacyPC));
+    mem::MemRequest req;
+    req.op = mem::MemOp::Write;
+    req.addr = System::pmemWindowBase + 64;
+    system.memoryPort().access(req, 0);
+    EXPECT_EQ(system.psm().stats().writes, 1u);
+    EXPECT_EQ(system.dram()->totalAccesses(), 0u);
+
+    req.addr = 4096;  // below the window -> DRAM
+    system.memoryPort().access(req, 0);
+    EXPECT_EQ(system.dram()->totalAccesses(), 1u);
+}
+
+TEST(System, LightPcRoutesEverythingToPsm)
+{
+    System system(configFor(PlatformKind::LightPC));
+    mem::MemRequest req;
+    req.op = mem::MemOp::Read;
+    req.addr = 4096;
+    system.memoryPort().access(req, 0);
+    EXPECT_EQ(system.psm().stats().reads, 1u);
+}
+
+TEST(System, FenceReachesThePsmFlushPort)
+{
+    System system(configFor(PlatformKind::LightPC));
+    mem::MemRequest req;
+    req.op = mem::MemOp::Write;
+    req.addr = 0;
+    system.memoryPort().access(req, 0);
+    const Tick quiescent = system.memoryPort().fence(100);
+    EXPECT_GT(quiescent, 100u);
+    EXPECT_EQ(system.psm().stats().flushes, 1u);
+}
+
+TEST(System, RunRejectsBadStreamCounts)
+{
+    SystemConfig two_cores;
+    two_cores.cores = 2;
+    System system(two_cores);
+    EXPECT_THROW(system.runStreams({}), FatalError);
+}
+
+TEST(System, CollectFillsResultFields)
+{
+    SystemConfig config;
+    config.scaleDivisor = 60000;
+    System system(config);
+    const auto result =
+        system.run(workload::findWorkload("SHA512"));
+    EXPECT_EQ(result.platform, "LightPC");
+    EXPECT_EQ(result.workload, "SHA512");
+    EXPECT_GT(result.elapsed, 0u);
+    EXPECT_GT(result.instructions, 0u);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.ipc, 0.0);
+    EXPECT_GT(result.watts, 0.0);
+    EXPECT_GT(result.joules, 0.0);
+    EXPECT_GT(result.loadHitRate, 0.9);  // SHA512: 99.9%
+}
+
+TEST(System, ActivityUtilizationBounded)
+{
+    SystemConfig config;
+    config.scaleDivisor = 60000;
+    System system(config);
+    system.run(workload::findWorkload("AES"));
+    const auto sample =
+        system.activity(system.eventQueue().now(), 1);
+    EXPECT_GE(sample.coreUtilization, 0.0);
+    EXPECT_LE(sample.coreUtilization, 1.0);
+    EXPECT_EQ(sample.coresActive + sample.coresIdle,
+              system.coreCount());
+}
+
+TEST(System, FrequencyConfigPropagates)
+{
+    SystemConfig config;
+    config.freqMhz = 400;  // the FPGA configuration
+    System system(config);
+    EXPECT_EQ(system.core(0).clock().mhz(), 400u);
+    EXPECT_EQ(system.core(0).clock().period(), 2500u);
+}
+
+TEST(System, ZeroCoresRejected)
+{
+    SystemConfig config;
+    config.cores = 0;
+    EXPECT_THROW(System{config}, FatalError);
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parameterized fidelity sweep: every Table II workload, replayed on
+ * the LightPC platform, must reproduce its published cache behaviour
+ * and memory-level traffic mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/system.hh"
+#include "workload/spec.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::platform;
+
+class TableTwoFidelity : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(TableTwoFidelity, HitRatesAndTrafficMatch)
+{
+    const auto &spec = workload::findWorkload(GetParam());
+
+    SystemConfig config;
+    config.kind = PlatformKind::LightPC;
+    config.scaleDivisor = 25000;
+    System system(config);
+    const auto result = system.run(spec);
+
+    // D$ hit rates within 6 pp of the published values.
+    EXPECT_NEAR(result.loadHitRate, spec.readHitRate, 0.06)
+        << spec.name;
+    EXPECT_NEAR(result.storeHitRate, spec.writeHitRate, 0.06)
+        << spec.name;
+
+    // Memory-level read/write mix tracks the table's ratio. The
+    // band is wide because the extremes are small-sample at test
+    // scale (SHA512's ~0.1% miss rates leave only hundreds of
+    // memory ops) and dirty lines still resident at the end of a
+    // short run withhold their writebacks.
+    ASSERT_GT(result.psmStats.writes, 0u);
+    const double ratio = static_cast<double>(result.psmStats.reads)
+        / static_cast<double>(result.psmStats.writes);
+    EXPECT_GT(ratio, spec.rwRatio() / 3.0) << spec.name;
+    EXPECT_LT(ratio, spec.rwRatio() * 3.0) << spec.name;
+
+    // Threading per the table.
+    const bool multicore =
+        system.core(1).stats().instructions > 0;
+    EXPECT_EQ(multicore, spec.multithread) << spec.name;
+}
+
+std::vector<std::string>
+allWorkloads()
+{
+    std::vector<std::string> names;
+    for (const auto &spec : lightpc::workload::tableTwo())
+        names.push_back(spec.name);
+    return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSeventeen, TableTwoFidelity,
+    ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit and property tests for the XOR-based ECC codec (XCC).
+ */
+
+#include <gtest/gtest.h>
+
+#include "psm/xcc.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::psm;
+
+HalfLine
+randomHalf(Rng &rng)
+{
+    HalfLine h;
+    for (auto &b : h)
+        b = static_cast<std::uint8_t>(rng.next());
+    return h;
+}
+
+TEST(Xcc, EncodeIsXor)
+{
+    HalfLine a{}, b{};
+    a[0] = 0xf0;
+    b[0] = 0x0f;
+    const HalfLine parity = XccCodec::encode(a, b);
+    EXPECT_EQ(parity[0], 0xff);
+    for (std::size_t i = 1; i < parity.size(); ++i)
+        EXPECT_EQ(parity[i], 0);
+}
+
+TEST(Xcc, ReconstructRoundTrip)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 200; ++trial) {
+        const HalfLine a = randomHalf(rng);
+        const HalfLine b = randomHalf(rng);
+        const HalfLine parity = XccCodec::encode(a, b);
+        EXPECT_EQ(XccCodec::reconstruct(b, parity), a);
+        EXPECT_EQ(XccCodec::reconstruct(a, parity), b);
+    }
+}
+
+TEST(Xcc, ConsistencyCheck)
+{
+    Rng rng(43);
+    HalfLine a = randomHalf(rng);
+    HalfLine b = randomHalf(rng);
+    HalfLine parity = XccCodec::encode(a, b);
+    EXPECT_TRUE(XccCodec::consistent(a, b, parity));
+    a[5] ^= 0x10;
+    EXPECT_FALSE(XccCodec::consistent(a, b, parity));
+}
+
+TEST(Xcc, DecodeCleanCodeword)
+{
+    Rng rng(44);
+    HalfLine a = randomHalf(rng);
+    HalfLine b = randomHalf(rng);
+    const HalfLine parity = XccCodec::encode(a, b);
+    const auto out = XccCodec::decode(a, b, parity, false, false);
+    EXPECT_TRUE(out.ok);
+    EXPECT_FALSE(out.corrected);
+    EXPECT_FALSE(out.containment);
+}
+
+TEST(Xcc, DecodeCorrectsKnownBadHalf)
+{
+    Rng rng(45);
+    const HalfLine a0 = randomHalf(rng);
+    const HalfLine b0 = randomHalf(rng);
+    const HalfLine parity = XccCodec::encode(a0, b0);
+
+    HalfLine a = a0, b = b0;
+    a.fill(0xee);  // device A failed
+    const auto out = XccCodec::decode(a, b, parity, true, false);
+    EXPECT_TRUE(out.ok);
+    EXPECT_TRUE(out.corrected);
+    EXPECT_EQ(a, a0);
+
+    HalfLine a2 = a0, b2 = b0;
+    b2.fill(0x11);  // device B failed
+    const auto out2 = XccCodec::decode(a2, b2, parity, false, true);
+    EXPECT_TRUE(out2.ok);
+    EXPECT_EQ(b2, b0);
+}
+
+TEST(Xcc, BothHalvesBadRaisesContainment)
+{
+    Rng rng(46);
+    HalfLine a = randomHalf(rng);
+    HalfLine b = randomHalf(rng);
+    const HalfLine parity = XccCodec::encode(a, b);
+    const auto out = XccCodec::decode(a, b, parity, true, true);
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.containment);
+}
+
+TEST(Xcc, SilentCorruptionRaisesContainment)
+{
+    Rng rng(47);
+    HalfLine a = randomHalf(rng);
+    HalfLine b = randomHalf(rng);
+    const HalfLine parity = XccCodec::encode(a, b);
+    a[3] ^= 0x40;  // corruption with no known-bad device
+    const auto out = XccCodec::decode(a, b, parity, false, false);
+    EXPECT_FALSE(out.ok);
+    EXPECT_TRUE(out.containment);
+}
+
+/** Property sweep: random corruption of one known-bad half always
+ *  recovers the original data. */
+class XccRecovery : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(XccRecovery, RecoversUnderRandomFaults)
+{
+    Rng rng(1000 + GetParam());
+    const HalfLine a0 = randomHalf(rng);
+    const HalfLine b0 = randomHalf(rng);
+    const HalfLine parity = XccCodec::encode(a0, b0);
+
+    HalfLine a = a0, b = b0;
+    const bool fault_a = rng.chance(0.5);
+    if (fault_a)
+        a = randomHalf(rng);
+    else
+        b = randomHalf(rng);
+    const auto out = XccCodec::decode(a, b, parity, fault_a, !fault_a);
+    EXPECT_TRUE(out.ok);
+    EXPECT_EQ(a, a0);
+    EXPECT_EQ(b, b0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFaults, XccRecovery,
+                         ::testing::Range(0, 50));
+
+} // namespace
