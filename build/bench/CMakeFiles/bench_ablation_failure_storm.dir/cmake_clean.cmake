@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_failure_storm.dir/bench_ablation_failure_storm.cc.o"
+  "CMakeFiles/bench_ablation_failure_storm.dir/bench_ablation_failure_storm.cc.o.d"
+  "bench_ablation_failure_storm"
+  "bench_ablation_failure_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_failure_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

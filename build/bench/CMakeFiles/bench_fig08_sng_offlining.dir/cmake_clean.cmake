@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_sng_offlining.dir/bench_fig08_sng_offlining.cc.o"
+  "CMakeFiles/bench_fig08_sng_offlining.dir/bench_fig08_sng_offlining.cc.o.d"
+  "bench_fig08_sng_offlining"
+  "bench_fig08_sng_offlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_sng_offlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

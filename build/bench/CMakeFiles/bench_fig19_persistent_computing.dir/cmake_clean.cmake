@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_persistent_computing.dir/bench_fig19_persistent_computing.cc.o"
+  "CMakeFiles/bench_fig19_persistent_computing.dir/bench_fig19_persistent_computing.cc.o.d"
+  "bench_fig19_persistent_computing"
+  "bench_fig19_persistent_computing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_persistent_computing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

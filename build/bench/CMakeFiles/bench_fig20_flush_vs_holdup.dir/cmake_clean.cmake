@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_flush_vs_holdup.dir/bench_fig20_flush_vs_holdup.cc.o"
+  "CMakeFiles/bench_fig20_flush_vs_holdup.dir/bench_fig20_flush_vs_holdup.cc.o.d"
+  "bench_fig20_flush_vs_holdup"
+  "bench_fig20_flush_vs_holdup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_flush_vs_holdup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_comparison.dir/checkpoint_comparison.cc.o"
+  "CMakeFiles/checkpoint_comparison.dir/checkpoint_comparison.cc.o.d"
+  "checkpoint_comparison"
+  "checkpoint_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lightpc_cli.dir/lightpc_cli.cc.o"
+  "CMakeFiles/lightpc_cli.dir/lightpc_cli.cc.o.d"
+  "lightpc_cli"
+  "lightpc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lightpc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_kvstore.dir/persistent_kvstore.cc.o"
+  "CMakeFiles/persistent_kvstore.dir/persistent_kvstore.cc.o.d"
+  "persistent_kvstore"
+  "persistent_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

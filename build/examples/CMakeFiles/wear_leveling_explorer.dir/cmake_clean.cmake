@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wear_leveling_explorer.dir/wear_leveling_explorer.cc.o"
+  "CMakeFiles/wear_leveling_explorer.dir/wear_leveling_explorer.cc.o.d"
+  "wear_leveling_explorer"
+  "wear_leveling_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wear_leveling_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/l1_cache.cc" "src/CMakeFiles/lightpc.dir/cache/l1_cache.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/cache/l1_cache.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/lightpc.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/cpu/core.cc.o.d"
+  "/root/repo/src/kernel/device.cc" "src/CMakeFiles/lightpc.dir/kernel/device.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/kernel/device.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/lightpc.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/CMakeFiles/lightpc.dir/kernel/process.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/kernel/process.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/lightpc.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/dram_device.cc" "src/CMakeFiles/lightpc.dir/mem/dram_device.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/mem/dram_device.cc.o.d"
+  "/root/repo/src/mem/pmem_dimm.cc" "src/CMakeFiles/lightpc.dir/mem/pmem_dimm.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/mem/pmem_dimm.cc.o.d"
+  "/root/repo/src/mem/pram_device.cc" "src/CMakeFiles/lightpc.dir/mem/pram_device.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/mem/pram_device.cc.o.d"
+  "/root/repo/src/mem/timed_mem.cc" "src/CMakeFiles/lightpc.dir/mem/timed_mem.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/mem/timed_mem.cc.o.d"
+  "/root/repo/src/pecos/scaling.cc" "src/CMakeFiles/lightpc.dir/pecos/scaling.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/pecos/scaling.cc.o.d"
+  "/root/repo/src/pecos/sng.cc" "src/CMakeFiles/lightpc.dir/pecos/sng.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/pecos/sng.cc.o.d"
+  "/root/repo/src/persist/checkpoint.cc" "src/CMakeFiles/lightpc.dir/persist/checkpoint.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/persist/checkpoint.cc.o.d"
+  "/root/repo/src/persist/object_pool.cc" "src/CMakeFiles/lightpc.dir/persist/object_pool.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/persist/object_pool.cc.o.d"
+  "/root/repo/src/platform/pmem_modes.cc" "src/CMakeFiles/lightpc.dir/platform/pmem_modes.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/platform/pmem_modes.cc.o.d"
+  "/root/repo/src/platform/system.cc" "src/CMakeFiles/lightpc.dir/platform/system.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/platform/system.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/lightpc.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/power/power_model.cc.o.d"
+  "/root/repo/src/psm/bare_nvdimm.cc" "src/CMakeFiles/lightpc.dir/psm/bare_nvdimm.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/psm/bare_nvdimm.cc.o.d"
+  "/root/repo/src/psm/psm.cc" "src/CMakeFiles/lightpc.dir/psm/psm.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/psm/psm.cc.o.d"
+  "/root/repo/src/psm/start_gap.cc" "src/CMakeFiles/lightpc.dir/psm/start_gap.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/psm/start_gap.cc.o.d"
+  "/root/repo/src/psm/symbol_ecc.cc" "src/CMakeFiles/lightpc.dir/psm/symbol_ecc.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/psm/symbol_ecc.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/lightpc.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/sim/logging.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/lightpc.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/lightpc.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/stats/table.cc.o.d"
+  "/root/repo/src/workload/spec.cc" "src/CMakeFiles/lightpc.dir/workload/spec.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/workload/spec.cc.o.d"
+  "/root/repo/src/workload/stream_bench.cc" "src/CMakeFiles/lightpc.dir/workload/stream_bench.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/workload/stream_bench.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/CMakeFiles/lightpc.dir/workload/synthetic.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/workload/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/CMakeFiles/lightpc.dir/workload/trace.cc.o" "gcc" "src/CMakeFiles/lightpc.dir/workload/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

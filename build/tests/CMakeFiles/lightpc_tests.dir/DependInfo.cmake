@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backing_store.cc" "tests/CMakeFiles/lightpc_tests.dir/test_backing_store.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_backing_store.cc.o.d"
+  "/root/repo/tests/test_checkpoint.cc" "tests/CMakeFiles/lightpc_tests.dir/test_checkpoint.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_checkpoint.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/lightpc_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/lightpc_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_fuzz.cc" "tests/CMakeFiles/lightpc_tests.dir/test_fuzz.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_fuzz.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/lightpc_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_l1_cache.cc" "tests/CMakeFiles/lightpc_tests.dir/test_l1_cache.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_l1_cache.cc.o.d"
+  "/root/repo/tests/test_mem_devices.cc" "tests/CMakeFiles/lightpc_tests.dir/test_mem_devices.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_mem_devices.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/lightpc_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_object_pool.cc" "tests/CMakeFiles/lightpc_tests.dir/test_object_pool.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_object_pool.cc.o.d"
+  "/root/repo/tests/test_pecos_misc.cc" "tests/CMakeFiles/lightpc_tests.dir/test_pecos_misc.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_pecos_misc.cc.o.d"
+  "/root/repo/tests/test_platform.cc" "tests/CMakeFiles/lightpc_tests.dir/test_platform.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_platform.cc.o.d"
+  "/root/repo/tests/test_platform_ports.cc" "tests/CMakeFiles/lightpc_tests.dir/test_platform_ports.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_platform_ports.cc.o.d"
+  "/root/repo/tests/test_pmdk_streams.cc" "tests/CMakeFiles/lightpc_tests.dir/test_pmdk_streams.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_pmdk_streams.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/lightpc_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_psm.cc" "tests/CMakeFiles/lightpc_tests.dir/test_psm.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_psm.cc.o.d"
+  "/root/repo/tests/test_psm_properties.cc" "tests/CMakeFiles/lightpc_tests.dir/test_psm_properties.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_psm_properties.cc.o.d"
+  "/root/repo/tests/test_psm_reliability.cc" "tests/CMakeFiles/lightpc_tests.dir/test_psm_reliability.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_psm_reliability.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/lightpc_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_sng.cc" "tests/CMakeFiles/lightpc_tests.dir/test_sng.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_sng.cc.o.d"
+  "/root/repo/tests/test_soak.cc" "tests/CMakeFiles/lightpc_tests.dir/test_soak.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_soak.cc.o.d"
+  "/root/repo/tests/test_start_gap.cc" "tests/CMakeFiles/lightpc_tests.dir/test_start_gap.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_start_gap.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/lightpc_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_symbol_ecc.cc" "tests/CMakeFiles/lightpc_tests.dir/test_symbol_ecc.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_symbol_ecc.cc.o.d"
+  "/root/repo/tests/test_system.cc" "tests/CMakeFiles/lightpc_tests.dir/test_system.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_system.cc.o.d"
+  "/root/repo/tests/test_table2_fidelity.cc" "tests/CMakeFiles/lightpc_tests.dir/test_table2_fidelity.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_table2_fidelity.cc.o.d"
+  "/root/repo/tests/test_tag_cache.cc" "tests/CMakeFiles/lightpc_tests.dir/test_tag_cache.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_tag_cache.cc.o.d"
+  "/root/repo/tests/test_timed_mem.cc" "tests/CMakeFiles/lightpc_tests.dir/test_timed_mem.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_timed_mem.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/lightpc_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/lightpc_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_workload.cc.o.d"
+  "/root/repo/tests/test_xcc.cc" "tests/CMakeFiles/lightpc_tests.dir/test_xcc.cc.o" "gcc" "tests/CMakeFiles/lightpc_tests.dir/test_xcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lightpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
