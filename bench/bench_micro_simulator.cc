@@ -14,6 +14,7 @@
 #include "psm/start_gap.hh"
 #include "psm/xcc.hh"
 #include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
 #include "sim/rng.hh"
 
 using namespace lightpc;
@@ -114,6 +115,53 @@ BM_EventQueueChurn(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EventQueueChurn);
+
+/** The pre-pooling kernel on the identical workload, for the ratio. */
+void
+BM_LegacyEventQueueChurn(benchmark::State &state)
+{
+    LegacyEventQueue eq;
+    Tick t = 0;
+    for (auto _ : state) {
+        t += 10;
+        eq.schedule(t, [] {});
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyEventQueueChurn);
+
+/** Churn with a 32-byte capture: inline for the pooled kernel, one
+ *  malloc/free per event for std::function. */
+void
+BM_EventQueueChurnCapture32(benchmark::State &state)
+{
+    EventQueue eq;
+    Tick t = 0;
+    std::uint64_t sink[4] = {1, 2, 3, 4};
+    for (auto _ : state) {
+        t += 10;
+        eq.schedule(t, [sink] { benchmark::DoNotOptimize(sink[0]); });
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurnCapture32);
+
+void
+BM_LegacyEventQueueChurnCapture32(benchmark::State &state)
+{
+    LegacyEventQueue eq;
+    Tick t = 0;
+    std::uint64_t sink[4] = {1, 2, 3, 4};
+    for (auto _ : state) {
+        t += 10;
+        eq.schedule(t, [sink] { benchmark::DoNotOptimize(sink[0]); });
+        eq.step();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyEventQueueChurnCapture32);
 
 void
 BM_BackingStoreWrite64(benchmark::State &state)

@@ -1,19 +1,40 @@
-#!/bin/sh
-# Build everything, run the full test suite, and regenerate every
-# paper figure, teeing the transcripts the repository ships with
-# (test_output.txt / bench_output.txt).
-set -e
+#!/usr/bin/env bash
+# Build everything, run the full test suite, regenerate every paper
+# figure, and refresh BENCH_kernel.json, teeing the transcripts the
+# repository ships with (test_output.txt / bench_output.txt).
+#
+# Usage: scripts/run_all.sh [-j N]
+#   -j N   parallelism for the build, the test run, and the kernel
+#          sweep driver.
+#
+# pipefail matters: every stage tees into a transcript, and without
+# it a failing ctest/bench exit status would be masked by tee's.
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+jobs=2
+while getopts "j:" opt; do
+    case "$opt" in
+    j) jobs=$OPTARG ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    esac
+done
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+cmake -B build -G Ninja
+cmake --build build -j "$jobs"
+
+ctest --test-dir build --output-on-failure -j "$jobs" 2>&1 \
+    | tee test_output.txt
 
 : > bench_output.txt
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
+    # The sweep driver runs below with its own arguments.
+    [ "$(basename "$b")" = sweep_main ] && continue
     echo "### $(basename "$b")" | tee -a bench_output.txt
     "$b" 2>&1 | tee -a bench_output.txt
     echo | tee -a bench_output.txt
 done
+
+echo "### sweep_main" | tee -a bench_output.txt
+build/bench/sweep_main -j "$jobs" 2>&1 | tee -a bench_output.txt

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Build and run the kernel sweep driver, then summarize the results.
+
+Thin stdlib-only wrapper around bench/sweep_main: configures/builds
+the build tree if needed, runs the driver (forwarding -j/--events/
+--reps), and prints a legacy-vs-pooled table from the emitted
+BENCH_kernel.json.
+
+Usage:
+    scripts/sweep.py [-j N] [--events N] [--reps N]
+                     [--build-dir DIR] [--out FILE]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def build(build_dir):
+    if not os.path.exists(os.path.join(build_dir, "CMakeCache.txt")):
+        subprocess.run(
+            ["cmake", "-B", build_dir, "-S", repo_root(), "-G", "Ninja"],
+            check=True)
+    subprocess.run(
+        ["cmake", "--build", build_dir, "--target", "sweep_main"],
+        check=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Run the event-kernel benchmark sweep.")
+    parser.add_argument("-j", "--jobs", type=int, default=1,
+                        help="worker threads for the sweep driver "
+                             "(0 = hardware concurrency)")
+    parser.add_argument("--events", type=int, default=2_000_000,
+                        help="events per measured run")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="repetitions per configuration (median)")
+    parser.add_argument("--build-dir", default=None,
+                        help="CMake build tree (default: <repo>/build)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path "
+                             "(default: <repo>/BENCH_kernel.json)")
+    args = parser.parse_args()
+
+    build_dir = args.build_dir or os.path.join(repo_root(), "build")
+    out = args.out or os.path.join(repo_root(), "BENCH_kernel.json")
+
+    build(build_dir)
+
+    driver = os.path.join(build_dir, "bench", "sweep_main")
+    subprocess.run(
+        [driver, "-j", str(args.jobs), "--events", str(args.events),
+         "--reps", str(args.reps), "--out", out],
+        check=True)
+
+    with open(out) as f:
+        data = json.load(f)
+
+    by_workload = {}
+    for cfg in data["configs"]:
+        by_workload.setdefault(cfg["workload"], {})[cfg["kernel"]] = cfg
+
+    print()
+    print(f"{'workload':<18} {'legacy ns':>10} {'pooled ns':>10} "
+          f"{'speedup':>8} {'pooled allocs/ev':>17}")
+    for workload, kernels in by_workload.items():
+        legacy, pooled = kernels["legacy"], kernels["pooled"]
+        print(f"{workload:<18} {legacy['ns_per_event']:>10.2f} "
+              f"{pooled['ns_per_event']:>10.2f} "
+              f"{data['speedup'][workload]:>7.2f}x "
+              f"{pooled['allocs_per_event']:>17.4f}")
+    print(f"\nresults: {out}")
+
+    slowest = min(data["speedup"].values())
+    if slowest < 1.0:
+        print("warning: pooled kernel slower than legacy baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,21 +13,30 @@ DramDevice::DramDevice(const DramParams &params)
     if (_params.banks == 0)
         fatal("DramDevice requires at least one bank");
     bankState.resize(_params.banks);
+    rowDecode.set(_params.rowBytes);
+    bankDecode.set(_params.banks);
 }
 
 void
 DramDevice::catchUpRefresh(Tick when)
 {
     // All-bank refresh: every elapsed tREFI window blocks the DIMM
-    // for tRFC. Only windows that an access could actually collide
-    // with matter for timing; each is charged to every bank.
-    while (nextRefresh <= when) {
-        const Tick refresh_end = nextRefresh + _params.refreshLatency;
-        for (auto &bank : bankState)
-            bank.busyUntil = std::max(bank.busyUntil, refresh_end);
-        nextRefresh += _params.refreshInterval;
-        ++refreshes;
-    }
+    // for tRFC. Charging the windows one by one made an access after
+    // a long idle period O(idle / tREFI); since the windows' end
+    // times increase monotonically, only the latest one can still
+    // bind each bank's busyUntil, so all elapsed windows collapse
+    // into one O(banks) update with identical results.
+    if (nextRefresh > when)
+        return;
+    const std::uint64_t windows =
+        (when - nextRefresh) / _params.refreshInterval + 1;
+    const Tick last_end = nextRefresh
+        + (windows - 1) * _params.refreshInterval
+        + _params.refreshLatency;
+    for (auto &bank : bankState)
+        bank.busyUntil = std::max(bank.busyUntil, last_end);
+    nextRefresh += windows * _params.refreshInterval;
+    refreshes += windows;
 }
 
 AccessResult
@@ -35,10 +44,10 @@ DramDevice::access(const MemRequest &req, Tick when)
 {
     catchUpRefresh(when);
 
-    const std::uint64_t global_row = req.addr / _params.rowBytes;
+    const std::uint64_t global_row = rowDecode.div(req.addr);
     const std::uint32_t bank_idx =
-        static_cast<std::uint32_t>(global_row % _params.banks);
-    const std::uint64_t row = global_row / _params.banks;
+        static_cast<std::uint32_t>(bankDecode.mod(global_row));
+    const std::uint64_t row = bankDecode.div(global_row);
     Bank &bank = bankState[bank_idx];
 
     AccessResult result;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mem/request.hh"
+#include "sim/fast_div.hh"
 #include "sim/ticks.hh"
 
 namespace lightpc::mem
@@ -95,6 +96,8 @@ class DramDevice
     void catchUpRefresh(Tick when);
 
     DramParams _params;
+    FastDiv rowDecode;   ///< divisor: rowBytes
+    FastDiv bankDecode;  ///< divisor: banks
     std::vector<Bank> bankState;
     Tick nextRefresh;
     std::uint64_t hits = 0;

@@ -16,10 +16,12 @@ PmemDimm::PmemDimm(const PmemDimmParams &params)
 void
 PmemDimm::drainLsq(Tick now)
 {
-    while (!lsq.empty() && lsq.front().drainAt <= now) {
-        const LsqEntry entry = lsq.front();
-        lsq.pop_front();
-        fillSram(entry.block, /*dirty=*/true, entry.drainAt);
+    while (!lsq.empty() && lsq.front()->readyAt <= now) {
+        PooledRequest *entry = lsq.popFront();
+        const Addr block = entry->addr;
+        const Tick drain_at = entry->readyAt;
+        lsqPool.release(entry);
+        fillSram(block, /*dirty=*/true, drain_at);
     }
 }
 
@@ -70,8 +72,9 @@ PmemDimm::access(const MemRequest &req, Tick when)
     if (req.op == MemOp::Write) {
         // Write combining: a pending entry for the same 256 B media
         // block absorbs this cacheline for free.
-        for (const auto &entry : lsq) {
-            if (entry.block == block) {
+        for (const PooledRequest *entry = lsq.begin(); entry;
+             entry = entry->next) {
+            if (entry->addr == block) {
                 ++combined;
                 result.completeAt = t;
                 result.mediaFreeAt = media.busyUntil();
@@ -81,7 +84,7 @@ PmemDimm::access(const MemRequest &req, Tick when)
         }
         if (lsq.size() >= _params.lsqEntries) {
             // Backpressure: wait for the oldest entry to drain.
-            const Tick drain_at = lsq.front().drainAt;
+            const Tick drain_at = lsq.front()->readyAt;
             t = std::max(t, drain_at);
             drainLsq(t);
         }
@@ -89,7 +92,11 @@ PmemDimm::access(const MemRequest &req, Tick when)
         const Tick drain_base = std::max(lastDrain, t);
         const Tick drain_at = drain_base + _params.lsqDrainInterval;
         lastDrain = drain_at;
-        lsq.push_back({block, drain_at});
+        PooledRequest *entry = lsqPool.acquire();
+        entry->op = MemOp::Write;
+        entry->addr = block;
+        entry->readyAt = drain_at;
+        lsq.pushBack(entry);
         result.completeAt = t;
         result.mediaFreeAt = media.busyUntil();
         return result;
@@ -97,8 +104,9 @@ PmemDimm::access(const MemRequest &req, Tick when)
 
     // Read path: LSQ forwarding, then the inclusive SRAM/DRAM levels,
     // then the media (which may be busy with evicted writes).
-    for (const auto &entry : lsq) {
-        if (entry.block == block) {
+    for (const PooledRequest *entry = lsq.begin(); entry;
+         entry = entry->next) {
+        if (entry->addr == block) {
             ++readHits;
             result.completeAt = t + _params.sramLatency;
             result.internalCacheHit = true;
@@ -144,7 +152,7 @@ PmemDimm::reset()
     media.reset();
     sram.invalidateAll();
     dram.invalidateAll();
-    lsq.clear();
+    lsq.releaseAll(lsqPool);
     lastDrain = 0;
     readHits = 0;
     combined = 0;

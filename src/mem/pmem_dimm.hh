@@ -20,7 +20,6 @@
 #define LIGHTPC_MEM_PMEM_DIMM_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "mem/pram_device.hh"
 #include "mem/request.hh"
@@ -104,12 +103,6 @@ class PmemDimm
     void reset();
 
   private:
-    struct LsqEntry
-    {
-        Addr block;    ///< 256 B media block address.
-        Tick drainAt;  ///< When this entry leaves the LSQ.
-    };
-
     /** Retire LSQ entries whose drain time has passed. */
     void drainLsq(Tick now);
 
@@ -128,7 +121,13 @@ class PmemDimm
     PramDevice media;
     TagCache sram;
     TagCache dram;
-    std::deque<LsqEntry> lsq;
+    /**
+     * Write-combining LSQ: pooled request nodes (addr = 256 B media
+     * block, readyAt = drain time) on an intrusive list, so queueing
+     * a write never allocates.
+     */
+    RequestPool lsqPool;
+    RequestList lsq;
     Tick lastDrain = 0;
     std::uint64_t readHits = 0;
     std::uint64_t combined = 0;

@@ -16,6 +16,8 @@ PramDevice::PramDevice(const PramParams &params)
         (_params.capacityBytes + _params.wearRegionBytes - 1)
         / _params.wearRegionBytes;
     wear.assign(regions ? regions : 1, 0);
+    wearRegion.set(_params.wearRegionBytes);
+    wearRegions.set(wear.size());
 }
 
 AccessResult
@@ -41,8 +43,7 @@ PramDevice::write(Tick when, Addr addr, bool early_return)
     result.completeAt = early_return ? start : result.mediaFreeAt;
     _busyUntil = result.mediaFreeAt;
     ++writes;
-    const std::uint64_t region =
-        (addr / _params.wearRegionBytes) % wear.size();
+    const std::uint64_t region = wearRegions.mod(wearRegion.div(addr));
     ++wear[region];
     return result;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mem/request.hh"
+#include "sim/fast_div.hh"
 #include "sim/ticks.hh"
 
 namespace lightpc::mem
@@ -80,6 +81,20 @@ class PramDevice
      */
     AccessResult write(Tick when, Addr addr, bool early_return);
 
+    /**
+     * MemoryPort-style entry: service @p req starting no earlier
+     * than @p when. Writes are synchronous (no early return) — the
+     * PSM layers above decide when early-return semantics apply and
+     * call write() directly.
+     */
+    AccessResult
+    access(const MemRequest &req, Tick when)
+    {
+        if (req.op == MemOp::Read)
+            return read(when);
+        return write(when, req.addr, /*early_return=*/false);
+    }
+
     /** Time at which the die becomes free. */
     Tick busyUntil() const { return _busyUntil; }
 
@@ -114,6 +129,8 @@ class PramDevice
 
   private:
     PramParams _params;
+    FastDiv wearRegion;   ///< divisor: wearRegionBytes
+    FastDiv wearRegions;  ///< divisor: wear.size()
     Tick _busyUntil = 0;
     Tick stalled = 0;
     std::uint64_t reads = 0;

@@ -1,12 +1,16 @@
 /**
  * @file
- * Memory request and response types shared across the memory system.
+ * Memory request and response types shared across the memory system,
+ * plus the slab-pooled request free-list the PSM/DIMM pipeline uses
+ * so that queued requests never hit the heap on the steady state.
  */
 
 #ifndef LIGHTPC_MEM_REQUEST_HH
 #define LIGHTPC_MEM_REQUEST_HH
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "sim/ticks.hh"
 
@@ -76,6 +80,141 @@ struct AccessResult
      * must take the machine-check path.
      */
     bool containment = false;
+};
+
+/**
+ * A request that can sit in a device queue: the access itself plus
+ * a ready timestamp and an intrusive link. Nodes are owned by a
+ * RequestPool and threaded through RequestList queues, so enqueueing
+ * a request is two pointer writes — no allocation, no copy of a
+ * container element.
+ */
+struct PooledRequest : MemRequest
+{
+    /** When the queue owning this request may retire it. */
+    Tick readyAt = 0;
+
+    /** Next request in the owning list (or free list). */
+    PooledRequest *next = nullptr;
+};
+
+/**
+ * Slab-backed free-list of PooledRequest nodes.
+ *
+ * Slabs are never relocated or returned until destruction, so node
+ * pointers stay valid while queued. Steady-state acquire/release is
+ * a two-instruction free-list pop/push.
+ */
+class RequestPool
+{
+  public:
+    RequestPool() = default;
+
+    RequestPool(const RequestPool &) = delete;
+    RequestPool &operator=(const RequestPool &) = delete;
+
+    /** Take a node (fields reset to defaults). */
+    PooledRequest *
+    acquire()
+    {
+        if (!freeHead) [[unlikely]]
+            grow();
+        PooledRequest *node = freeHead;
+        freeHead = node->next;
+        *static_cast<MemRequest *>(node) = MemRequest{};
+        node->readyAt = 0;
+        node->next = nullptr;
+        return node;
+    }
+
+    /** Return a node to the pool. @pre not linked into any list. */
+    void
+    release(PooledRequest *node)
+    {
+        node->next = freeHead;
+        freeHead = node;
+    }
+
+    /** Nodes allocated across all slabs (bounded-memory tests). */
+    std::size_t capacity() const { return slabs.size() * slabSize; }
+
+  private:
+    static constexpr std::size_t slabSize = 64;
+
+    void
+    grow()
+    {
+        slabs.push_back(std::make_unique<PooledRequest[]>(slabSize));
+        PooledRequest *slab = slabs.back().get();
+        for (std::size_t i = slabSize; i-- > 0;) {
+            slab[i].next = freeHead;
+            freeHead = &slab[i];
+        }
+    }
+
+    std::vector<std::unique_ptr<PooledRequest[]>> slabs;
+    PooledRequest *freeHead = nullptr;
+};
+
+/**
+ * Intrusive FIFO of PooledRequest nodes (a device queue). The list
+ * never owns memory; nodes go back to their RequestPool on release.
+ */
+class RequestList
+{
+  public:
+    bool empty() const { return head == nullptr; }
+    std::size_t size() const { return count; }
+
+    PooledRequest *front() { return head; }
+    const PooledRequest *front() const { return head; }
+
+    /** First node, for intrusive iteration via ->next. */
+    PooledRequest *begin() { return head; }
+    const PooledRequest *begin() const { return head; }
+
+    void
+    pushBack(PooledRequest *node)
+    {
+        node->next = nullptr;
+        if (tail)
+            tail->next = node;
+        else
+            head = node;
+        tail = node;
+        ++count;
+    }
+
+    /** Unlink and return the oldest node. @pre !empty(). */
+    PooledRequest *
+    popFront()
+    {
+        PooledRequest *node = head;
+        head = node->next;
+        if (!head)
+            tail = nullptr;
+        node->next = nullptr;
+        --count;
+        return node;
+    }
+
+    /** Release every queued node back to @p pool. */
+    void
+    releaseAll(RequestPool &pool)
+    {
+        while (head) {
+            PooledRequest *node = head;
+            head = node->next;
+            pool.release(node);
+        }
+        tail = nullptr;
+        count = 0;
+    }
+
+  private:
+    PooledRequest *head = nullptr;
+    PooledRequest *tail = nullptr;
+    std::size_t count = 0;
 };
 
 } // namespace lightpc::mem

@@ -17,14 +17,15 @@ TimedMem::span(Tick when, Addr addr, std::uint64_t len, MemOp op)
 
     Tick t = when;
     const std::uint64_t exact = std::min(lines, sampleLimit);
-    MemRequest req;
-    req.op = op;
-    req.size = cacheLineBytes;
+    PooledRequest *req = pool.acquire();
+    req->op = op;
+    req->size = cacheLineBytes;
     for (std::uint64_t i = 0; i < exact; ++i) {
-        req.addr = first_line + i * cacheLineBytes;
-        const AccessResult result = port.access(req, t);
+        req->addr = first_line + i * cacheLineBytes;
+        const AccessResult result = port.access(*req, t);
         t = result.completeAt;
     }
+    pool.release(req);
 
     if (lines > exact) {
         // Extrapolate the remainder at the sampled per-line rate.

@@ -87,6 +87,8 @@ class TimedMem
     MemoryPort &port;
     BackingStore *store;
     std::uint64_t sampleLimit = sampleLines;
+    /** Line requests issued by span() come from this pool. */
+    RequestPool pool;
 };
 
 } // namespace lightpc::mem

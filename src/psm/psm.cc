@@ -42,13 +42,18 @@ Psm::Psm(const PsmParams &params)
     sg.randomizerSeed = _params.wearSeed;
     sg.pageLines = page_lines;
     wearLevel = std::make_unique<StartGap>(sg);
+
+    lineDecode.set(lineCount);
+    pageDecode.set(page_lines);
+    unitDecode.set(units);
+    groupDecode.set(nvdimms[0]->groupCount());
 }
 
 Psm::Route
 Psm::route(mem::Addr addr) const
 {
-    const std::uint64_t logical_line = (addr / mem::cacheLineBytes)
-        % lineCount;
+    const std::uint64_t logical_line =
+        lineDecode.mod(addr / mem::cacheLineBytes);
     const std::uint64_t physical_line = _params.wearLeveling
         ? wearLevel->remap(logical_line)
         : logical_line;
@@ -56,20 +61,19 @@ Psm::route(mem::Addr addr) const
     // Interleave at row-buffer-page granularity: a sequential page
     // burst fills one group's row buffer while other pages spread
     // over the remaining DIMMs/groups (intra- and inter-DIMM
-    // parallelism, Section V-B).
-    const std::uint64_t page_lines =
-        _params.rowBufferBytes / mem::cacheLineBytes;
-    const std::uint64_t global_page = physical_line / page_lines;
+    // parallelism, Section V-B). All divisors are fixed at
+    // construction, so the decode is shifts/masks on the usual
+    // power-of-two geometries.
+    const std::uint64_t global_page = pageDecode.div(physical_line);
 
     Route r;
-    r.unit = static_cast<std::uint32_t>(global_page % units);
-    const std::uint32_t groups_per_dimm = nvdimms[0]->groupCount();
-    r.dimm = r.unit / groups_per_dimm;
-    r.group = r.unit % groups_per_dimm;
-    r.page = global_page / units;
+    r.unit = static_cast<std::uint32_t>(unitDecode.mod(global_page));
+    r.dimm = static_cast<std::uint32_t>(groupDecode.div(r.unit));
+    r.group = static_cast<std::uint32_t>(groupDecode.mod(r.unit));
+    r.page = unitDecode.div(global_page);
     r.lineInPage =
-        static_cast<std::uint32_t>(physical_line % page_lines);
-    r.localAddr = (r.page * page_lines + r.lineInPage)
+        static_cast<std::uint32_t>(pageDecode.mod(physical_line));
+    r.localAddr = (r.page * pageDecode.value() + r.lineInPage)
         * mem::cacheLineBytes;
     return r;
 }

@@ -37,6 +37,7 @@
 #include "mem/request.hh"
 #include "psm/bare_nvdimm.hh"
 #include "psm/start_gap.hh"
+#include "sim/fast_div.hh"
 #include "stats/histogram.hh"
 
 namespace lightpc::psm
@@ -257,6 +258,11 @@ class Psm
     std::uint64_t capacity;
     std::uint64_t lineCount;
     std::uint32_t units;
+    /** Per-access routing divisors, fixed at construction. */
+    FastDiv lineDecode;    ///< divisor: lineCount
+    FastDiv pageDecode;    ///< divisor: rowBufferBytes / cacheLineBytes
+    FastDiv unitDecode;    ///< divisor: units
+    FastDiv groupDecode;   ///< divisor: groups per DIMM
     std::vector<std::unique_ptr<BareNvdimm>> nvdimms;
     std::vector<RowBuffer> rowBuffers;
     /** Reconstruction lanes: one ECC timeline per two groups. */

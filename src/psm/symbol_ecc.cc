@@ -1,5 +1,7 @@
 #include "psm/symbol_ecc.hh"
 
+#include <algorithm>
+
 #include "psm/gf256.hh"
 #include "sim/logging.hh"
 
@@ -23,6 +25,27 @@ SymbolEcc::SymbolEcc(unsigned data_symbols, unsigned parity_symbols)
 {
     if (k == 0 || r == 0 || k + r > 255)
         fatal("SymbolEcc requires 0 < k, 0 < r, k + r <= 255");
+    // One multiplication row per codeword position: every Horner
+    // step at position i multiplies the accumulator by point(i), so
+    // the whole encode needs no log/exp pair lookups at all.
+    hornerRows.resize(std::size_t(k + r) * 256);
+    for (unsigned i = 0; i < k + r; ++i)
+        gf256::mulRow(point(i), &hornerRows[std::size_t(i) * 256]);
+}
+
+void
+SymbolEcc::encodeInto(const std::uint8_t *data,
+                      std::uint8_t *codeword) const
+{
+    for (unsigned i = 0; i < k + r; ++i) {
+        // Horner evaluation of the data polynomial at point(i),
+        // with the multiply folded into one row lookup.
+        const std::uint8_t *row = &hornerRows[std::size_t(i) * 256];
+        std::uint8_t acc = 0;
+        for (unsigned j = k; j-- > 0;)
+            acc = static_cast<std::uint8_t>(row[acc] ^ data[j]);
+        codeword[i] = acc;
+    }
 }
 
 std::vector<std::uint8_t>
@@ -31,15 +54,69 @@ SymbolEcc::encode(const std::vector<std::uint8_t> &data) const
     if (data.size() != k)
         fatal("SymbolEcc::encode expects ", k, " symbols");
     std::vector<std::uint8_t> codeword(k + r);
-    for (unsigned i = 0; i < k + r; ++i) {
-        // Horner evaluation of the data polynomial at point(i).
-        const std::uint8_t x = point(i);
-        std::uint8_t acc = 0;
-        for (unsigned j = k; j-- > 0;)
-            acc = gf256::add(gf256::mul(acc, x), data[j]);
-        codeword[i] = acc;
-    }
+    encodeInto(data.data(), codeword.data());
     return codeword;
+}
+
+bool
+SymbolEcc::buildRecovery(const std::vector<bool> &erased,
+                         std::vector<unsigned> &survivors,
+                         std::vector<std::uint8_t> &recovery) const
+{
+    survivors.clear();
+    for (unsigned i = 0; i < k + r && survivors.size() < k; ++i)
+        if (!erased[i])
+            survivors.push_back(i);
+    if (survivors.size() < k)
+        return false;  // beyond the code's erasure budget
+
+    // Invert the survivors' Vandermonde matrix by eliminating
+    // [V | I] to [I | V^-1] over GF(2^8). k is small (device
+    // counts), and — unlike solving per byte — this runs once per
+    // erasure pattern; every byte then costs one k x k multiply.
+    const unsigned w = 2 * k;
+    std::vector<std::uint8_t> m(std::size_t(k) * w, 0);
+    for (unsigned row = 0; row < k; ++row) {
+        const std::uint8_t x = point(survivors[row]);
+        std::uint8_t p = 1;
+        for (unsigned col = 0; col < k; ++col) {
+            m[row * w + col] = p;
+            p = gf256::mul(p, x);
+        }
+        m[row * w + k + row] = 1;
+    }
+
+    for (unsigned col = 0; col < k; ++col) {
+        // Pivot.
+        unsigned pivot = col;
+        while (pivot < k && m[pivot * w + col] == 0)
+            ++pivot;
+        if (pivot == k)
+            return false;  // should not happen: V is invertible
+        if (pivot != col) {
+            for (unsigned j = 0; j < w; ++j)
+                std::swap(m[pivot * w + j], m[col * w + j]);
+        }
+        const std::uint8_t inv_p = gf256::inv(m[col * w + col]);
+        for (unsigned j = col; j < w; ++j)
+            m[col * w + j] = gf256::mul(m[col * w + j], inv_p);
+        for (unsigned row = 0; row < k; ++row) {
+            if (row == col)
+                continue;
+            const std::uint8_t f = m[row * w + col];
+            if (f == 0)
+                continue;
+            for (unsigned j = col; j < w; ++j)
+                m[row * w + j] = gf256::add(
+                    m[row * w + j], gf256::mul(f, m[col * w + j]));
+        }
+    }
+
+    recovery.assign(std::size_t(k) * k, 0);
+    for (unsigned i = 0; i < k; ++i)
+        for (unsigned j = 0; j < k; ++j)
+            recovery[i * k + j] = m[i * w + k + j];
+    return true;
 }
 
 bool
@@ -50,62 +127,20 @@ SymbolEcc::decode(const std::vector<std::uint8_t> &codeword,
     if (codeword.size() != k + r || erased.size() != k + r)
         fatal("SymbolEcc::decode expects ", k + r, " symbols");
 
-    // Collect k surviving evaluations.
     std::vector<unsigned> survivors;
-    for (unsigned i = 0; i < k + r && survivors.size() < k; ++i)
-        if (!erased[i])
-            survivors.push_back(i);
-    if (survivors.size() < k)
-        return false;  // beyond the code's erasure budget
-
-    // Solve the Vandermonde system V * data = values by Gaussian
-    // elimination over GF(2^8). k is small (device counts), so the
-    // cubic cost is irrelevant here; hardware would use a pipelined
-    // syndrome decoder.
-    std::vector<std::uint8_t> m(k * (k + 1));
-    for (unsigned row = 0; row < k; ++row) {
-        const std::uint8_t x = point(survivors[row]);
-        std::uint8_t p = 1;
-        for (unsigned col = 0; col < k; ++col) {
-            m[row * (k + 1) + col] = p;
-            p = gf256::mul(p, x);
-        }
-        m[row * (k + 1) + k] = codeword[survivors[row]];
-    }
-
-    for (unsigned col = 0; col < k; ++col) {
-        // Pivot.
-        unsigned pivot = col;
-        while (pivot < k && m[pivot * (k + 1) + col] == 0)
-            ++pivot;
-        if (pivot == k)
-            return false;  // should not happen: V is invertible
-        if (pivot != col) {
-            for (unsigned j = 0; j <= k; ++j)
-                std::swap(m[pivot * (k + 1) + j],
-                          m[col * (k + 1) + j]);
-        }
-        const std::uint8_t inv_p =
-            gf256::inv(m[col * (k + 1) + col]);
-        for (unsigned j = col; j <= k; ++j)
-            m[col * (k + 1) + j] =
-                gf256::mul(m[col * (k + 1) + j], inv_p);
-        for (unsigned row = 0; row < k; ++row) {
-            if (row == col)
-                continue;
-            const std::uint8_t f = m[row * (k + 1) + col];
-            if (f == 0)
-                continue;
-            for (unsigned j = col; j <= k; ++j)
-                m[row * (k + 1) + j] = gf256::add(
-                    m[row * (k + 1) + j],
-                    gf256::mul(f, m[col * (k + 1) + j]));
-        }
-    }
+    std::vector<std::uint8_t> recovery;
+    if (!buildRecovery(erased, survivors, recovery))
+        return false;
 
     out.resize(k);
-    for (unsigned i = 0; i < k; ++i)
-        out[i] = m[i * (k + 1) + k];
+    for (unsigned i = 0; i < k; ++i) {
+        std::uint8_t acc = 0;
+        for (unsigned j = 0; j < k; ++j)
+            acc = gf256::add(
+                acc, gf256::mul(recovery[i * k + j],
+                                codeword[survivors[j]]));
+        out[i] = acc;
+    }
     return true;
 }
 
@@ -117,10 +152,11 @@ SymbolEcc::encodeLanes(const std::vector<std::uint8_t> &lanes,
         fatal("SymbolEcc::encodeLanes expects ", k, " lanes");
     std::vector<std::uint8_t> coded((k + r) * lane_bytes);
     std::vector<std::uint8_t> data(k);
+    std::vector<std::uint8_t> codeword(k + r);
     for (std::size_t b = 0; b < lane_bytes; ++b) {
         for (unsigned lane = 0; lane < k; ++lane)
             data[lane] = lanes[lane * lane_bytes + b];
-        const auto codeword = encode(data);
+        encodeInto(data.data(), codeword.data());
         for (unsigned lane = 0; lane < k + r; ++lane)
             coded[lane * lane_bytes + b] = codeword[lane];
     }
@@ -135,16 +171,28 @@ SymbolEcc::decodeLanes(const std::vector<std::uint8_t> &lanes,
 {
     if (lanes.size() != (k + r) * lane_bytes)
         fatal("SymbolEcc::decodeLanes expects ", k + r, " lanes");
+
+    // The erasure pattern is shared by every byte offset, so the
+    // Vandermonde inversion runs once; each byte is then a k x k
+    // matrix-vector multiply instead of a fresh Gaussian
+    // elimination.
+    std::vector<unsigned> survivors;
+    std::vector<std::uint8_t> recovery;
+    if (!buildRecovery(erased, survivors, recovery))
+        return false;
+
     out.assign(k * lane_bytes, 0);
-    std::vector<std::uint8_t> codeword(k + r);
-    std::vector<std::uint8_t> data;
+    std::vector<std::uint8_t> values(k);
     for (std::size_t b = 0; b < lane_bytes; ++b) {
-        for (unsigned lane = 0; lane < k + r; ++lane)
-            codeword[lane] = lanes[lane * lane_bytes + b];
-        if (!decode(codeword, erased, data))
-            return false;
-        for (unsigned lane = 0; lane < k; ++lane)
-            out[lane * lane_bytes + b] = data[lane];
+        for (unsigned j = 0; j < k; ++j)
+            values[j] = lanes[survivors[j] * lane_bytes + b];
+        for (unsigned i = 0; i < k; ++i) {
+            std::uint8_t acc = 0;
+            for (unsigned j = 0; j < k; ++j)
+                acc = gf256::add(
+                    acc, gf256::mul(recovery[i * k + j], values[j]));
+            out[i * lane_bytes + b] = acc;
+        }
     }
     return true;
 }

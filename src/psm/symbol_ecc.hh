@@ -51,6 +51,15 @@ class SymbolEcc
     encode(const std::vector<std::uint8_t> &data) const;
 
     /**
+     * Allocation-free encode: @p data holds k symbols, @p codeword
+     * receives n. Horner steps use the per-position multiplication
+     * rows built at construction (one lookup per step, no log/exp
+     * pair, no zero branches).
+     */
+    void encodeInto(const std::uint8_t *data,
+                    std::uint8_t *codeword) const;
+
+    /**
      * Recover the k data symbols from a codeword with erasures.
      *
      * @param codeword n symbols; erased entries may hold anything.
@@ -82,8 +91,27 @@ class SymbolEcc
                      std::vector<std::uint8_t> &out) const;
 
   private:
+    /**
+     * Find k survivors and invert their Vandermonde system.
+     *
+     * @param erased    n erasure flags.
+     * @param survivors Receives the k surviving positions.
+     * @param recovery  Receives the k x k recovery matrix R with
+     *                  data = R * surviving values.
+     * @return false when fewer than k symbols survive.
+     */
+    bool buildRecovery(const std::vector<bool> &erased,
+                       std::vector<unsigned> &survivors,
+                       std::vector<std::uint8_t> &recovery) const;
+
     unsigned k;
     unsigned r;
+
+    /**
+     * Per-position Horner rows: row i maps acc -> acc * point(i),
+     * 256 entries each, built once per codec.
+     */
+    std::vector<std::uint8_t> hornerRows;
 };
 
 } // namespace lightpc::psm

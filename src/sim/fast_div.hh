@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Division by a runtime-fixed divisor, shift-based when possible.
+ *
+ * The memory routing paths (PSM interleaving, DRAM bank/row decode,
+ * PRAM wear regions) divide every access by configuration values
+ * that are fixed after construction and almost always powers of two.
+ * FastDiv captures the divisor once and turns the per-access
+ * divide/modulo into a shift/mask in that common case, falling back
+ * to hardware division for odd configurations. Results are identical
+ * either way.
+ */
+
+#ifndef LIGHTPC_SIM_FAST_DIV_HH
+#define LIGHTPC_SIM_FAST_DIV_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace lightpc
+{
+
+/** Divide/modulo by a divisor fixed at configuration time. */
+class FastDiv
+{
+  public:
+    FastDiv() = default;
+
+    explicit FastDiv(std::uint64_t divisor) { set(divisor); }
+
+    /** Set the divisor. @pre divisor != 0. */
+    void
+    set(std::uint64_t divisor)
+    {
+        d = divisor;
+        pow2 = std::has_single_bit(divisor);
+        shift = static_cast<unsigned>(std::countr_zero(divisor));
+    }
+
+    std::uint64_t value() const { return d; }
+
+    std::uint64_t
+    div(std::uint64_t x) const
+    {
+        return pow2 ? x >> shift : x / d;
+    }
+
+    std::uint64_t
+    mod(std::uint64_t x) const
+    {
+        return pow2 ? x & (d - 1) : x % d;
+    }
+
+  private:
+    std::uint64_t d = 1;
+    unsigned shift = 0;
+    bool pow2 = true;
+};
+
+} // namespace lightpc
+
+#endif // LIGHTPC_SIM_FAST_DIV_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The pre-pooling event queue, kept verbatim as a baseline.
+ *
+ * This is the kernel the repository shipped with before the
+ * zero-allocation rewrite: a binary heap of std::function entries
+ * with an unordered_set tracking liveness. It exists for two jobs:
+ *
+ *  - bench/sweep_main.cc measures it side by side with the pooled
+ *    EventQueue so BENCH_kernel.json records the before/after
+ *    throughput on every run, and
+ *
+ *  - the determinism tests replay identical schedule/cancel
+ *    sequences through both kernels and assert the firing orders
+ *    match exactly ((tick, priority, sequence) semantics must never
+ *    drift).
+ *
+ * Do not use it in models; it pays one heap allocation and one hash
+ * insert per event.
+ */
+
+#ifndef LIGHTPC_SIM_LEGACY_EVENT_QUEUE_HH
+#define LIGHTPC_SIM_LEGACY_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc
+{
+
+/** Handle used to cancel an event scheduled on the legacy queue. */
+using LegacyEventId = std::uint64_t;
+
+/**
+ * Baseline time-ordered callback queue (heap + unordered_set).
+ */
+class LegacyEventQueue
+{
+  public:
+    LegacyEventQueue() = default;
+
+    LegacyEventQueue(const LegacyEventQueue &) = delete;
+    LegacyEventQueue &operator=(const LegacyEventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Schedule @p fn at absolute time @p when. */
+    LegacyEventId
+    schedule(Tick when, std::function<void()> fn, int prio = 50)
+    {
+        if (when < _now)
+            panic("scheduling event in the past: ", when, " < ", _now);
+        const LegacyEventId id = ++lastId;
+        heap.push(Entry{when, prio, id, std::move(fn)});
+        live.insert(id);
+        return id;
+    }
+
+    /** Cancel a previously scheduled event. Idempotent. */
+    void
+    deschedule(LegacyEventId id)
+    {
+        live.erase(id);
+    }
+
+    /** True when no live events remain. */
+    bool empty() const { return live.empty(); }
+
+    /** Number of live (scheduled, not cancelled) events. */
+    std::size_t size() const { return live.size(); }
+
+    /** Run events until the queue drains or time would pass @p limit. */
+    Tick
+    run(Tick limit = maxTick)
+    {
+        while (!heap.empty()) {
+            if (heap.top().when > limit)
+                break;
+            Entry entry = heap.top();
+            heap.pop();
+            if (live.erase(entry.id) == 0)
+                continue;  // descheduled
+            _now = entry.when;
+            entry.fn();
+        }
+        return _now;
+    }
+
+    /** Execute exactly one event. @return false if the queue is empty. */
+    bool
+    step()
+    {
+        while (!heap.empty()) {
+            Entry entry = heap.top();
+            heap.pop();
+            if (live.erase(entry.id) == 0)
+                continue;  // descheduled
+            _now = entry.when;
+            entry.fn();
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        LegacyEventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.id > b.id;
+        }
+    };
+
+    Tick _now = 0;
+    LegacyEventId lastId = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    std::unordered_set<LegacyEventId> live;
+};
+
+} // namespace lightpc
+
+#endif // LIGHTPC_SIM_LEGACY_EVENT_QUEUE_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Small-buffer-optimized callback storage for pooled events.
+ *
+ * std::function heap-allocates any capture larger than its (16 B on
+ * libstdc++) internal buffer, which put one malloc/free pair on the
+ * event kernel's hot path. SmallCallback stores captures of up to
+ * inlineBytes directly inside the event slot; only oversized captures
+ * fall back to the heap. Slots live in stable slabs and are never
+ * relocated, so no move support is needed — just construct, invoke,
+ * destroy.
+ */
+
+#ifndef LIGHTPC_SIM_SMALL_CALLBACK_HH
+#define LIGHTPC_SIM_SMALL_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lightpc
+{
+
+/**
+ * A non-movable type-erased void() callable with inline storage.
+ */
+class SmallCallback
+{
+  public:
+    /** Captures up to this many bytes stay inside the event slot. */
+    static constexpr std::size_t inlineBytes = 48;
+
+    SmallCallback() = default;
+
+    SmallCallback(const SmallCallback &) = delete;
+    SmallCallback &operator=(const SmallCallback &) = delete;
+
+    ~SmallCallback() { reset(); }
+
+    /** Construct a callable in place. @pre empty. */
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using D = std::decay_t<F>;
+        if constexpr (sizeof(D) <= inlineBytes
+                      && alignof(D) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(buf)) D(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<D *>(p))(); };
+            if constexpr (std::is_trivially_destructible_v<D>) {
+                destroy_ = nullptr;
+            } else {
+                destroy_ = [](void *p) { static_cast<D *>(p)->~D(); };
+            }
+        } else {
+            // Oversized capture: the slot holds only a pointer.
+            D *heap = new D(std::forward<F>(fn));
+            ::new (static_cast<void *>(buf)) D *(heap);
+            invoke_ = [](void *p) { (**static_cast<D **>(p))(); };
+            destroy_ = [](void *p) { delete *static_cast<D **>(p); };
+        }
+    }
+
+    /** Invoke the stored callable. @pre engaged. */
+    void operator()() { invoke_(buf); }
+
+    /** True when a callable is stored. */
+    bool engaged() const { return invoke_ != nullptr; }
+
+    /** Destroy the stored callable (idempotent). */
+    void
+    reset()
+    {
+        if (destroy_)
+            destroy_(buf);
+        invoke_ = nullptr;
+        destroy_ = nullptr;
+    }
+
+    /**
+     * Destroy the callable without clearing the invoke pointer.
+     * Cheaper than reset() on the hot path; the slot is either
+     * re-emplace()d (which overwrites both pointers) or destroyed
+     * (which only consults destroy_) afterwards.
+     */
+    void
+    releaseAfterInvoke()
+    {
+        if (destroy_) {
+            destroy_(buf);
+            destroy_ = nullptr;
+        }
+    }
+
+  private:
+    alignas(std::max_align_t) unsigned char buf[inlineBytes];
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+};
+
+} // namespace lightpc
+
+#endif // LIGHTPC_SIM_SMALL_CALLBACK_HH

@@ -58,27 +58,39 @@ Histogram::bucketLow(std::size_t index) const
 }
 
 void
-Histogram::add(std::uint64_t value)
+Histogram::flush() const
 {
-    ++buckets[bucketIndex(value)];
-    summary.add(static_cast<double>(value));
+    // Replay in insertion order: Welford updates are order-dependent,
+    // and sequential replay makes the batched results bit-identical
+    // to unstaged insertion.
+    for (unsigned i = 0; i < stagedCount; ++i) {
+        const std::uint64_t value = staging[i];
+        ++buckets[bucketIndex(value)];
+        summary.add(static_cast<double>(value));
+    }
+    stagedCount = 0;
 }
 
 std::uint64_t
 Histogram::min() const
 {
-    return count() ? static_cast<std::uint64_t>(summary.min()) : 0;
+    flush();
+    return summary.count()
+        ? static_cast<std::uint64_t>(summary.min()) : 0;
 }
 
 std::uint64_t
 Histogram::max() const
 {
-    return count() ? static_cast<std::uint64_t>(summary.max()) : 0;
+    flush();
+    return summary.count()
+        ? static_cast<std::uint64_t>(summary.max()) : 0;
 }
 
 std::uint64_t
 Histogram::percentile(double q) const
 {
+    flush();
     const std::uint64_t total = count();
     if (total == 0)
         return 0;
@@ -101,6 +113,7 @@ Histogram::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     summary.reset();
+    stagedCount = 0;
 }
 
 } // namespace lightpc::stats

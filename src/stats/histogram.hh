@@ -6,11 +6,19 @@
  * magnitude, so buckets grow geometrically: each power of two is
  * subdivided into a fixed number of linear sub-buckets, giving a
  * bounded relative quantile error with O(1) insertion.
+ *
+ * Samples are staged in a small buffer and folded into the buckets
+ * and Welford summary in batches — the simulator records a sample on
+ * every memory access, and staging keeps that hot path to one store.
+ * The buffer preserves insertion order and the flush replays it
+ * sequentially, so every query returns exactly what unstaged
+ * insertion would have produced.
  */
 
 #ifndef LIGHTPC_STATS_HISTOGRAM_HH
 #define LIGHTPC_STATS_HISTOGRAM_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -33,13 +41,35 @@ class Histogram
     explicit Histogram(unsigned sub_buckets = 32);
 
     /** Record one value. */
-    void add(std::uint64_t value);
+    void
+    add(std::uint64_t value)
+    {
+        staging[stagedCount] = value;
+        if (++stagedCount == stagingCapacity)
+            flush();
+    }
+
+    /**
+     * Fold staged samples into the buckets and summary. Queries
+     * flush implicitly; call this at epoch boundaries to bound the
+     * staging latency explicitly.
+     */
+    void flush() const;
 
     /** Number of recorded values. */
-    std::uint64_t count() const { return summary.count(); }
+    std::uint64_t
+    count() const
+    {
+        return summary.count() + stagedCount;
+    }
 
     /** Arithmetic mean of recorded values. */
-    double mean() const { return summary.mean(); }
+    double
+    mean() const
+    {
+        flush();
+        return summary.mean();
+    }
 
     /** Smallest recorded value (0 when empty). */
     std::uint64_t min() const;
@@ -48,10 +78,20 @@ class Histogram
     std::uint64_t max() const;
 
     /** Standard deviation. */
-    double stddev() const { return summary.stddev(); }
+    double
+    stddev() const
+    {
+        flush();
+        return summary.stddev();
+    }
 
     /** Coefficient of variation (non-determinism proxy). */
-    double cv() const { return summary.cv(); }
+    double
+    cv() const
+    {
+        flush();
+        return summary.cv();
+    }
 
     /**
      * Value at quantile @p q in [0, 1]; approximate to bucket
@@ -66,10 +106,15 @@ class Histogram
     std::size_t bucketIndex(std::uint64_t value) const;
     std::uint64_t bucketLow(std::size_t index) const;
 
+    static constexpr unsigned stagingCapacity = 512;
+
     unsigned subBuckets;
     unsigned subBucketShift;
-    std::vector<std::uint64_t> buckets;
-    Summary summary;
+    // Queries flush lazily, so the folded state is mutable.
+    mutable std::vector<std::uint64_t> buckets;
+    mutable Summary summary;
+    mutable std::array<std::uint64_t, stagingCapacity> staging;
+    mutable unsigned stagedCount = 0;
 };
 
 } // namespace lightpc::stats

@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/legacy_event_queue.hh"
+#include "sim/rng.hh"
 #include "sim/ticks.hh"
 
 namespace
@@ -128,6 +132,107 @@ TEST(EventQueue, SizeTracksLiveEvents)
     EXPECT_EQ(eq.size(), 1u);
     eq.run();
     EXPECT_EQ(eq.size(), 0u);
+}
+
+TEST(EventQueue, DescheduledClosureIsDestroyedEagerly)
+{
+    EventQueue eq;
+    auto token = std::make_shared<int>(42);
+    std::weak_ptr<int> watch = token;
+    const EventId id = eq.schedule(10, [token] {});
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+    eq.deschedule(id);
+    // The capture must die at cancellation, not when time reaches 10.
+    EXPECT_TRUE(watch.expired());
+    eq.run();
+}
+
+/**
+ * Regression for the stale-entry leak: a million cancelled events
+ * must not accumulate ordering entries or pool slabs. The original
+ * kernel kept one heap entry per cancelled event until its tick was
+ * reached; the sweep must keep pendingEntries() proportional to the
+ * live count, not to the cancellation history.
+ */
+TEST(EventQueue, ScheduleCancelChurnKeepsMemoryBounded)
+{
+    EventQueue eq;
+    Tick t = 0;
+    std::size_t max_pending = 0;
+    for (int i = 0; i < 1'000'000; ++i) {
+        t += 10;
+        const EventId id = eq.schedule(t + 100'000, [] {});
+        eq.deschedule(id);
+        if (i % 4 == 0) {
+            eq.schedule(t, [] {});
+            eq.step();
+        }
+        max_pending = std::max(max_pending, eq.pendingEntries());
+    }
+    // Live count never exceeds 2 here; the sweep threshold allows a
+    // backlog of max(pruneFloor, 2x live) stale entries plus slack.
+    EXPECT_LT(max_pending, 1024u);
+    EXPECT_LT(eq.pendingEntries(), 1024u);
+    // One slab (256 records) is plenty for two in-flight events.
+    EXPECT_LE(eq.poolCapacity(), 512u);
+}
+
+/**
+ * The pooled kernel must preserve the legacy kernel's observable
+ * semantics exactly: identical schedule/cancel/run sequences fire in
+ * identical (tick, priority, FIFO) order.
+ */
+TEST(EventQueue, FiringOrderMatchesLegacyKernelUnderFuzz)
+{
+    constexpr EventPriority prios[] = {
+        EventPriority::PowerEvent, EventPriority::Interrupt,
+        EventPriority::Default, EventPriority::Stats};
+
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        EventQueue pooled;
+        LegacyEventQueue legacy;
+        std::vector<int> pooled_order, legacy_order;
+        std::vector<EventId> pooled_ids;
+        std::vector<LegacyEventId> legacy_ids;
+        Rng rng(seed);
+
+        for (int op = 0; op < 4000; ++op) {
+            const auto roll = rng.below(100);
+            if (roll < 60) {
+                // Schedule far enough out that both queues accept it;
+                // now() advances identically on both sides.
+                const Tick when =
+                    pooled.now() + rng.below(300'000);
+                const auto prio = prios[rng.below(4)];
+                pooled_ids.push_back(pooled.schedule(
+                    when, [&pooled_order, op] {
+                        pooled_order.push_back(op);
+                    },
+                    prio));
+                legacy_ids.push_back(legacy.schedule(
+                    when,
+                    [&legacy_order, op] {
+                        legacy_order.push_back(op);
+                    },
+                    static_cast<int>(prio)));
+            } else if (roll < 80 && !pooled_ids.empty()) {
+                const auto victim = rng.below(pooled_ids.size());
+                pooled.deschedule(pooled_ids[victim]);
+                legacy.deschedule(legacy_ids[victim]);
+            } else {
+                const Tick limit = pooled.now() + rng.below(50'000);
+                pooled.run(limit);
+                legacy.run(limit);
+                ASSERT_EQ(pooled.now(), legacy.now());
+            }
+        }
+        pooled.run();
+        legacy.run();
+        ASSERT_EQ(pooled_order, legacy_order)
+            << "firing order diverged for seed " << seed;
+        EXPECT_EQ(pooled.now(), legacy.now());
+    }
 }
 
 TEST(Ticks, ClockDomainConversions)

@@ -108,6 +108,50 @@ TEST(Histogram, ResetClears)
     EXPECT_EQ(h.percentile(0.5), 0u);
 }
 
+/**
+ * The staging buffer must be invisible: queries issued at arbitrary
+ * points — mid-buffer, at the flush boundary, after explicit flush —
+ * return exactly what unstaged sequential insertion produces.
+ */
+TEST(Histogram, StagingIsSequentiallyEquivalent)
+{
+    Histogram staged, reference;
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 5000; ++i) {
+        // xorshift values spanning several orders of magnitude.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const std::uint64_t v = x % 1'000'000;
+        staged.add(v);
+        reference.add(v);
+        reference.flush();  // keep the reference unstaged
+        if (i % 313 == 0) {
+            // Querying mid-buffer flushes lazily and must agree.
+            ASSERT_EQ(staged.count(), reference.count());
+            ASSERT_DOUBLE_EQ(staged.mean(), reference.mean());
+        }
+    }
+    staged.flush();
+    EXPECT_EQ(staged.count(), reference.count());
+    EXPECT_DOUBLE_EQ(staged.mean(), reference.mean());
+    EXPECT_DOUBLE_EQ(staged.stddev(), reference.stddev());
+    EXPECT_EQ(staged.min(), reference.min());
+    EXPECT_EQ(staged.max(), reference.max());
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(staged.percentile(q), reference.percentile(q));
+}
+
+TEST(Histogram, CountIncludesStagedSamples)
+{
+    Histogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(7);
+    // Fewer than stagingCapacity samples: nothing flushed yet, but
+    // count() must already see them.
+    EXPECT_EQ(h.count(), 100u);
+}
+
 TEST(TimeSeries, IntegrateIsAreaUnderCurve)
 {
     TimeSeries ts("power");

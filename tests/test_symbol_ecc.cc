@@ -22,27 +22,65 @@ TEST(Gf256, AdditionIsXor)
     EXPECT_EQ(gf256::add(0xff, 0xff), 0);
 }
 
+/** Carry-less multiply with polynomial reduction: the ground truth
+ *  the table-driven arithmetic is checked against. */
+std::uint8_t
+slowMul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint16_t acc = 0;
+    std::uint16_t aa = a;
+    for (int i = 0; i < 8; ++i) {
+        if (b & (1 << i))
+            acc ^= aa << i;
+    }
+    for (int i = 15; i >= 8; --i)
+        if (acc & (1 << i))
+            acc ^= 0x11d << (i - 8);
+    return static_cast<std::uint8_t>(acc);
+}
+
 TEST(Gf256, KnownProduct)
 {
     // The classic AES example: 0x57 * 0x83 = 0xc1 under 0x11d...
-    // verify against a slow bitwise multiply instead of a constant.
-    auto slow_mul = [](std::uint8_t a, std::uint8_t b) {
-        std::uint16_t acc = 0;
-        std::uint16_t aa = a;
-        for (int i = 0; i < 8; ++i) {
-            if (b & (1 << i))
-                acc ^= aa << i;
-        }
-        for (int i = 15; i >= 8; --i)
-            if (acc & (1 << i))
-                acc ^= 0x11d << (i - 8);
-        return static_cast<std::uint8_t>(acc);
-    };
+    // verify against the slow bitwise multiply instead of a constant.
     Rng rng(1);
     for (int i = 0; i < 2000; ++i) {
         const auto a = static_cast<std::uint8_t>(rng.next());
         const auto b = static_cast<std::uint8_t>(rng.next());
-        ASSERT_EQ(gf256::mul(a, b), slow_mul(a, b));
+        ASSERT_EQ(gf256::mul(a, b), slowMul(a, b));
+    }
+}
+
+TEST(Gf256, ExhaustiveMulMatchesCarrylessMultiply)
+{
+    // All 65536 products: the log/exp tables and the slow reduction
+    // must agree everywhere, including both zero operands.
+    for (int a = 0; a < 256; ++a)
+        for (int b = 0; b < 256; ++b)
+            ASSERT_EQ(gf256::mul(static_cast<std::uint8_t>(a),
+                                 static_cast<std::uint8_t>(b)),
+                      slowMul(static_cast<std::uint8_t>(a),
+                              static_cast<std::uint8_t>(b)))
+                << "a=" << a << " b=" << b;
+}
+
+TEST(Gf256, PowWithZeroExponentIsOne)
+{
+    // x^0 = 1 for every base, including 0 (empty product).
+    for (int x = 0; x < 256; ++x)
+        ASSERT_EQ(gf256::pow(static_cast<std::uint8_t>(x), 0), 1);
+}
+
+TEST(Gf256, MulRowMatchesScalarMultiply)
+{
+    std::uint8_t row[256];
+    for (int c = 0; c < 256; ++c) {
+        gf256::mulRow(static_cast<std::uint8_t>(c), row);
+        for (int x = 0; x < 256; ++x)
+            ASSERT_EQ(row[x],
+                      gf256::mul(static_cast<std::uint8_t>(c),
+                                 static_cast<std::uint8_t>(x)))
+                << "c=" << c << " x=" << x;
     }
 }
 
@@ -140,6 +178,81 @@ TEST(SymbolEcc, LaneInterface)
     std::vector<std::uint8_t> out;
     ASSERT_TRUE(code.decodeLanes(coded, 32, erased, out));
     EXPECT_EQ(out, lanes);
+}
+
+TEST(SymbolEcc, EncodeIntoMatchesEncode)
+{
+    SymbolEcc code(12, 4);
+    Rng rng(7);
+    std::vector<std::uint8_t> data(12);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    const auto codeword = code.encode(data);
+
+    std::vector<std::uint8_t> buffer(16);
+    code.encodeInto(data.data(), buffer.data());
+    EXPECT_EQ(buffer, codeword);
+}
+
+/** Round-trips at exactly the correctable limit, one erasure past it
+ *  fails — for every contiguous erasure window. */
+TEST(SymbolEcc, MaxErasureBudgetIsExact)
+{
+    constexpr unsigned k = 8, r = 4;
+    SymbolEcc code(k, r);
+    Rng rng(8);
+    std::vector<std::uint8_t> data(k);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    const auto clean = code.encode(data);
+
+    for (unsigned start = 0; start + r <= k + r; ++start) {
+        // Exactly r contiguous erasures: must recover.
+        auto codeword = clean;
+        std::vector<bool> erased(k + r, false);
+        for (unsigned i = start; i < start + r; ++i) {
+            erased[i] = true;
+            codeword[i] = static_cast<std::uint8_t>(rng.next());
+        }
+        std::vector<std::uint8_t> out;
+        ASSERT_TRUE(code.decode(codeword, erased, out))
+            << "window at " << start;
+        EXPECT_EQ(out, data) << "window at " << start;
+
+        // One more erasure exceeds the budget: must refuse.
+        if (start + r < k + r) {
+            erased[start + r] = true;
+            EXPECT_FALSE(code.decode(codeword, erased, out))
+                << "window at " << start;
+        }
+    }
+}
+
+TEST(SymbolEcc, LaneDecodeAtMaxErasures)
+{
+    constexpr unsigned k = 4, r = 3;
+    SymbolEcc code(k, r);
+    Rng rng(9);
+    std::vector<std::uint8_t> lanes(k * 16);
+    for (auto &b : lanes)
+        b = static_cast<std::uint8_t>(rng.next());
+    auto coded = code.encodeLanes(lanes, 16);
+
+    // Kill r whole lanes — the chipkill ceiling.
+    std::vector<bool> erased(k + r, false);
+    for (unsigned lane : {0u, 2u, 5u}) {
+        erased[lane] = true;
+        for (int b = 0; b < 16; ++b)
+            coded[lane * 16 + b] = static_cast<std::uint8_t>(
+                rng.next());
+    }
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(code.decodeLanes(coded, 16, erased, out));
+    EXPECT_EQ(out, lanes);
+
+    // A fourth dead lane is unrecoverable.
+    erased[6] = true;
+    EXPECT_FALSE(code.decodeLanes(coded, 16, erased, out));
 }
 
 TEST(SymbolEcc, RejectsBadGeometry)
