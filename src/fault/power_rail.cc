@@ -1,0 +1,92 @@
+#include "fault/power_rail.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace lightpc::fault
+{
+
+PowerRail::PowerRail(const power::PsuModel &psu, double initial_watts)
+    : _psu(psu)
+{
+    steps.push_back({0, initial_watts});
+}
+
+void
+PowerRail::addStep(Tick at, double watts)
+{
+    // Replace any step at or after `at` (profiles are rebuilt from
+    // phase boundaries; out-of-order inserts are a caller bug except
+    // for exact-tick replacement).
+    while (!steps.empty() && steps.back().at >= at)
+        steps.pop_back();
+    if (steps.empty() && at != 0)
+        fatal("PowerRail profile must start at tick 0");
+    steps.push_back({at, watts});
+}
+
+double
+PowerRail::loadAt(Tick t) const
+{
+    double watts = steps.front().watts;
+    for (const LoadStep &step : steps) {
+        if (step.at > t)
+            break;
+        watts = step.watts;
+    }
+    return watts;
+}
+
+double
+PowerRail::energyUsedBy(Tick ac_loss, Tick until) const
+{
+    double joules = 0.0;
+    Tick t = ac_loss;
+    for (std::size_t i = 0; i < steps.size() && t < until; ++i) {
+        const Tick seg_end = std::min(
+            until, i + 1 < steps.size() ? steps[i + 1].at : maxTick);
+        if (seg_end <= t)
+            continue;
+        joules += steps[i].watts * ticksToSec(seg_end - t);
+        t = seg_end;
+    }
+    return joules;
+}
+
+Tick
+PowerRail::failTick(Tick ac_loss) const
+{
+    double remaining = _psu.spec().storedJoules;
+    if (remaining <= 0.0)
+        return ac_loss;
+
+    Tick t = ac_loss;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        const Tick seg_end =
+            i + 1 < steps.size() ? steps[i + 1].at : maxTick;
+        if (seg_end <= t)
+            continue;
+
+        const double watts = steps[i].watts;
+        if (watts <= 0.0) {
+            if (seg_end == maxTick)
+                return maxTick;  // the residual charge never drains
+            t = seg_end;
+            continue;
+        }
+
+        const double seconds_left = remaining / watts;
+        const double ticks_left =
+            seconds_left * static_cast<double>(tickSec);
+        const double seg_ticks = static_cast<double>(seg_end - t);
+        if (ticks_left < seg_ticks)
+            return t + static_cast<Tick>(ticks_left);
+
+        remaining -= watts * ticksToSec(seg_end - t);
+        t = seg_end;
+    }
+    return t;
+}
+
+} // namespace lightpc::fault

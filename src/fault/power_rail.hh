@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Power-rail droop model for fault-injection campaigns.
+ *
+ * PsuModel::holdupTime() answers "how long do the rails stay in
+ * specification under a constant load?". During a real Stop the load
+ * is anything but constant: Drive-to-Idle still runs every core hot,
+ * Auto-Stop leaves only the master active, and the EP-cut runs from
+ * the bootloader with the workers offlined. PowerRail integrates a
+ * piecewise-constant load profile against the PSU's stored energy
+ * and reports the exact tick the rails fall out of specification —
+ * the power-cut tick the FaultInjector arms.
+ */
+
+#ifndef LIGHTPC_FAULT_POWER_RAIL_HH
+#define LIGHTPC_FAULT_POWER_RAIL_HH
+
+#include <vector>
+
+#include "power/psu.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::fault
+{
+
+/** One piecewise-constant load step: @p watts from @p at onwards. */
+struct LoadStep
+{
+    Tick at = 0;
+    double watts = 0.0;
+};
+
+/**
+ * Integrates the platform load against the PSU's bulk-capacitor
+ * energy after AC loss.
+ */
+class PowerRail
+{
+  public:
+    /** @param initial_watts The load from tick 0 onwards. */
+    PowerRail(const power::PsuModel &psu, double initial_watts);
+
+    /**
+     * Append a load change. Steps must be added in increasing @p at
+     * order; a step at or before the previous one replaces it from
+     * that point on.
+     */
+    void addStep(Tick at, double watts);
+
+    /** The load drawn at tick @p t. */
+    double loadAt(Tick t) const;
+
+    /**
+     * The tick the rails fall out of specification when AC is
+     * removed at @p ac_loss. maxTick when the profile never drains
+     * the stored energy (zero load).
+     */
+    Tick failTick(Tick ac_loss) const;
+
+    /** Hold-up interval from @p ac_loss (failTick - ac_loss). */
+    Tick
+    holdupFrom(Tick ac_loss) const
+    {
+        const Tick fail = failTick(ac_loss);
+        return fail == maxTick ? maxTick : fail - ac_loss;
+    }
+
+    /**
+     * Energy the profile consumes between @p ac_loss and @p until,
+     * ignoring the PSU's actual reserve (campaigns scale stored
+     * energy against this integral to place cuts).
+     */
+    double energyUsedBy(Tick ac_loss, Tick until) const;
+
+    /** The load profile, in increasing-tick order. */
+    const std::vector<LoadStep> &profile() const { return steps; }
+
+    const power::PsuModel &psu() const { return _psu; }
+
+  private:
+    power::PsuModel _psu;
+    std::vector<LoadStep> steps;
+};
+
+} // namespace lightpc::fault
+
+#endif // LIGHTPC_FAULT_POWER_RAIL_HH

@@ -68,6 +68,11 @@
 #include "persist/dax.hh"
 #include "persist/object_pool.hh"
 
+// Power-cut fault injection.
+#include "fault/campaign.hh"
+#include "fault/fault_injector.hh"
+#include "fault/power_rail.hh"
+
 // Workloads.
 #include "workload/spec.hh"
 #include "workload/stream_bench.hh"

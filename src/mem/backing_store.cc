@@ -42,7 +42,7 @@ BackingStore::read(Addr addr, void *out, std::uint64_t len) const
 }
 
 void
-BackingStore::write(Addr addr, const void *in, std::uint64_t len)
+BackingStore::writeRaw(Addr addr, const void *in, std::uint64_t len)
 {
     const auto *src = static_cast<const std::uint8_t *>(in);
     while (len > 0) {
@@ -55,6 +55,104 @@ BackingStore::write(Addr addr, const void *in, std::uint64_t len)
         addr += chunk;
         len -= chunk;
     }
+}
+
+void
+BackingStore::write(Addr addr, const void *in, std::uint64_t len)
+{
+    if (cutArmed) {
+        writeTimed(_writeClock, _writeClock, addr, in, len);
+        return;
+    }
+    writeRaw(addr, in, len);
+}
+
+void
+BackingStore::armPowerCut(Tick cut_tick, std::uint64_t torn_seed)
+{
+    cutArmed = true;
+    _cutTick = cut_tick;
+    tornRng = Rng(torn_seed);
+    _cutStats = DurabilityCutStats{};
+}
+
+void
+BackingStore::writeTimed(Tick start, Tick end, Addr addr,
+                         const void *in, std::uint64_t len)
+{
+    if (!cutArmed) {
+        writeRaw(addr, in, len);
+        return;
+    }
+    if (len == 0)
+        return;
+    if (end < start)
+        end = start;
+
+    // An aligned store instruction is atomic: never torn.
+    if (len <= 8) {
+        if (end < _cutTick) {
+            writeRaw(addr, in, len);
+            ++_cutStats.durableWrites;
+            _cutStats.durableBytes += len;
+        } else {
+            ++_cutStats.droppedWrites;
+            _cutStats.droppedBytes += len;
+        }
+        return;
+    }
+
+    if (end < _cutTick) {
+        writeRaw(addr, in, len);
+        ++_cutStats.durableWrites;
+        _cutStats.durableBytes += len;
+        return;
+    }
+    if (start >= _cutTick) {
+        ++_cutStats.droppedWrites;
+        _cutStats.droppedBytes += len;
+        return;
+    }
+
+    // The write straddles the cut: lines complete uniformly over
+    // [start, end]; the prefix that finished before the rails fell
+    // is durable, the line in flight at the cut is torn, the rest
+    // is lost.
+    const Addr first_line = addr & ~Addr(cacheLineBytes - 1);
+    const Addr last_line =
+        (addr + len - 1) & ~Addr(cacheLineBytes - 1);
+    const std::uint64_t lines =
+        (last_line - first_line) / cacheLineBytes + 1;
+    const double frac = static_cast<double>(_cutTick - start)
+        / static_cast<double>(end - start);
+    std::uint64_t durable_lines =
+        static_cast<std::uint64_t>(frac * static_cast<double>(lines));
+    durable_lines = std::min(durable_lines, lines - 1);
+
+    std::uint64_t durable_len = 0;
+    if (durable_lines > 0) {
+        const Addr durable_end =
+            first_line + durable_lines * cacheLineBytes;
+        durable_len = std::min<std::uint64_t>(len, durable_end - addr);
+    }
+
+    // Tear the boundary line: the RNG decides how many of its bytes
+    // reached the media before the rails left specification.
+    const Addr torn_start = addr + durable_len;
+    const Addr torn_line = torn_start & ~Addr(cacheLineBytes - 1);
+    const std::uint64_t line_avail = std::min<std::uint64_t>(
+        len - durable_len,
+        torn_line + cacheLineBytes - torn_start);
+    const std::uint64_t torn_bytes = tornRng.below(line_avail + 1);
+
+    if (durable_len + torn_bytes > 0)
+        writeRaw(addr, in, durable_len + torn_bytes);
+
+    ++_cutStats.tornWrites;
+    _cutStats.durableBytes += durable_len + torn_bytes;
+    _cutStats.droppedBytes += len - durable_len - torn_bytes;
+    _cutStats.lastTornLine = torn_line;
+    _cutStats.lastTornBytes = torn_bytes;
 }
 
 void

@@ -7,6 +7,17 @@
  * additionally needs real bytes. BackingStore provides a sparse,
  * page-granular byte store used as the functional half of OC-PMEM and
  * DRAM.
+ *
+ * Power-cut durability cursor: for fault-injection campaigns the
+ * store can be armed with a cut tick — the moment the rails fall out
+ * of specification. Writes carry timestamps (either an explicit
+ * [start, end] interval via writeTimed(), or the write clock set with
+ * setWriteClock() for instantaneous control-block stores); bytes
+ * whose completion lands after the cut never become durable, and the
+ * one cache line in flight at the cut is torn: a seeded RNG decides
+ * how many of its bytes made it to media. Writes of at most eight
+ * bytes are atomic (a single aligned store instruction) and are never
+ * torn — they either complete before the cut or vanish.
  */
 
 #ifndef LIGHTPC_MEM_BACKING_STORE_HH
@@ -21,9 +32,23 @@
 #include <vector>
 
 #include "mem/request.hh"
+#include "sim/rng.hh"
+#include "sim/ticks.hh"
 
 namespace lightpc::mem
 {
+
+/** What happened to writes while a power cut was armed. */
+struct DurabilityCutStats
+{
+    std::uint64_t durableWrites = 0;  ///< fully landed before the cut
+    std::uint64_t droppedWrites = 0;  ///< entirely after the cut
+    std::uint64_t tornWrites = 0;     ///< straddled the cut
+    std::uint64_t durableBytes = 0;
+    std::uint64_t droppedBytes = 0;
+    Addr lastTornLine = 0;            ///< line address of the last tear
+    std::uint64_t lastTornBytes = 0;  ///< bytes of it that landed
+};
 
 /**
  * Sparse byte-addressable storage. Unwritten bytes read as zero.
@@ -39,8 +64,20 @@ class BackingStore
     /** Read @p len bytes at @p addr into @p out. */
     void read(Addr addr, void *out, std::uint64_t len) const;
 
-    /** Write @p len bytes from @p in at @p addr. */
+    /**
+     * Write @p len bytes from @p in at @p addr. With a power cut
+     * armed the write is treated as instantaneous at the current
+     * write clock.
+     */
     void write(Addr addr, const void *in, std::uint64_t len);
+
+    /**
+     * Write with an explicit service interval: the span's cache lines
+     * complete uniformly over [start, end]. Falls back to a plain
+     * write when no cut is armed.
+     */
+    void writeTimed(Tick start, Tick end, Addr addr, const void *in,
+                    std::uint64_t len);
 
     /** Convenience: read a trivially-copyable value. */
     template <typename T>
@@ -74,13 +111,47 @@ class BackingStore
     /** Deep equality against another store (crash/recovery checks). */
     bool equals(const BackingStore &other) const;
 
+    // --- power-cut durability cursor ------------------------------
+
+    /**
+     * Arm a power cut: writes completing at or after @p cut_tick are
+     * not durable. @p torn_seed drives the torn-line RNG. Resets the
+     * cut statistics.
+     */
+    void armPowerCut(Tick cut_tick, std::uint64_t torn_seed);
+
+    /** Power restored: subsequent writes are durable again. */
+    void disarmPowerCut() { cutArmed = false; }
+
+    bool powerCutArmed() const { return cutArmed; }
+    Tick powerCutTick() const { return _cutTick; }
+
+    /**
+     * Timestamp applied to subsequent untimed write()/writeValue()
+     * calls while a cut is armed.
+     */
+    void setWriteClock(Tick when) { _writeClock = when; }
+    Tick writeClock() const { return _writeClock; }
+
+    /** Outcome counters since the last armPowerCut(). */
+    const DurabilityCutStats &cutStats() const { return _cutStats; }
+
   private:
     using Page = std::array<std::uint8_t, pageBytes>;
 
     Page *findPage(Addr page_id) const;
     Page &materialize(Addr page_id);
 
+    /** The unconditional write path (no durability filtering). */
+    void writeRaw(Addr addr, const void *in, std::uint64_t len);
+
     std::unordered_map<Addr, std::unique_ptr<Page>> pages;
+
+    bool cutArmed = false;
+    Tick _cutTick = 0;
+    Tick _writeClock = 0;
+    Rng tornRng{1};
+    DurabilityCutStats _cutStats;
 };
 
 } // namespace lightpc::mem

@@ -39,9 +39,16 @@ Tick
 TimedMem::writeBytes(Tick when, Addr addr, const void *data,
                      std::uint64_t len)
 {
+    const Tick end = span(when, addr, len, MemOp::Write);
     if (store)
-        store->write(addr, data, len);
-    return span(when, addr, len, MemOp::Write);
+        store->writeTimed(when, end, addr, data, len);
+    return end;
+}
+
+Tick
+TimedMem::fence(Tick when)
+{
+    return port.fence(when);
 }
 
 Tick

@@ -40,9 +40,18 @@ class TimedMem
         : port(port), store(store)
     {}
 
-    /** Functional + timed write. @return completion tick. */
+    /**
+     * Functional + timed write. @return completion tick.
+     *
+     * The store (when present) receives the write with its service
+     * interval, so an armed power-cut cursor can drop or tear the
+     * suffix that completes after the rails fall out of spec.
+     */
     Tick writeBytes(Tick when, Addr addr, const void *data,
                     std::uint64_t len);
+
+    /** Fence through the underlying port. @return quiescence tick. */
+    Tick fence(Tick when);
 
     /** Functional + timed read. @return completion tick. */
     Tick readBytes(Tick when, Addr addr, void *out, std::uint64_t len);

@@ -80,6 +80,14 @@ struct ReservedLayout
     {
         return base + (std::uint64_t(4) << 20);
     }
+
+    /**
+     * Device payload region: the DCB entry array is capped at 64 KB;
+     * context images and MMIO copies are packed after it, in dpm
+     * order. Stop writes here and Go reads back from the same
+     * offsets.
+     */
+    mem::Addr dcbPayloadAddr() const { return dcbAddr() + (64 << 10); }
 };
 
 } // namespace lightpc::pecos

@@ -17,7 +17,7 @@ Sng::Sng(kernel::Kernel &kernel, psm::Psm &psm_in,
       _costs(costs),
       layout(psm_in.capacityBytes()),
       port(psm_in),
-      timed(port, nullptr)
+      timed(port, &pmem_in)
 {
 }
 
@@ -97,8 +97,11 @@ Sng::driveToIdle(Tick when, StopReport &report)
 
     // Serialize every PCB into the reserved area. The architectural
     // state was stored on the PCB during each context switch (cost
-    // already charged above); this is its persistent image.
+    // already charged above); this is its persistent image. Each
+    // entry lands as the master's walk reaches it, so a power cut
+    // mid-walk leaves exactly the walked prefix durable.
     mem::Addr addr = layout.pcbAddr();
+    Tick pcb_t = t;
     for (std::size_t i = 0; i < kern.processCount(); ++i) {
         const kernel::Process &proc = kern.process(i);
         PcbEntry entry;
@@ -106,6 +109,8 @@ Sng::driveToIdle(Tick when, StopReport &report)
         entry.state = static_cast<std::uint32_t>(proc.state());
         entry.cpu = proc.cpu();
         entry.regs = proc.regs();
+        pcb_t += _costs.pcbWalkPerTask;
+        pmem.setWriteClock(pcb_t);
         pmem.writeValue(addr, entry);
         addr += sizeof(PcbEntry);
         report.controlBlockBytes += sizeof(PcbEntry);
@@ -126,7 +131,7 @@ Sng::autoStopDevices(Tick when, StopReport &report)
 
     Tick t = when;
     mem::Addr dcb_addr = layout.dcbAddr();
-    mem::Addr payload_addr = layout.dcbAddr() + (64 << 10);
+    mem::Addr payload_addr = layout.dcbPayloadAddr();
     for (const auto &dev : kern.devices().list()) {
         const kernel::DpmCosts &costs = dev->costs();
         // dpm_prepare / dpm_suspend / dpm_suspend_noirq in list
@@ -140,6 +145,7 @@ Sng::autoStopDevices(Tick when, StopReport &report)
         DcbEntry entry;
         entry.cookie = dev->contextCookie();
         entry.contextBytes = dev->contextBytes();
+        pmem.setWriteClock(t);
         pmem.writeValue(dcb_addr, entry);
         dcb_addr += sizeof(DcbEntry);
         t = timed.writeSpan(t, payload_addr, dev->contextBytes());
@@ -202,7 +208,7 @@ Sng::drawEpCut(Tick when, StopReport &report)
     t += _costs.masterBootloaderConst;
 
     Bcb bcb;
-    bcb.magic = epCutMagic;
+    bcb.magic = 0;  // the commit store comes last, alone
     bcb.mepc = 0xffffffff80000042ULL;  // kernel-side Go entry
     for (std::size_t i = 0; i < std::size(bcb.machineRegs); ++i)
         bcb.machineRegs[i] = 0xc0de0000 + i;
@@ -213,14 +219,23 @@ Sng::drawEpCut(Tick when, StopReport &report)
         static_cast<std::uint32_t>(kern.processCount());
     bcb.deviceCount =
         static_cast<std::uint32_t>(kern.devices().count());
-    pmem.writeValue(layout.bcbAddr(), bcb);
-    report.controlBlockBytes += sizeof(Bcb);
+
+    // BCB body first, with a zero magic: a power cut tearing this
+    // write leaves no valid commit behind.
     t = timed.writeBytes(t, layout.bcbAddr(), &bcb, sizeof(Bcb));
+    report.controlBlockBytes += sizeof(Bcb);
 
     kern.setPersistentFlag(false);
 
-    // Final memory synchronization: no outstanding request may
-    // remain in the PSM or the row buffers.
+    // Memory synchronization: no outstanding request may remain in
+    // the PSM or the row buffers before the commit is stored.
+    t = psm.flush(t);
+
+    // The commit itself: one atomic 8-byte magic store, issued only
+    // after everything it covers is quiescent. The EP-cut exists iff
+    // this store beat the rails.
+    t = timed.writeValue(t, layout.bcbAddr(), epCutMagic);
+    report.commitAt = t;
     t = psm.flush(t);
     return t;
 }
@@ -230,18 +245,31 @@ Sng::stop(Tick when, Tick holdup)
 {
     StopReport report;
     report.start = when;
+
+    // A finite hold-up is a power cut at when + holdup. Arm the
+    // backing store's durability cursor so that *every* byte written
+    // after the rails fall out of specification — PCB/DCB prefixes,
+    // payloads, the BCB, and the commit — is dropped or torn, not
+    // just the commit magic. Campaigns that armed a cut themselves
+    // (fault::FaultInjector) take precedence.
+    const bool arm_here = holdup != maxTick && !pmem.powerCutArmed();
+    if (arm_here)
+        pmem.armPowerCut(when + holdup,
+                         /*torn_seed=*/0x746f726eULL ^ when ^ holdup);
+
     report.processStopDone = driveToIdle(when, report);
     report.deviceStopDone =
         autoStopDevices(report.processStopDone, report);
     report.offlineDone = drawEpCut(report.deviceStopDone, report);
 
-    if (holdup != maxTick && report.totalTicks() > holdup) {
-        // The rails died mid-Stop: everything written after the
-        // power fell out of specification — including the commit —
-        // never became durable.
-        report.commitFailed = true;
-        pmem.writeValue<std::uint64_t>(layout.bcbAddr(), 0);
+    if (pmem.powerCutArmed()) {
+        report.cutTick = pmem.powerCutTick();
+        report.commitFailed = report.commitAt >= report.cutTick;
+        report.writesDropped = pmem.cutStats().droppedWrites;
+        report.writesTorn = pmem.cutStats().tornWrites;
     }
+    if (arm_here)
+        pmem.disarmPowerCut();
     return report;
 }
 
@@ -279,22 +307,44 @@ Sng::resume(Tick when)
 
     // Revive devices in inverse dpm order: dpm_resume_noirq,
     // dpm_resume, dpm_complete, plus DCB reads and MMIO restores.
+    // The payload offsets mirror autoStopDevices exactly: context
+    // image then MMIO copy per device, packed after the DCB array.
     const auto &devices = kern.devices().list();
+    std::vector<mem::Addr> payload_off(devices.size());
+    {
+        mem::Addr off = layout.dcbPayloadAddr();
+        report.payloadBase = off;
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+            payload_off[i] = off;
+            off += devices[i]->contextBytes()
+                + devices[i]->mmioBytes();
+        }
+        report.payloadEnd = off;
+    }
     mem::Addr dcb_addr = layout.dcbAddr()
         + devices.size() * sizeof(DcbEntry);
-    for (auto it = devices.rbegin(); it != devices.rend(); ++it) {
-        kernel::Device &dev = **it;
+    for (std::size_t i = devices.size(); i-- > 0;) {
+        kernel::Device &dev = *devices[i];
         dcb_addr -= sizeof(DcbEntry);
         const DcbEntry entry = pmem.readValue<DcbEntry>(dcb_addr);
-        if (entry.cookie != dev.contextCookie())
-            warn("DCB cookie mismatch for device ", dev.name());
+        // The volatile-side cookie is garbage after a real power
+        // loss; the DCB copy is authoritative.
         dev.setContextCookie(entry.cookie);
 
         const kernel::DpmCosts &costs = dev.costs();
         t += costs.resumeNoirq + costs.resume + costs.complete;
-        t = timed.readSpan(t, dcb_addr, dev.contextBytes());
+        t = timed.readSpan(t, dcb_addr, sizeof(DcbEntry));
+        // Driver context from the payload region where Auto-Stop
+        // serialized it (not from the DCB entry array).
+        t = timed.readSpan(t, payload_off[i], dev.contextBytes());
+        // The saved MMIO image: read back from OC-PMEM, then
+        // replayed into the peripheral with uncached stores.
+        t = timed.readSpan(t, payload_off[i] + dev.contextBytes(),
+                           dev.mmioBytes());
         const std::uint64_t mmio_lines = (dev.mmioBytes() + 63) / 64;
         t += mmio_lines * _costs.mmioReadPer64B;
+        report.payloadBytesRead +=
+            dev.contextBytes() + dev.mmioBytes();
         dev.setSuspended(false);
         ++report.devicesRevived;
     }
@@ -336,8 +386,7 @@ Sng::resume(Tick when)
     t += Tick(cores) * _costs.tlbFlushPerCore;
 
     // Clear the commit: the next boot without a new EP-cut is cold.
-    pmem.writeValue<std::uint64_t>(layout.bcbAddr(), 0);
-    t = timed.writeSpan(t, layout.bcbAddr(), sizeof(std::uint64_t));
+    t = timed.writeValue(t, layout.bcbAddr(), std::uint64_t(0));
 
     report.done = t;
     return report;

@@ -90,11 +90,26 @@ struct StopReport
     Tick offlineDone = 0;      ///< EP-cut committed
 
     /**
+     * Completion tick of the final commit store (the atomic BCB
+     * magic write, issued after everything else is fenced). The
+     * EP-cut is durable iff this precedes the power-cut tick.
+     */
+    Tick commitAt = 0;
+
+    /** The armed power-cut tick, maxTick when no cut was armed. */
+    Tick cutTick = maxTick;
+
+    /**
      * The power rails fell out of specification before the commit
      * landed: no EP-cut exists and the next boot is cold. Set when
-     * stop() is given a hold-up deadline it cannot meet.
+     * stop() is given a hold-up deadline it cannot meet, or when an
+     * externally-armed power cut preempted the commit.
      */
     bool commitFailed = false;
+
+    /** Durability-cursor outcomes while the cut was armed. */
+    std::uint64_t writesDropped = 0;
+    std::uint64_t writesTorn = 0;
 
     std::uint64_t tasksParked = 0;
     std::uint64_t sleepersWoken = 0;
@@ -124,6 +139,13 @@ struct GoReport
     bool coldBoot = false;  ///< no commit found
     std::uint64_t devicesRevived = 0;
     std::uint64_t tasksScheduled = 0;
+
+    /** First byte of the device payload region Go read back. */
+    mem::Addr payloadBase = 0;
+    /** One past the last payload byte (context + MMIO images). */
+    mem::Addr payloadEnd = 0;
+    /** Device context + MMIO bytes actually read from OC-PMEM. */
+    std::uint64_t payloadBytesRead = 0;
 
     Tick totalTicks() const { return done - start; }
 };
@@ -163,7 +185,14 @@ class Sng
      *                @p when. If Stop cannot finish in time, the
      *                commit never lands (report.commitFailed) and
      *                the next resume() is a cold boot — exactly the
-     *                failure mode Fig. 22 budgets against.
+     *                failure mode Fig. 22 budgets against. The
+     *                deadline is enforced through the backing
+     *                store's durability cursor, so *nothing* written
+     *                after the cut tick persists (not just the
+     *                commit magic). When the caller has already
+     *                armed a power cut on the store (a
+     *                fault::FaultInjector campaign), that cut is
+     *                honored instead.
      */
     StopReport stop(Tick when, Tick holdup = maxTick);
 

@@ -1,9 +1,233 @@
 #include "persist/checkpoint.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace lightpc::persist
 {
+
+namespace
+{
+
+/** splitmix64-style mixer for records and body patterns. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+patternWord(std::uint64_t seed, std::uint64_t index)
+{
+    return mix64(seed ^ mix64(index + 1));
+}
+
+} // namespace
+
+bool
+CheckpointLedger::Record::valid() const
+{
+    return magic == recordMagic && seq != 0
+           && checksum == checksumOf(*this);
+}
+
+std::uint64_t
+CheckpointLedger::checksumOf(const Record &record)
+{
+    std::uint64_t h = mix64(record.magic);
+    h = mix64(h ^ record.seq);
+    h = mix64(h ^ record.slot);
+    h = mix64(h ^ record.bytes);
+    h = mix64(h ^ record.bodySeed);
+    return h;
+}
+
+Tick
+CheckpointLedger::commit(Tick when, std::uint64_t seq,
+                         std::uint64_t slot, std::uint64_t bytes,
+                         std::uint64_t body_seed)
+{
+    Record record;
+    record.magic = recordMagic;
+    record.seq = seq;
+    record.slot = slot;
+    record.bytes = bytes;
+    record.bodySeed = body_seed;
+    record.checksum = checksumOf(record);
+
+    Tick t = pmem.writeBytes(when, recordAddr(seq), &record,
+                             sizeof(Record));
+    _lastCommitAt = t;
+    return pmem.fence(t);
+}
+
+CheckpointLedger::Record
+CheckpointLedger::latest()
+{
+    const mem::BackingStore *store = pmem.backing();
+    Record best;
+    if (!store)
+        return best;
+    for (std::uint64_t line = 0; line < 2; ++line) {
+        Record record;
+        store->read(base + line * mem::cacheLineBytes, &record,
+                    sizeof(Record));
+        if (record.valid() && record.seq > best.seq)
+            best = record;
+    }
+    return best;
+}
+
+Tick
+writeBodyPattern(mem::TimedMem &pmem, Tick when, mem::Addr addr,
+                 std::uint64_t len, std::uint64_t seed)
+{
+    std::uint64_t buf[512];  // 4 KB staging chunk
+    std::uint64_t off = 0;
+    Tick t = when;
+    while (off < len) {
+        const std::uint64_t chunk = std::min<std::uint64_t>(
+            len - off, sizeof(buf));
+        const std::uint64_t words = (chunk + 7) / 8;
+        for (std::uint64_t w = 0; w < words; ++w)
+            buf[w] = patternWord(seed, off / 8 + w);
+        t = pmem.writeBytes(t, addr + off, buf, chunk);
+        off += chunk;
+    }
+    return t;
+}
+
+bool
+verifyBodyPattern(const mem::BackingStore &store, mem::Addr addr,
+                  std::uint64_t len, std::uint64_t seed)
+{
+    std::uint64_t buf[512];
+    std::uint64_t off = 0;
+    while (off < len) {
+        const std::uint64_t chunk = std::min<std::uint64_t>(
+            len - off, sizeof(buf));
+        store.read(addr + off, buf, chunk);
+        const std::uint64_t full_words = chunk / 8;
+        for (std::uint64_t w = 0; w < full_words; ++w) {
+            if (buf[w] != patternWord(seed, off / 8 + w))
+                return false;
+        }
+        const std::uint64_t tail = chunk % 8;
+        if (tail) {
+            const std::uint64_t want =
+                patternWord(seed, off / 8 + full_words);
+            if (std::memcmp(&buf[full_words], &want, tail) != 0)
+                return false;
+        }
+        off += chunk;
+    }
+    return true;
+}
+
+Tick
+SysPc::dumpImageCommitted(Tick when, std::uint64_t image_bytes,
+                          std::uint64_t body_seed)
+{
+    const std::uint64_t seq = ++_seq;
+    const std::uint64_t slot = seq & 1;
+    const mem::Addr body = slotAddr(slot);
+
+    const std::uint64_t pages = (image_bytes + 4095) / 4096;
+    Tick t = when + pages * costs.dumpPerPage;
+
+    const std::uint64_t pattern =
+        std::min(image_bytes, patternBytes);
+    t = writeBodyPattern(pmem, t, body, pattern, body_seed);
+    if (image_bytes > pattern)
+        t = pmem.writeSpan(t, body + pattern, image_bytes - pattern);
+    t = pmem.fence(t);
+    _lastBodyDoneAt = t;
+
+    return _ledger.commit(t, seq, slot, image_bytes, body_seed);
+}
+
+bool
+SysPc::committedImageIntact(const CheckpointLedger::Record &record)
+{
+    const mem::BackingStore *store = pmem.backing();
+    if (!store || !record.valid())
+        return false;
+    const std::uint64_t pattern =
+        std::min(record.bytes, patternBytes);
+    return verifyBodyPattern(*store, slotAddr(record.slot), pattern,
+                             record.bodySeed);
+}
+
+Tick
+SysPc::recover(Tick when)
+{
+    const CheckpointLedger::Record record = _ledger.latest();
+    if (record.valid() && committedImageIntact(record)) {
+        _recoveredSeq = record.seq;
+        const std::uint64_t pages = (record.bytes + 4095) / 4096;
+        Tick t = when + pages * costs.loadPerPage;
+        return pmem.readSpan(t, slotAddr(record.slot), record.bytes);
+    }
+    // Nothing durable (or a torn commit was rejected): cold boot.
+    _recoveredSeq = 0;
+    return when + costs.coldReboot;
+}
+
+Tick
+SCheckPc::dumpCommitted(Tick when, std::uint64_t vm_bytes,
+                        std::uint64_t body_seed)
+{
+    ++_dumps;
+    const std::uint64_t seq = ++_seq;
+    const std::uint64_t slot = seq & 1;
+    const mem::Addr body = slotAddr(slot);
+
+    const std::uint64_t pages = (vm_bytes + 4095) / 4096;
+    Tick t = when + pages * (costs.dumpPerPage / 4);
+
+    const std::uint64_t pattern =
+        std::min(vm_bytes, SysPc::patternBytes);
+    t = writeBodyPattern(pmem, t, body, pattern, body_seed);
+    if (vm_bytes > pattern)
+        t = pmem.writeSpan(t, body + pattern, vm_bytes - pattern);
+    t = pmem.fence(t);
+    _lastBodyDoneAt = t;
+
+    return _ledger.commit(t, seq, slot, vm_bytes, body_seed);
+}
+
+bool
+SCheckPc::commitIntact(const CheckpointLedger::Record &record)
+{
+    const mem::BackingStore *store = pmem.backing();
+    if (!store || !record.valid())
+        return false;
+    const std::uint64_t pattern =
+        std::min(record.bytes, SysPc::patternBytes);
+    return verifyBodyPattern(*store, slotAddr(record.slot), pattern,
+                             record.bodySeed);
+}
+
+Tick
+SCheckPc::recoverAfterLoss(Tick when)
+{
+    // Checkpoint-restart can never skip the reboot: machine-mode and
+    // kernel state are outside the checkpoint.
+    Tick t = when + costs.coldReboot;
+    const CheckpointLedger::Record record = _ledger.latest();
+    if (record.valid() && commitIntact(record)) {
+        _recoveredSeq = record.seq;
+        const std::uint64_t pages = (record.bytes + 4095) / 4096;
+        t += pages * costs.loadPerPage;
+        return pmem.readSpan(t, slotAddr(record.slot), record.bytes);
+    }
+    _recoveredSeq = 0;
+    return t;
+}
 
 ACheckPcStream::ACheckPcStream(cpu::InstrStream &inner_in,
                                const ACheckPcParams &params_in)

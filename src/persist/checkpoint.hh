@@ -39,6 +39,83 @@
 namespace lightpc::persist
 {
 
+/**
+ * Durable commit ledger shared by the image-based baselines.
+ *
+ * A checkpoint only protects against power loss if its *commit* is
+ * crash-consistent: the body must be fully on media before the
+ * record that names it becomes visible, and a record torn by the
+ * rails falling mid-write must be detectable. The ledger keeps two
+ * alternating single-line commit records (so the previous commit
+ * survives while the next one is being written) and checksums each
+ * record so a torn write reads as "no commit" instead of garbage.
+ */
+class CheckpointLedger
+{
+  public:
+    struct Record
+    {
+        std::uint64_t magic = 0;
+        std::uint64_t seq = 0;       ///< 1-based commit sequence
+        std::uint64_t slot = 0;      ///< body slot the record names
+        std::uint64_t bytes = 0;     ///< body length
+        std::uint64_t bodySeed = 0;  ///< body pattern seed
+        std::uint64_t checksum = 0;
+
+        bool valid() const;
+    };
+
+    static constexpr std::uint64_t recordMagic =
+        0x434b50544c646731ULL;  // "CKPTLdg1"
+
+    CheckpointLedger(mem::TimedMem &pmem, mem::Addr base)
+        : pmem(pmem), base(base)
+    {}
+
+    static std::uint64_t checksumOf(const Record &record);
+
+    /**
+     * Write the commit record for @p seq. The caller must have
+     * fenced the body first. @return the post-fence completion tick;
+     * the record write's own completion (which decides durability)
+     * is in lastCommitAt().
+     */
+    Tick commit(Tick when, std::uint64_t seq, std::uint64_t slot,
+                std::uint64_t bytes, std::uint64_t body_seed);
+
+    /**
+     * The highest-sequence checksum-valid record (default-
+     * constructed, seq 0, when none survived).
+     */
+    Record latest();
+
+    /** Completion tick of the most recent commit-record write. */
+    Tick lastCommitAt() const { return _lastCommitAt; }
+
+    /** Record line for @p seq (records alternate between two lines). */
+    mem::Addr
+    recordAddr(std::uint64_t seq) const
+    {
+        return base + (seq & 1) * mem::cacheLineBytes;
+    }
+
+  private:
+    mem::TimedMem &pmem;
+    mem::Addr base;
+    Tick _lastCommitAt = 0;
+};
+
+/**
+ * Deterministic body pattern, functional + timed: lets recovery
+ * verify byte-exactly that a committed image is untorn.
+ */
+Tick writeBodyPattern(mem::TimedMem &pmem, Tick when, mem::Addr addr,
+                      std::uint64_t len, std::uint64_t seed);
+
+/** True when @p len bytes at @p addr match the seeded pattern. */
+bool verifyBodyPattern(const mem::BackingStore &store, mem::Addr addr,
+                       std::uint64_t len, std::uint64_t seed);
+
 /** Costs shared by the image-based baselines. */
 struct ImageCosts
 {
@@ -59,7 +136,7 @@ class SysPc
 {
   public:
     SysPc(mem::TimedMem &pmem, const ImageCosts &costs = ImageCosts())
-        : pmem(pmem), costs(costs)
+        : pmem(pmem), costs(costs), _ledger(pmem, ledgerBase)
     {}
 
     /** Dump @p image_bytes at power-down. @return completion tick. */
@@ -80,11 +157,63 @@ class SysPc
         return pmem.readSpan(t, imageBase, image_bytes);
     }
 
+    /**
+     * Crash-consistent dump: pattern-filled body into the slot for
+     * the next sequence number, fence, then the ledger record. Only
+     * the first patternBytes of the body move real bytes (enough to
+     * detect tears); the rest is charged timing-only.
+     *
+     * @return completion tick. The commit-record write's own
+     * completion — what decides durability under a cut — is in
+     * lastCommitAt().
+     */
+    Tick dumpImageCommitted(Tick when, std::uint64_t image_bytes,
+                            std::uint64_t body_seed);
+
+    /**
+     * Power-up recovery: load the latest durable committed image, or
+     * pay the cold reboot when none (or only a torn one) survived.
+     * recoveredSeq() tells which commit was restored (0 = cold boot).
+     */
+    Tick recover(Tick when);
+
+    /** The latest durable, checksum-valid commit record. */
+    CheckpointLedger::Record committedImage() { return _ledger.latest(); }
+
+    /** Byte-exact body-prefix check of @p record's image slot. */
+    bool committedImageIntact(const CheckpointLedger::Record &record);
+
+    /** Body done (post-fence) tick of the last committed dump. */
+    Tick lastBodyDoneAt() const { return _lastBodyDoneAt; }
+
+    /** Commit-record write completion of the last committed dump. */
+    Tick lastCommitAt() const { return _ledger.lastCommitAt(); }
+
+    /** Sequence restored by the last recover(); 0 = cold boot. */
+    std::uint64_t recoveredSeq() const { return _recoveredSeq; }
+
     static constexpr mem::Addr imageBase = std::uint64_t(1) << 40;
+
+    /** Ledger record lines live just below the image slots. */
+    static constexpr mem::Addr ledgerBase = imageBase - 4096;
+
+    /** Functional pattern prefix per image body. */
+    static constexpr std::uint64_t patternBytes = 64 << 10;
+
+    /** Double-buffered body slots, 4 GB apart. */
+    static mem::Addr
+    slotAddr(std::uint64_t slot)
+    {
+        return imageBase + slot * (std::uint64_t(1) << 32);
+    }
 
   private:
     mem::TimedMem &pmem;
     ImageCosts costs;
+    CheckpointLedger _ledger;
+    std::uint64_t _seq = 0;
+    Tick _lastBodyDoneAt = 0;
+    std::uint64_t _recoveredSeq = 0;
 };
 
 /**
@@ -95,7 +224,8 @@ class SCheckPc
   public:
     SCheckPc(mem::TimedMem &pmem, Tick period,
              const ImageCosts &costs = ImageCosts())
-        : pmem(pmem), _period(period), costs(costs)
+        : pmem(pmem), _period(period), costs(costs),
+          _ledger(pmem, ledgerBase)
     {}
 
     Tick period() const { return _period; }
@@ -121,13 +251,58 @@ class SCheckPc
         return pmem.readSpan(t, SysPc::imageBase, vm_bytes);
     }
 
+    /**
+     * Crash-consistent periodic dump: body, fence, ledger record —
+     * the same protocol as SysPc::dumpImageCommitted, with BLCR's
+     * lighter page handling.
+     */
+    Tick dumpCommitted(Tick when, std::uint64_t vm_bytes,
+                       std::uint64_t body_seed);
+
+    /**
+     * Power-loss recovery: cold reboot (kernel state is never in a
+     * BLCR checkpoint), then restart from the latest durable commit
+     * when one survived untorn. recoveredSeq() is 0 when the process
+     * restarts from scratch.
+     */
+    Tick recoverAfterLoss(Tick when);
+
+    /** The latest durable, checksum-valid commit record. */
+    CheckpointLedger::Record latestCommit() { return _ledger.latest(); }
+
+    /** Byte-exact body-prefix check of @p record's slot. */
+    bool commitIntact(const CheckpointLedger::Record &record);
+
+    /** Body done (post-fence) tick of the last committed dump. */
+    Tick lastBodyDoneAt() const { return _lastBodyDoneAt; }
+
+    /** Commit-record write completion of the last committed dump. */
+    Tick lastCommitAt() const { return _ledger.lastCommitAt(); }
+
+    /** Sequence restored by the last recoverAfterLoss(); 0 = none. */
+    std::uint64_t recoveredSeq() const { return _recoveredSeq; }
+
     std::uint64_t dumps() const { return _dumps; }
+
+    /** Separate ledger lines from SysPc's. */
+    static constexpr mem::Addr ledgerBase = SysPc::imageBase - 8192;
+
+    /** Body slots above SysPc's pair. */
+    static mem::Addr
+    slotAddr(std::uint64_t slot)
+    {
+        return SysPc::slotAddr(2 + slot);
+    }
 
   private:
     mem::TimedMem &pmem;
     Tick _period;
     ImageCosts costs;
+    CheckpointLedger _ledger;
     std::uint64_t _dumps = 0;
+    std::uint64_t _seq = 0;
+    Tick _lastBodyDoneAt = 0;
+    std::uint64_t _recoveredSeq = 0;
 };
 
 /** Parameters of the per-function checkpoint decorator. */

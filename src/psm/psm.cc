@@ -271,6 +271,7 @@ Psm::flush(Tick when)
         quiescent = std::max(quiescent, dimm->busyUntil());
     for (Tick ecc : eccBusyUntil)
         quiescent = std::max(quiescent, ecc);
+    _stats.lastFlushQuiescentAt = quiescent;
     return quiescent;
 }
 

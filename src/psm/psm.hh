@@ -117,6 +117,8 @@ struct PsmStats
     Tick readStallTicks = 0;
     std::uint64_t wearMoves = 0;
     std::uint64_t flushes = 0;
+    /** Quiescence tick returned by the most recent flush. */
+    Tick lastFlushQuiescentAt = 0;
     std::uint64_t mceCount = 0;
     std::uint64_t correctedReads = 0;     ///< XCC half-line repairs
     std::uint64_t symbolCorrections = 0;  ///< symbol-ECC fallbacks
