@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Media-error RAS campaign driver.
+ *
+ * Sweeps raw bit-error rate x media wear x machine-check policy,
+ * with seeded trials per cell; every trial runs demand traffic with
+ * the patrol scrubber interleaved, escalates uncorrectables into the
+ * MCE handler, and finishes with an SnG stop/resume (a fraction of
+ * trials also lose power mid-stop). Asserts the RAS invariant: zero
+ * silent data corruption — every media fault resolves to a counted
+ * correction, a retirement, or a contained machine check. Emits
+ * BENCH_ras.json.
+ *
+ *   ras_campaign_main [--seeds N] [--ops N] [--seed S] [--out FILE]
+ *
+ * --seeds is per (ber, wear, policy) cell; the default 32 yields
+ * 4 x 2 x 2 x 32 = 512 seeded trials.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hh"
+#include "fault/ras_campaign.hh"
+#include "stats/table.hh"
+
+using namespace lightpc;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--seeds N] [--ops N] [--seed S]"
+                 " [--out FILE]\n",
+                 argv0);
+    return 2;
+}
+
+std::string
+fmtRate(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0e", v);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fault::RasCampaignConfig config;
+    std::string out = "BENCH_ras.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                std::exit(usage(argv[0]));
+            return argv[++i];
+        };
+        if (arg == "--seeds")
+            config.seedsPerCell = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--ops")
+            config.opsPerTrial = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--seed")
+            config.seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--out")
+            out = value();
+        else
+            return usage(argv[0]);
+    }
+    if (config.seedsPerCell == 0 || config.opsPerTrial == 0)
+        return usage(argv[0]);
+
+    bench::banner("RAS campaign",
+                  "seeded media faults vs the zero-SDC invariant");
+    bench::paperRef("LightPC Section V-A / VIII: ECC corrects, scrub"
+                    " retires, the MCE contains or cold-boots —"
+                    " never silent corruption");
+
+    const fault::RasCampaignResult r = fault::runRasCampaign(config);
+
+    stats::Table table({"ber", "wear", "policy", "trials", "checked",
+                        "xcc", "rs", "uncorr", "retired", "mce",
+                        "sdc"});
+    for (const fault::RasCell &c : r.cells) {
+        table.addRow({fmtRate(c.ber), fmtRate(c.wear), c.policy,
+                      std::to_string(c.trials),
+                      std::to_string(c.checkedReads),
+                      std::to_string(c.corrected),
+                      std::to_string(c.symbolCorrections),
+                      std::to_string(c.uncorrectable),
+                      std::to_string(c.retired),
+                      std::to_string(c.mceContained
+                                     + c.mceColdBoots),
+                      std::to_string(c.sdc)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ntotals: " << r.trials << " trials, "
+              << r.checkedReads << " checked reads, "
+              << r.correctedReads << " XCC corrections, "
+              << r.symbolCorrections << " RS corrections, "
+              << r.parityRewrites << " parity rewrites, "
+              << r.uncorrectableReads << " uncorrectable\n"
+              << "mce: " << r.mceContained << " contained ("
+              << r.tasksKilled << " tasks killed), "
+              << r.mceColdBoots << " cold boots ("
+              << r.kernelEscalations << " kernel escalations)\n"
+              << "retire: " << r.linesRetired << " lines, "
+              << r.spareExhausted << " spare-exhausted\n"
+              << "scrub: " << r.scrubbedLines << " lines, "
+              << r.scrubRepairs << " repairs, "
+              << r.scrubDeferrals << " deferrals\n"
+              << "sng: " << r.resumes << " resumes, "
+              << r.coldBootResumes << " cold boots, "
+              << r.cutTrials << " power-cut trials ("
+              << r.droppedWrites << " dropped, " << r.tornWrites
+              << " torn), " << r.containSurvivedSng
+              << " contain-then-resume survivals\n";
+    for (const std::string &note : r.violationNotes)
+        std::cout << "  VIOLATION " << note << "\n";
+
+    const std::uint64_t expected_trials = config.bers.size()
+        * config.wearLevels.size() * 2 * config.seedsPerCell;
+    bench::check(r.trials == expected_trials,
+                 "every cell ran its seeded trials ("
+                 + std::to_string(r.trials) + ")");
+    // The checked-in artifact must come from a full-size run; CI
+    // smoke runs (--seeds 2) are exempt from the floor.
+    if (config.seedsPerCell >= 32)
+        bench::check(r.trials >= 500,
+                     "campaign ran >= 500 seeded trials ("
+                     + std::to_string(r.trials) + ")");
+    bench::check(r.sdcEvents == 0,
+                 "zero silent-data-corruption events over "
+                 + std::to_string(r.checkedReads)
+                 + " checked reads");
+    bench::check(r.violations == 0,
+                 "zero durability-invariant violations");
+    bench::check(r.correctedReads > 0 && r.symbolCorrections > 0,
+                 "both ECC tiers exercised (XCC + RS erasure)");
+    bench::check(r.mceContained > 0 && r.mceColdBoots > 0,
+                 "both MCE policy arms exercised");
+    bench::check(r.linesRetired > 0 && r.scrubRepairs > 0,
+                 "scrubber repaired and retirement engaged");
+    bench::check(r.containSurvivedSng > 0,
+                 "a contained MCE (line retired) survived SnG"
+                 " stop/resume");
+    bench::check(r.cutTrials > 0,
+                 "combined power-cut + media-fault trials ran");
+    bench::check(r.resumes + r.coldBootResumes == r.trials,
+                 "every trial resolved to resume or cold boot");
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::perror(out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"ras_campaign\",\n");
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(config.seed));
+    std::fprintf(f, "  \"trials\": %llu,\n",
+                 static_cast<unsigned long long>(r.trials));
+    std::fprintf(f, "  \"ops_per_trial\": %llu,\n",
+                 static_cast<unsigned long long>(config.opsPerTrial));
+    std::fprintf(f, "  \"sdc_events\": %llu,\n",
+                 static_cast<unsigned long long>(r.sdcEvents));
+    std::fprintf(f, "  \"violations\": %llu,\n",
+                 static_cast<unsigned long long>(r.violations));
+    std::fprintf(f, "  \"checked_reads\": %llu,\n",
+                 static_cast<unsigned long long>(r.checkedReads));
+    std::fprintf(f, "  \"xcc_corrections\": %llu,\n",
+                 static_cast<unsigned long long>(r.correctedReads));
+    std::fprintf(f, "  \"rs_corrections\": %llu,\n",
+                 static_cast<unsigned long long>(r.symbolCorrections));
+    std::fprintf(f, "  \"parity_rewrites\": %llu,\n",
+                 static_cast<unsigned long long>(r.parityRewrites));
+    std::fprintf(f, "  \"uncorrectable_reads\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.uncorrectableReads));
+    std::fprintf(f, "  \"mce_contained\": %llu,\n",
+                 static_cast<unsigned long long>(r.mceContained));
+    std::fprintf(f, "  \"mce_cold_boots\": %llu,\n",
+                 static_cast<unsigned long long>(r.mceColdBoots));
+    std::fprintf(f, "  \"tasks_killed\": %llu,\n",
+                 static_cast<unsigned long long>(r.tasksKilled));
+    std::fprintf(f, "  \"kernel_escalations\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.kernelEscalations));
+    std::fprintf(f, "  \"lines_retired\": %llu,\n",
+                 static_cast<unsigned long long>(r.linesRetired));
+    std::fprintf(f, "  \"scrubbed_lines\": %llu,\n",
+                 static_cast<unsigned long long>(r.scrubbedLines));
+    std::fprintf(f, "  \"scrub_repairs\": %llu,\n",
+                 static_cast<unsigned long long>(r.scrubRepairs));
+    std::fprintf(f, "  \"scrub_deferrals\": %llu,\n",
+                 static_cast<unsigned long long>(r.scrubDeferrals));
+    std::fprintf(f, "  \"sng_resumes\": %llu,\n",
+                 static_cast<unsigned long long>(r.resumes));
+    std::fprintf(f, "  \"sng_cold_boots\": %llu,\n",
+                 static_cast<unsigned long long>(r.coldBootResumes));
+    std::fprintf(f, "  \"power_cut_trials\": %llu,\n",
+                 static_cast<unsigned long long>(r.cutTrials));
+    std::fprintf(f, "  \"dropped_writes\": %llu,\n",
+                 static_cast<unsigned long long>(r.droppedWrites));
+    std::fprintf(f, "  \"torn_writes\": %llu,\n",
+                 static_cast<unsigned long long>(r.tornWrites));
+    std::fprintf(f, "  \"contain_survived_sng\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.containSurvivedSng));
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < r.cells.size(); ++i) {
+        const fault::RasCell &c = r.cells[i];
+        std::fprintf(f,
+                     "    {\"ber\": %g, \"wear\": %g,"
+                     " \"policy\": \"%s\", \"trials\": %llu,"
+                     " \"checked_reads\": %llu,"
+                     " \"xcc_corrections\": %llu,"
+                     " \"rs_corrections\": %llu,"
+                     " \"parity_rewrites\": %llu,"
+                     " \"uncorrectable\": %llu,"
+                     " \"retired\": %llu,"
+                     " \"mce_contained\": %llu,"
+                     " \"mce_cold_boots\": %llu,"
+                     " \"sdc\": %llu}%s\n",
+                     c.ber, c.wear, c.policy.c_str(),
+                     static_cast<unsigned long long>(c.trials),
+                     static_cast<unsigned long long>(c.checkedReads),
+                     static_cast<unsigned long long>(c.corrected),
+                     static_cast<unsigned long long>(
+                         c.symbolCorrections),
+                     static_cast<unsigned long long>(
+                         c.parityRewrites),
+                     static_cast<unsigned long long>(
+                         c.uncorrectable),
+                     static_cast<unsigned long long>(c.retired),
+                     static_cast<unsigned long long>(c.mceContained),
+                     static_cast<unsigned long long>(c.mceColdBoots),
+                     static_cast<unsigned long long>(c.sdc),
+                     i + 1 < r.cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::cout << "\nwrote " << out << "\n";
+
+    return bench::result();
+}

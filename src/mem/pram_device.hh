@@ -11,21 +11,87 @@
  * ECC reconstruction removes.
  *
  * Endurance (set/reset cycles) is tracked per region so wear-leveling
- * can be validated and lifetime projected (Section VIII).
+ * can be validated and lifetime projected (Section VIII). The wear
+ * counters additionally feed the media-fault model: past a
+ * configurable wear onset, writes stochastically create *stuck-at*
+ * symbols that persist until the line is retired, and every read can
+ * additionally suffer transient (resistance-drift) symbol flips at a
+ * configurable raw error rate. The PSM's RAS pipeline turns those
+ * faults into XCC corrections, symbol-ECC reconstructions, or
+ * contained MCEs — never silent corruption.
  */
 
 #ifndef LIGHTPC_MEM_PRAM_DEVICE_HH
 #define LIGHTPC_MEM_PRAM_DEVICE_HH
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/request.hh"
 #include "sim/fast_div.hh"
+#include "sim/rng.hh"
 #include "sim/ticks.hh"
+#include "stats/histogram.hh"
 
 namespace lightpc::mem
 {
+
+/**
+ * Media-fault model of one PRAM die (Section V-A reliability).
+ *
+ * A "symbol" is one byte of a 32 B device granule — the unit the
+ * symbol-based ECC tier operates on. Each device granule carries
+ * internal per-granule detection (CRC-class), so a corrupted granule
+ * is always *detected* and surfaces to the PSM as an erasure; the
+ * codecs then either repair it or raise the containment bit.
+ */
+struct MediaFaultParams
+{
+    /** Master switch; when false no fault state is ever sampled. */
+    bool enabled = false;
+
+    /**
+     * Transient per-symbol raw error rate: the probability that any
+     * given symbol of a granule read comes back flipped (resistance
+     * drift). Cleared by a rewrite of the line (patrol scrub).
+     */
+    double transientBer = 0.0;
+
+    /**
+     * Probability that a write to a fully-worn region leaves one
+     * symbol of a written granule permanently stuck. Scales linearly
+     * from zero at `wearOnsetFraction` to this value at 100% wear.
+     */
+    double wearStuckRate = 0.0;
+
+    /** Wear fraction below which no stuck-at faults are created. */
+    double wearOnsetFraction = 0.5;
+
+    /** Cap on tracked stuck symbols per 32 B granule. */
+    std::uint32_t maxStuckPerGranule = 8;
+
+    /** Seed of the per-device fault RNG (salted per unit by the PSM). */
+    std::uint64_t seed = 0x7261734cULL;  // "rasL"
+};
+
+/**
+ * Address-space tag for the parity granule that accompanies a data
+ * granule pair. The device models its group's companion ECC granule
+ * (written in lockstep with every line write, so it wears and sticks
+ * at the same rate) under `line_addr | pramParityTag`.
+ */
+constexpr Addr pramParityTag = Addr(1) << 63;
+
+/** Sampled corruption of one 32 B granule read. */
+struct GranuleFaults
+{
+    std::uint32_t stuck = 0;    ///< persistent stuck-at symbols
+    std::uint32_t flipped = 0;  ///< transient drift flips (this read)
+
+    std::uint32_t total() const { return stuck + flipped; }
+    bool any() const { return total() != 0; }
+};
 
 /** Configuration of one PRAM die. */
 struct PramParams
@@ -50,6 +116,9 @@ struct PramParams
 
     /** Wear-accounting region size in bytes. */
     std::uint64_t wearRegionBytes = std::uint64_t(1) << 20;
+
+    /** Media-fault model (disabled by default). */
+    MediaFaultParams faults;
 };
 
 /**
@@ -120,14 +189,68 @@ class PramDevice
     std::uint64_t maxRegionWear() const;
 
     /**
+     * Per-region wear quantiles: one histogram sample per region,
+     * value = the region's saturating write count. The fault model
+     * and bench_ablation_wear_leveling read the same numbers.
+     */
+    stats::Histogram wearHistogram() const;
+
+    /** Fold this die's per-region wear samples into @p hist. */
+    void addWearSamples(stats::Histogram &hist) const;
+
+    /** Fraction of endurance consumed at @p addr's region in [0,1]. */
+    double wearFraction(Addr addr) const;
+
+    /**
      * Remaining lifetime fraction of the most-worn region in [0, 1].
      */
     double lifetimeRemaining() const;
+
+    // --- media-fault model ----------------------------------------
+
+    /**
+     * Re-seed the fault RNG (the PSM salts the configured seed per
+     * service unit so dies do not replay each other's fault trace).
+     */
+    void seedFaults(std::uint64_t seed);
+
+    /**
+     * Sample the corruption of a 32 B granule read at device-local
+     * address @p granule_addr. Transient flips are drawn fresh per
+     * call; stuck symbols repeat until retireGranule()/reset().
+     * Returns an empty sample when the model is disabled.
+     */
+    GranuleFaults sampleReadFaults(Addr granule_addr);
+
+    /** Persistent stuck symbols recorded for one granule. */
+    std::uint32_t stuckSymbols(Addr granule_addr) const;
+
+    /**
+     * Forget the stuck state of a granule (the line containing it
+     * was retired; its traffic now lands on a spare).
+     */
+    void retireGranule(Addr granule_addr);
+
+    /** Granules currently carrying at least one stuck symbol. */
+    std::size_t stuckGranuleCount() const { return stuckMap.size(); }
+
+    /**
+     * Age the die: set every region's wear counter to @p cycles
+     * (saturating), as if that many writes had landed uniformly.
+     * Campaign pre-conditioning for wear-level sweeps.
+     */
+    void preWear(std::uint64_t cycles);
 
     /** Reset timing and wear state (the OC-PMEM reset port). */
     void reset();
 
   private:
+    /** Saturating wear increment for the region holding @p addr. */
+    void recordWear(Addr addr);
+
+    /** Stochastic stuck-at creation for a written granule. */
+    void maybeStick(Addr granule_addr, double wear_fraction);
+
     PramParams _params;
     FastDiv wearRegion;   ///< divisor: wearRegionBytes
     FastDiv wearRegions;  ///< divisor: wear.size()
@@ -136,6 +259,13 @@ class PramDevice
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
     std::vector<std::uint64_t> wear;
+
+    /** Fault RNG (sampling order is part of the seeded trace). */
+    Rng faultRng;
+    /** P(>=1 transient flip per granule read), fixed at construction. */
+    double pAnyFlip = 0.0;
+    /** Granule address -> persistent stuck-symbol count. */
+    std::unordered_map<Addr, std::uint32_t> stuckMap;
 };
 
 } // namespace lightpc::mem

@@ -51,10 +51,18 @@ System::System(const SystemConfig &config)
     if (_config.cores == 0)
         fatal("System requires at least one core");
 
-    _psm = std::make_unique<psm::Psm>(
-        _config.psmParams
-            ? *_config.psmParams
-            : psmParamsFor(_config.kind, _config.pmemDimms));
+    psm::PsmParams psm_params = _config.psmParams
+        ? *_config.psmParams
+        : psmParamsFor(_config.kind, _config.pmemDimms);
+    // RAS knobs layer on top of whichever base was chosen, so a
+    // campaign can flip one arm without restating the PSM geometry.
+    if (_config.mcePolicy)
+        psm_params.mcePolicy = *_config.mcePolicy;
+    if (_config.mediaFaults)
+        psm_params.dimm.device.faults = *_config.mediaFaults;
+    if (_config.spareLines)
+        psm_params.spareLines = *_config.spareLines;
+    _psm = std::make_unique<psm::Psm>(psm_params);
 
     if (_config.kind == PlatformKind::LegacyPC)
         _dram = std::make_unique<DramArray>(6);
@@ -80,6 +88,7 @@ System::System(const SystemConfig &config)
         sng_caches.push_back(&core->dcache());
     _sng = std::make_unique<pecos::Sng>(*_kernel, *_psm, _pmemStore,
                                         std::move(sng_caches));
+    _mce = std::make_unique<pecos::MceHandler>(*_kernel, *_psm);
 }
 
 System::~System() = default;

@@ -28,6 +28,7 @@
 #include "kernel/kernel.hh"
 #include "mem/backing_store.hh"
 #include "mem/memory_port.hh"
+#include "pecos/mce.hh"
 #include "pecos/sng.hh"
 #include "platform/dram_array.hh"
 #include "power/power_model.hh"
@@ -71,6 +72,19 @@ struct SystemConfig
 
     /** Full PSM parameter override (kind defaults when absent). */
     std::optional<psm::PsmParams> psmParams;
+
+    /**
+     * Machine-check policy override, applied on top of psmParams /
+     * the kind defaults (so RAS campaigns can flip the arm without
+     * re-deriving the whole PSM configuration).
+     */
+    std::optional<psm::McePolicy> mcePolicy;
+
+    /** Media-fault model applied to every PRAM device group. */
+    std::optional<mem::MediaFaultParams> mediaFaults;
+
+    /** Retirement spare pool size (physical line slots). */
+    std::optional<std::uint64_t> spareLines;
 
     /**
      * Optional externally-owned port the cores use instead of the
@@ -153,6 +167,7 @@ class System
 
     kernel::Kernel &kernel() { return *_kernel; }
     pecos::Sng &sng() { return *_sng; }
+    pecos::MceHandler &mceHandler() { return *_mce; }
 
     const power::PowerModel &powerModel() const { return _power; }
 
@@ -219,6 +234,7 @@ class System
     mem::BackingStore _pmemStore;
     std::unique_ptr<kernel::Kernel> _kernel;
     std::unique_ptr<pecos::Sng> _sng;
+    std::unique_ptr<pecos::MceHandler> _mce;
     power::PowerModel _power;
 };
 

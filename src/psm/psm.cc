@@ -2,10 +2,56 @@
 
 #include <algorithm>
 
+#include "psm/xcc.hh"
 #include "sim/logging.hh"
 
 namespace lightpc::psm
 {
+
+namespace
+{
+
+/**
+ * Ground-truth byte @p i of the line stored at @p key (a splitmix64
+ * hash). The data path is not simulated byte-for-byte, but the RAS
+ * pipeline must run the *real* codecs on *real* codewords, so every
+ * line has a deterministic pattern reconstructible from its location:
+ * decode output is compared against it and any disagreement is a
+ * silent-data-corruption event.
+ */
+std::uint8_t
+patternByte(std::uint64_t key, std::uint32_t i)
+{
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ULL * (i + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::uint8_t>(z ^ (z >> 31));
+}
+
+/** Fill @p h with the stored pattern of @p key, bytes [base, base+32). */
+void
+fillPattern(HalfLine &h, std::uint64_t key, std::uint32_t base)
+{
+    for (std::uint32_t i = 0; i < h.size(); ++i)
+        h[i] = patternByte(key, base + i);
+}
+
+/**
+ * Apply @p n symbol faults to @p h. The erasure model keys off
+ * *which granules* are corrupt, not which symbols, so the positions
+ * are arbitrary; the values must genuinely differ so the parity
+ * consistency check is exercised for real.
+ */
+void
+corruptSymbols(HalfLine &h, std::uint32_t n)
+{
+    const std::uint32_t limit =
+        std::min<std::uint32_t>(n, static_cast<std::uint32_t>(h.size()));
+    for (std::uint32_t i = 0; i < limit; ++i)
+        h[i] ^= 0xA5;
+}
+
+} // namespace
 
 Psm::Psm(const PsmParams &params)
     : _params(params)
@@ -31,11 +77,17 @@ Psm::Psm(const PsmParams &params)
         for (std::uint32_t g = 0; g < nvdimms[d]->groupCount(); ++g)
             capacity += nvdimms[d]->group(g).params().capacityBytes;
 
-    lineCount = capacity / mem::cacheLineBytes;
+    const std::uint64_t total_lines = capacity / mem::cacheLineBytes;
     const std::uint64_t page_lines =
         _params.rowBufferBytes / mem::cacheLineBytes;
-    // Round the managed line count down to a whole number of pages.
+    if (_params.spareLines >= total_lines)
+        fatal("Psm spareLines must leave managed capacity");
+    // Carve the spare pool from the top of the physical space, then
+    // round the managed line count down to a whole number of pages.
+    lineCount = total_lines - _params.spareLines;
     lineCount -= lineCount % page_lines;
+    // Spares sit just past the Start-Gap slot range [0, lineCount].
+    retire = RetireTable(lineCount + 1, _params.spareLines);
     StartGapParams sg;
     sg.lines = lineCount;
     sg.writeThreshold = _params.wearThreshold;
@@ -47,6 +99,49 @@ Psm::Psm(const PsmParams &params)
     pageDecode.set(page_lines);
     unitDecode.set(units);
     groupDecode.set(nvdimms[0]->groupCount());
+
+    if (_params.dimm.device.faults.enabled || _params.symbolEccFallback)
+        symbolTier = std::make_unique<SymbolEcc>(2, 2);
+    seedUnitFaultRngs();
+}
+
+void
+Psm::seedUnitFaultRngs()
+{
+    // Salt the configured seed per service unit so that dies do not
+    // replay each other's fault trace (one shared trace would make
+    // every group fail in lockstep and mask routing bugs).
+    if (!_params.dimm.device.faults.enabled)
+        return;
+    const std::uint32_t groups = nvdimms[0]->groupCount();
+    for (std::uint32_t u = 0; u < units; ++u)
+        nvdimms[u / groups]->group(u % groups).seedFaults(
+            _params.dimm.device.faults.seed
+            ^ (0x9e3779b97f4a7c15ULL * (u + 1)));
+}
+
+Psm::Route
+Psm::routePhysical(std::uint64_t physical_line) const
+{
+    // Interleave at row-buffer-page granularity: a sequential page
+    // burst fills one group's row buffer while other pages spread
+    // over the remaining DIMMs/groups (intra- and inter-DIMM
+    // parallelism, Section V-B). All divisors are fixed at
+    // construction, so the decode is shifts/masks on the usual
+    // power-of-two geometries.
+    const std::uint64_t global_page = pageDecode.div(physical_line);
+
+    Route r;
+    r.slot = physical_line;
+    r.unit = static_cast<std::uint32_t>(unitDecode.mod(global_page));
+    r.dimm = static_cast<std::uint32_t>(groupDecode.div(r.unit));
+    r.group = static_cast<std::uint32_t>(groupDecode.mod(r.unit));
+    r.page = unitDecode.div(global_page);
+    r.lineInPage =
+        static_cast<std::uint32_t>(pageDecode.mod(physical_line));
+    r.localAddr = (r.page * pageDecode.value() + r.lineInPage)
+        * mem::cacheLineBytes;
+    return r;
 }
 
 Psm::Route
@@ -58,23 +153,12 @@ Psm::route(mem::Addr addr) const
         ? wearLevel->remap(logical_line)
         : logical_line;
 
-    // Interleave at row-buffer-page granularity: a sequential page
-    // burst fills one group's row buffer while other pages spread
-    // over the remaining DIMMs/groups (intra- and inter-DIMM
-    // parallelism, Section V-B). All divisors are fixed at
-    // construction, so the decode is shifts/masks on the usual
-    // power-of-two geometries.
-    const std::uint64_t global_page = pageDecode.div(physical_line);
-
-    Route r;
-    r.unit = static_cast<std::uint32_t>(unitDecode.mod(global_page));
-    r.dimm = static_cast<std::uint32_t>(groupDecode.div(r.unit));
-    r.group = static_cast<std::uint32_t>(groupDecode.mod(r.unit));
-    r.page = unitDecode.div(global_page);
-    r.lineInPage =
-        static_cast<std::uint32_t>(pageDecode.mod(physical_line));
-    r.localAddr = (r.page * pageDecode.value() + r.lineInPage)
-        * mem::cacheLineBytes;
+    // Retirement is layered after Start-Gap: the damage is physical,
+    // so the table is keyed by the slot the wear leveler produced —
+    // whatever logical line rotates onto a retired slot is served by
+    // its spare.
+    Route r = routePhysical(retire.remap(physical_line));
+    r.slot = physical_line;
     return r;
 }
 
@@ -115,6 +199,225 @@ Psm::closeRowBuffer(std::uint32_t unit, Tick when)
     }
     rb.openPage = ~std::uint64_t(0);
     return drain;
+}
+
+Psm::LineFaults
+Psm::sampleLineFaults(const Route &r)
+{
+    mem::PramDevice &dev = unitDevice(r);
+    LineFaults lf;
+    lf.a = dev.sampleReadFaults(r.localAddr);
+    lf.b = dev.sampleReadFaults(
+        r.localAddr + mem::pramDeviceGranularity);
+    lf.p = dev.sampleReadFaults(parityKey(r.localAddr));
+    return lf;
+}
+
+bool
+Psm::rasDecodeLine(const Route &r, const LineFaults &lf,
+                   mem::AccessResult &result)
+{
+    ++_stats.rasCheckedReads;
+    if (!lf.any())
+        return false;
+
+    // Ground truth: the line's deterministic stored pattern and the
+    // parity the write path would have committed alongside it.
+    const std::uint64_t key =
+        (std::uint64_t(r.unit) << 40) ^ r.localAddr;
+    HalfLine truth_a, truth_b;
+    fillPattern(truth_a, key, 0);
+    fillPattern(truth_b, key, mem::pramDeviceGranularity);
+    const HalfLine truth_p = XccCodec::encode(truth_a, truth_b);
+
+    // What the media returns this read: the stored codeword with the
+    // sampled symbol corruption applied.
+    HalfLine a = truth_a, b = truth_b, p = truth_p;
+    corruptSymbols(a, lf.a.total());
+    corruptSymbols(b, lf.b.total());
+    corruptSymbols(p, lf.p.total());
+
+    // Erasure model: each 32 B granule carries internal CRC-class
+    // detection, so a corrupted granule surfaces as a *known-bad*
+    // lane rather than silent wrong data.
+    const bool a_bad = lf.a.any();
+    const bool b_bad = lf.b.any();
+    const bool p_bad = lf.p.any();
+
+    mem::PramDevice &dev = unitDevice(r);
+    Tick &ecc = eccBusyUntil[r.unit / 2];
+
+    if ((a_bad && b_bad) || ((a_bad || b_bad) && p_bad)) {
+        // Two erasures among the three XCC lanes: the XOR pair code
+        // is out of its depth. Either the symbol tier recovers the
+        // data halves, or the containment bit goes up.
+        bool recovered = false;
+        if (_params.symbolEccFallback && symbolTier) {
+            // Lane layout: [half A, half B, RS parity 0, RS parity 1]
+            // on the Section VIII spare devices (modeled clean). Any
+            // two erased lanes are recoverable; the erasure flags
+            // come from the per-granule detection above.
+            //
+            // The code is evaluation-form (non-systematic): each
+            // stored lane holds codeword evaluations, not the raw
+            // half, so a granule's media faults corrupt its
+            // *evaluation* lane in place. Substituting the raw
+            // halves here would hand the decoder a clean-flagged
+            // lane with wrong contents — exactly the silent
+            // corruption the campaign exists to catch.
+            const std::size_t lane = mem::pramDeviceGranularity;
+            std::vector<std::uint8_t> data(2 * lane);
+            std::copy(truth_a.begin(), truth_a.end(), data.begin());
+            std::copy(truth_b.begin(), truth_b.end(),
+                      data.begin() + lane);
+            std::vector<std::uint8_t> stored =
+                symbolTier->encodeLanes(data, lane);
+            const auto corrupt_lane = [&](std::size_t idx,
+                                          std::uint32_t n) {
+                const std::size_t limit =
+                    std::min<std::size_t>(n, lane);
+                for (std::size_t i = 0; i < limit; ++i)
+                    stored[idx * lane + i] ^= 0xA5;
+            };
+            if (a_bad)
+                corrupt_lane(0, lf.a.total());
+            if (b_bad)
+                corrupt_lane(1, lf.b.total());
+            const std::vector<bool> erased{a_bad, b_bad, false, false};
+            std::vector<std::uint8_t> out;
+            if (symbolTier->decodeLanes(stored, lane, erased, out)) {
+                recovered = true;
+                ++_stats.symbolCorrections;
+                result.corrected = true;
+                if (!std::equal(out.begin(), out.end(), data.begin()))
+                    ++_stats.sdcEvents;
+                const Tick start = std::max(result.completeAt, ecc);
+                result.completeAt = start + _params.symbolEccLatency;
+                ecc = result.completeAt;
+            }
+        }
+        if (!recovered) {
+            ++_stats.uncorrectableReads;
+            raiseMce();
+            result.containment = true;
+            result.corrected = false;
+            return false;  // the MCE handler owns the slot's fate
+        }
+    } else if (a_bad || b_bad) {
+        // One data half erased, parity healthy: the XCC repair path,
+        // one XOR cycle on the reconstruction lane.
+        const XccDecode xd = XccCodec::decode(a, b, p, a_bad, b_bad);
+        if (!xd.ok || a != truth_a || b != truth_b)
+            ++_stats.sdcEvents;
+        ++_stats.correctedReads;
+        result.corrected = true;
+        const Tick start = std::max(result.completeAt, ecc);
+        result.completeAt = start + _params.xorLatency;
+        ecc = result.completeAt;
+    } else {
+        // Only the parity granule is corrupt: data is served as-is,
+        // but the codeword must *detect* the damage — a corrupted
+        // parity that still checks out would be silent rot waiting
+        // for the next half-line failure.
+        if (XccCodec::consistent(a, b, p))
+            ++_stats.sdcEvents;
+        ++_stats.parityRewrites;
+        // Reprogram the parity granule on the ECC device.
+        ecc = std::max(ecc, result.completeAt)
+            + dev.params().writeLatency;
+    }
+    return lf.anyStuck();
+}
+
+void
+Psm::retireSlot(const Route &r, Tick when)
+{
+    if (!retire.canRetire()) {
+        ++_stats.spareExhausted;
+        return;
+    }
+    const std::uint64_t spare = retire.retire(r.slot);
+    ++_stats.retiredLines;
+    // The bad slot's stuck state is out of service now; dropping it
+    // keeps the per-device map bounded.
+    mem::PramDevice &dev = unitDevice(r);
+    dev.retireGranule(r.localAddr);
+    dev.retireGranule(r.localAddr + mem::pramDeviceGranularity);
+    dev.retireGranule(parityKey(r.localAddr));
+    // Copy the displaced line onto its spare: one background write
+    // on the spare's service unit.
+    const Route spare_r = routePhysical(spare);
+    unitDevice(spare_r).write(when, spare_r.localAddr,
+                              /*early_return=*/true);
+}
+
+bool
+Psm::retireFaultyLine(mem::Addr addr, Tick when)
+{
+    const Route r = route(addr);
+    if (!retire.canRetire()) {
+        ++_stats.spareExhausted;
+        return false;
+    }
+    retireSlot(r, when);
+    return true;
+}
+
+Psm::ScrubOutcome
+Psm::scrubLine(std::uint64_t logical_line, Tick when)
+{
+    ScrubOutcome out;
+    const Route r = route(logical_line * mem::cacheLineBytes);
+    mem::PramDevice &dev = unitDevice(r);
+    RowBuffer &rb = rowBuffers[r.unit];
+
+    // Idle-slot discipline: the patrol never delays demand traffic.
+    // A line sitting dirty in its row buffer is about to be rewritten
+    // at drain anyway, so scrubbing it now would be wasted wear.
+    const bool line_dirty = rb.openPage == r.page
+        && (rb.dirtyMask & (std::uint64_t(1) << r.lineInPage));
+    if (dev.busyAt(when) || line_dirty) {
+        ++_stats.scrubDeferrals;
+        return out;
+    }
+
+    out.serviced = true;
+    ++_stats.scrubbedLines;
+    const mem::AccessResult media = dev.read(when);
+    if (!_params.dimm.device.faults.enabled)
+        return out;
+
+    const LineFaults lf = sampleLineFaults(r);
+    if (!lf.any())
+        return out;
+
+    mem::AccessResult res;
+    res.completeAt = media.completeAt;
+    const bool want_retire = rasDecodeLine(r, lf, res);
+    if (res.containment) {
+        out.containment = true;
+        return out;
+    }
+    if (want_retire) {
+        retireSlot(r, res.completeAt);
+        out.retired = true;
+        return out;
+    }
+    // Transient-only corruption: a rewrite refreshes the cells.
+    dev.write(res.completeAt, r.localAddr, /*early_return=*/true);
+    ++_stats.scrubRepairs;
+    out.repaired = true;
+    return out;
+}
+
+stats::Histogram
+Psm::wearHistogram() const
+{
+    stats::Histogram hist;
+    for (const auto &dimm : nvdimms)
+        for (std::uint32_t g = 0; g < dimm->groupCount(); ++g)
+            dimm->group(g).addWearSamples(hist);
+    return hist;
 }
 
 mem::AccessResult
@@ -230,6 +533,8 @@ Psm::access(const mem::MemRequest &req, Tick when)
         return result;
     }
 
+    const bool media_faults = _params.dimm.device.faults.enabled;
+
     if (dev.busyAt(t) && _params.eccReconstruction) {
         // Non-blocking service: regenerate the target from the
         // paired half + parity on the ECC lane instead of waiting
@@ -241,18 +546,25 @@ Psm::access(const mem::MemRequest &req, Tick when)
             start + dev.params().readLatency + _params.xorLatency;
         ecc = result.completeAt;
         result.reconstructed = true;
-        result.mediaFreeAt = dev.busyUntil();
-        readHist.add(result.completeAt - when);
-        return result;
+    } else {
+        if (dev.busyAt(t)) {
+            // LightPC-B: head-of-line blocking behind the write.
+            ++_stats.blockedReads;
+            _stats.readStallTicks += dev.busyUntil() - t;
+        }
+        const mem::AccessResult media = dev.read(t);
+        result.completeAt = media.completeAt;
     }
 
-    if (dev.busyAt(t)) {
-        // LightPC-B: head-of-line blocking behind the write.
-        ++_stats.blockedReads;
-        _stats.readStallTicks += dev.busyUntil() - t;
+    if (media_faults) {
+        // Every media-touching read runs the full codeword through
+        // the real codecs: corrections are counted, not assumed, and
+        // any decode/ground-truth mismatch is a recorded SDC event.
+        const LineFaults lf = sampleLineFaults(r);
+        if (rasDecodeLine(r, lf, result))
+            retireSlot(r, result.completeAt);
     }
-    const mem::AccessResult media = dev.read(t);
-    result.completeAt = media.completeAt;
+
     result.mediaFreeAt = dev.busyUntil();
     readHist.add(result.completeAt - when);
     return result;
@@ -280,10 +592,14 @@ Psm::resetPort()
 {
     for (auto &dimm : nvdimms)
         dimm->reset();
+    seedUnitFaultRngs();
     std::fill(rowBuffers.begin(), rowBuffers.end(), RowBuffer{});
     std::fill(eccBusyUntil.begin(), eccBusyUntil.end(), Tick(0));
     StartGapParams sg = wearLevel->params();
     wearLevel = std::make_unique<StartGap>(sg);
+    // A cold boot wipes OC-PMEM, and the DIMM reset above restored
+    // pristine media, so the remap table starts over too.
+    retire.reset();
     _stats = PsmStats{};
     readHist.reset();
     writeHist.reset();
@@ -331,12 +647,18 @@ Psm::handleContainment()
         return false;
     // The paper's current version: wipe OC-PMEM through the reset
     // port and reinitialize the system with a cold boot.
+    containmentReset();
+    return true;
+}
+
+void
+Psm::containmentReset()
+{
     const std::uint64_t preserved_mce = _stats.mceCount;
     const std::uint64_t preserved_resets = _stats.resets + 1;
     resetPort();
     _stats.mceCount = preserved_mce;
     _stats.resets = preserved_resets;
-    return true;
 }
 
 Tick

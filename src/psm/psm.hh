@@ -36,7 +36,9 @@
 
 #include "mem/request.hh"
 #include "psm/bare_nvdimm.hh"
+#include "psm/retire.hh"
 #include "psm/start_gap.hh"
+#include "psm/symbol_ecc.hh"
 #include "sim/fast_div.hh"
 #include "stats/histogram.hh"
 
@@ -103,6 +105,13 @@ struct PsmParams
      */
     bool symbolEccFallback = false;
     Tick symbolEccLatency = 150 * tickNs;
+
+    /**
+     * Physical line slots carved from the top of the managed space
+     * as a retirement spare pool (graceful degradation for media
+     * that has started sticking). Zero disables retirement.
+     */
+    std::uint64_t spareLines = 0;
 };
 
 /** Aggregated PSM statistics. */
@@ -123,6 +132,27 @@ struct PsmStats
     std::uint64_t correctedReads = 0;     ///< XCC half-line repairs
     std::uint64_t symbolCorrections = 0;  ///< symbol-ECC fallbacks
     std::uint64_t resets = 0;             ///< MCE-triggered resets
+
+    // --- media-error RAS pipeline ---------------------------------
+    /** Reads whose codeword was actually decoded (faults enabled). */
+    std::uint64_t rasCheckedReads = 0;
+    /** Decoded data disagreed with ground truth: silent corruption.
+     *  The RAS invariant is that this stays exactly zero. */
+    std::uint64_t sdcEvents = 0;
+    /** Corrupted parity granules rewritten in place (scrub-on-read). */
+    std::uint64_t parityRewrites = 0;
+    /** Physical line slots moved to the spare pool. */
+    std::uint64_t retiredLines = 0;
+    /** Retirements skipped because the spare pool was empty. */
+    std::uint64_t spareExhausted = 0;
+    /** Lines checked by the patrol scrubber. */
+    std::uint64_t scrubbedLines = 0;
+    /** Scrub passes that rewrote a line to clear transient faults. */
+    std::uint64_t scrubRepairs = 0;
+    /** Scrub steps skipped because the service unit was busy. */
+    std::uint64_t scrubDeferrals = 0;
+    /** Uncorrectable codewords detected (containment raised). */
+    std::uint64_t uncorrectableReads = 0;
 };
 
 /**
@@ -137,6 +167,9 @@ class Psm
 
     /** Total OC-PMEM capacity in bytes. */
     std::uint64_t capacityBytes() const { return capacity; }
+
+    /** Logical 64 B lines managed (excludes the spare pool). */
+    std::uint64_t managedLines() const { return lineCount; }
 
     /** Independent service units (dimms x groups per DIMM). */
     std::uint32_t serviceUnits() const { return units; }
@@ -160,6 +193,55 @@ class Psm
 
     /** Record a detected uncorrectable fault (containment bit). */
     void raiseMce() { ++_stats.mceCount; }
+
+    // --- patrol scrub / retirement --------------------------------
+
+    /** Outcome of one patrol-scrub visit to a line. */
+    struct ScrubOutcome
+    {
+        /** The line was actually checked (false: deferred, retry). */
+        bool serviced = false;
+        /** A rewrite cleared transient corruption. */
+        bool repaired = false;
+        /** Stuck media moved the line's slot to a spare. */
+        bool retired = false;
+        /** Uncorrectable codeword: containment raised. */
+        bool containment = false;
+    };
+
+    /**
+     * Patrol-scrub one logical line: read its codeword in an idle
+     * row-buffer slot, rewrite it if transiently corrupted, retire
+     * its physical slot if the media has stuck symbols, and raise
+     * containment when the codeword is beyond both ECC tiers.
+     *
+     * Returns serviced = false (and touches nothing) when the line's
+     * service unit is busy or its row buffer holds the line dirty —
+     * the scrubber only uses idle slots and retries later.
+     *
+     * @pre logical_line < managedLines().
+     */
+    ScrubOutcome scrubLine(std::uint64_t logical_line, Tick when);
+
+    /** The retirement/remap table (inspection). */
+    const RetireTable &retireTable() const { return retire; }
+
+    /**
+     * MCE-handler service: retire the physical slot currently
+     * serving @p addr (a containment fault the host chose to
+     * contain rather than reset away). The slot's data is lost —
+     * the handler kills the owning task — but the slot itself is
+     * taken out of service so the address stays usable.
+     *
+     * @return false when the spare pool is exhausted.
+     */
+    bool retireFaultyLine(mem::Addr addr, Tick when);
+
+    /**
+     * Aggregate per-region wear quantiles across every device group
+     * (one histogram sample per wear region; saturating counts).
+     */
+    stats::Histogram wearHistogram() const;
 
     // --- reliability: fault injection and handling ----------------
 
@@ -187,6 +269,15 @@ class Psm
      * (the OS kills the owning task and continues).
      */
     bool handleContainment();
+
+    /**
+     * Wipe OC-PMEM via the reset port while preserving the MCE and
+     * reset counters across the wipe. This is the containment reset
+     * handleContainment() takes under ResetColdBoot; the MCE handler
+     * also takes it directly when a kernel-side machine check under
+     * Contain forces a cold boot anyway.
+     */
+    void containmentReset();
 
     /**
      * Section VIII future work: rotate the static randomizer seed
@@ -239,6 +330,9 @@ class Psm
         mem::Addr localAddr;   ///< byte offset within the group
         std::uint64_t page;    ///< group-local row-buffer page index
         std::uint32_t lineInPage;
+        /** Start-Gap output slot (the retirement-table key); the
+         *  addressing fields above reflect any retirement remap. */
+        std::uint64_t slot;
     };
 
     /** Per-group open-page write aggregation. */
@@ -251,10 +345,55 @@ class Psm
     };
 
     Route route(mem::Addr addr) const;
+    Route routePhysical(std::uint64_t physical_line) const;
     mem::PramDevice &unitDevice(const Route &r);
+
+    /** Re-salt every unit's fault RNG (construction and reset). */
+    void seedUnitFaultRngs();
 
     /** Close a dirty row buffer, emitting its media write. */
     mem::AccessResult closeRowBuffer(std::uint32_t unit, Tick when);
+
+    /** Sampled media state of one line's three codeword lanes. */
+    struct LineFaults
+    {
+        mem::GranuleFaults a;  ///< half A (localAddr)
+        mem::GranuleFaults b;  ///< half B (localAddr + 32)
+        mem::GranuleFaults p;  ///< parity granule (ECC device)
+        bool anyStuck() const
+        {
+            return a.stuck || b.stuck || p.stuck;
+        }
+        bool any() const { return a.any() || b.any() || p.any(); }
+    };
+
+    /** Device-local key of a line's parity granule. */
+    static mem::Addr parityKey(mem::Addr local_addr)
+    {
+        return local_addr | mem::pramParityTag;
+    }
+
+    /** Draw the media-fault state of the line at @p r. */
+    LineFaults sampleLineFaults(const Route &r);
+
+    /**
+     * Decode one line's codeword through the real codecs against
+     * synthesized ground truth. Updates correction/SDC statistics
+     * and @p result's corrected/containment flags, and extends
+     * @p result.completeAt by the decode latency consumed.
+     *
+     * @return true when the line's physical slot should be retired
+     *         (persistent stuck symbols survived the decode).
+     */
+    bool rasDecodeLine(const Route &r, const LineFaults &lf,
+                       mem::AccessResult &result);
+
+    /**
+     * Move @p r's physical slot to a spare and forget its stuck
+     * media state; the displaced data is copied over with one
+     * background line write. No-op when the pool is exhausted.
+     */
+    void retireSlot(const Route &r, Tick when);
 
     PsmParams _params;
     std::uint64_t capacity;
@@ -272,6 +411,10 @@ class Psm
     /** Per-unit fault flags: bit 0 = half A bad, bit 1 = half B. */
     std::vector<std::uint8_t> unitFaults;
     std::unique_ptr<StartGap> wearLevel;
+    /** Physical-slot retirement table (after Start-Gap). */
+    RetireTable retire{0, 0};
+    /** Symbol tier for the two-erasure fallback (lazily built). */
+    std::unique_ptr<SymbolEcc> symbolTier;
     PsmStats _stats;
     stats::Histogram readHist;
     stats::Histogram writeHist;

@@ -109,6 +109,18 @@ Histogram::percentile(double q) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.subBuckets != subBuckets)
+        fatal("Histogram::merge needs matching sub-bucket counts");
+    flush();
+    other.flush();
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    summary.merge(other.summary);
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);

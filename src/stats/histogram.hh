@@ -99,6 +99,14 @@ class Histogram
      */
     std::uint64_t percentile(double q) const;
 
+    /**
+     * Fold another histogram's samples into this one. Both must use
+     * the same sub-bucket resolution. Quantiles afterwards reflect
+     * the union of the two sample sets (used to aggregate per-device
+     * wear distributions PSM-wide).
+     */
+    void merge(const Histogram &other);
+
     /** Reset all recorded data. */
     void reset();
 

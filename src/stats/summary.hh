@@ -67,6 +67,27 @@ class Summary
         return mean() != 0.0 ? stddev() / mean() : 0.0;
     }
 
+    /** Fold another summary into this one (Chan's parallel update). */
+    void
+    merge(const Summary &other)
+    {
+        if (other._count == 0)
+            return;
+        if (_count == 0) {
+            *this = other;
+            return;
+        }
+        const double n1 = static_cast<double>(_count);
+        const double n2 = static_cast<double>(other._count);
+        const double delta = other._mean - _mean;
+        _m2 += other._m2 + delta * delta * n1 * n2 / (n1 + n2);
+        _mean += delta * n2 / (n1 + n2);
+        _count += other._count;
+        _sum += other._sum;
+        _min = std::min(_min, other._min);
+        _max = std::max(_max, other._max);
+    }
+
     /** Reset to the empty state. */
     void
     reset()

@@ -1,8 +1,9 @@
 /**
  * @file
- * Randomized fuzzing of two stateful components whose invariants
- * must hold for arbitrary operation sequences: the persistent object
- * pool's allocator and the event queue's schedule/cancel machinery.
+ * Randomized fuzzing of stateful components whose invariants must
+ * hold for arbitrary operation sequences: the persistent object
+ * pool's allocator, the event queue's schedule/cancel machinery, and
+ * the full RAS pipeline under composed media faults and power cuts.
  */
 
 #include <gtest/gtest.h>
@@ -10,6 +11,7 @@
 #include <map>
 #include <vector>
 
+#include "fault/ras_campaign.hh"
 #include "mem/backing_store.hh"
 #include "persist/object_pool.hh"
 #include "sim/event_queue.hh"
@@ -144,5 +146,42 @@ TEST_P(EventQueueFuzz, ScheduleCancelOrderInvariant)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
                          ::testing::Values(7, 77, 777));
+
+class RasFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+/**
+ * Compose the two fault models: high-BER media faults plus
+ * wear-driven stuck bits during demand traffic, then a power cut
+ * armed during half the SnG stops. Whatever the seed, the pipeline
+ * must hold both invariants at once — zero silent data corruption
+ * (every decode checked against ground truth) and exact durability
+ * (resume iff the commit point landed before the cut).
+ */
+TEST_P(RasFuzz, CombinedPowerCutAndMediaFaultsHoldInvariants)
+{
+    fault::RasCampaignConfig config;
+    config.seed = GetParam();
+    config.bers = {1e-4, 1e-3};
+    config.wearLevels = {0.9};
+    config.seedsPerCell = 2;
+    config.opsPerTrial = 400;
+    config.powerCutEvery = 2;
+
+    const fault::RasCampaignResult r = fault::runRasCampaign(config);
+
+    EXPECT_EQ(r.trials, 8u);
+    EXPECT_GT(r.checkedReads, 0u);
+    EXPECT_EQ(r.sdcEvents, 0u);
+    for (const std::string &note : r.violationNotes)
+        ADD_FAILURE() << note;
+    EXPECT_EQ(r.violations, 0u);
+    EXPECT_GT(r.cutTrials, 0u);
+    EXPECT_EQ(r.resumes + r.coldBootResumes, r.trials);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RasFuzz,
+                         ::testing::Values(3, 212, 4099));
 
 } // namespace

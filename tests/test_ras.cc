@@ -1,0 +1,629 @@
+/**
+ * @file
+ * Media-error RAS pipeline: the PramDevice fault model, the retire
+ * table, RAS-checked reads through the real codecs, the patrol
+ * scrubber (including Start-Gap rotation mid-sweep), MCE escalation
+ * on both policy arms, the platform::System RAS plumbing, and the
+ * Contain-then-SnG survival property.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "kernel/kernel.hh"
+#include "mem/backing_store.hh"
+#include "mem/pram_device.hh"
+#include "pecos/mce.hh"
+#include "pecos/sng.hh"
+#include "platform/system.hh"
+#include "psm/psm.hh"
+#include "psm/retire.hh"
+#include "psm/scrub.hh"
+
+namespace
+{
+
+using namespace lightpc;
+
+// --- small-geometry helpers ----------------------------------------
+
+/** 2 DIMMs of 1 MB devices: fast to sweep, big enough to route. */
+psm::PsmParams
+smallPsmParams()
+{
+    psm::PsmParams pp;
+    pp.dimms = 2;
+    pp.dimm.device.capacityBytes = 1 << 20;
+    pp.dimm.device.wearRegionBytes = 64 << 10;
+    return pp;
+}
+
+/** SnG-capable geometry (>= 16 MB reserved region). */
+psm::PsmParams
+sngPsmParams()
+{
+    psm::PsmParams pp;
+    pp.dimms = 2;
+    pp.dimm.device.capacityBytes = 16 << 20;
+    pp.dimm.device.wearRegionBytes = 64 << 10;
+    return pp;
+}
+
+kernel::KernelParams
+smallKernelParams()
+{
+    kernel::KernelParams kp;
+    kp.cores = 4;
+    kp.userProcesses = 8;
+    kp.kernelThreads = 4;
+    return kp;
+}
+
+// --- RetireTable ---------------------------------------------------
+
+TEST(RetireTable, IdentityUntilRetired)
+{
+    psm::RetireTable table(100, 4);
+    EXPECT_EQ(table.remap(7), 7u);
+    EXPECT_EQ(table.remap(99), 99u);
+    EXPECT_FALSE(table.isRetired(7));
+    EXPECT_EQ(table.retiredCount(), 0u);
+    EXPECT_EQ(table.sparesLeft(), 4u);
+}
+
+TEST(RetireTable, RetireMapsToSparePool)
+{
+    psm::RetireTable table(100, 4);
+    const std::uint64_t spare = table.retire(7);
+    EXPECT_EQ(spare, 100u);
+    EXPECT_EQ(table.remap(7), 100u);
+    EXPECT_TRUE(table.isRetired(7));
+    EXPECT_EQ(table.retiredCount(), 1u);
+    EXPECT_EQ(table.sparesLeft(), 3u);
+
+    // A second slot gets the next spare.
+    EXPECT_EQ(table.retire(63), 101u);
+    EXPECT_EQ(table.remap(63), 101u);
+}
+
+TEST(RetireTable, ReRetireCollapsesChain)
+{
+    psm::RetireTable table(100, 4);
+    table.retire(7);
+    // The spare itself went bad: re-retiring slot 7 must swap in a
+    // fresh spare, never build a remap chain.
+    const std::uint64_t second = table.retire(7);
+    EXPECT_EQ(second, 101u);
+    EXPECT_EQ(table.remap(7), 101u);
+    EXPECT_EQ(table.mappedCount(), 1u);
+}
+
+TEST(RetireTable, SparePoolExhausts)
+{
+    psm::RetireTable table(100, 2);
+    EXPECT_TRUE(table.canRetire());
+    table.retire(1);
+    table.retire(2);
+    EXPECT_FALSE(table.canRetire());
+    EXPECT_EQ(table.retire(3), ~std::uint64_t(0));
+    EXPECT_EQ(table.remap(3), 3u);  // still in service, unmapped
+
+    table.reset();
+    EXPECT_TRUE(table.canRetire());
+    EXPECT_EQ(table.remap(1), 1u);
+}
+
+// --- PramDevice media-fault model ----------------------------------
+
+TEST(MediaFaults, TransientFlipsAreSeededAndBounded)
+{
+    mem::PramParams params;
+    params.capacityBytes = 1 << 20;
+    params.wearRegionBytes = 64 << 10;
+    params.faults.enabled = true;
+    params.faults.transientBer = 0.05;
+    params.faults.seed = 99;
+
+    mem::PramDevice dev(params);
+    std::uint64_t flips = 0;
+    for (std::uint64_t g = 0; g < 4096; ++g) {
+        const auto f = dev.sampleReadFaults(g * 32);
+        EXPECT_LE(f.flipped, 32u);
+        EXPECT_EQ(f.stuck, 0u);  // no writes yet, no wear
+        flips += f.flipped;
+    }
+    // 4096 granules x 32 symbols x 5%: flips must show up in bulk.
+    EXPECT_GT(flips, 1000u);
+
+    // Re-seeding replays the identical fault stream.
+    dev.seedFaults(99);
+    std::uint64_t replay = 0;
+    for (std::uint64_t g = 0; g < 4096; ++g)
+        replay += dev.sampleReadFaults(g * 32).flipped;
+    EXPECT_EQ(replay, flips);
+}
+
+TEST(MediaFaults, StuckAtRequiresWearOnset)
+{
+    mem::PramParams params;
+    params.capacityBytes = 1 << 20;
+    params.wearRegionBytes = 64 << 10;
+    params.faults.enabled = true;
+    params.faults.wearStuckRate = 1.0;
+    params.faults.wearOnsetFraction = 0.5;
+    params.faults.seed = 7;
+
+    mem::PramDevice dev(params);
+    dev.write(0, 0, false);
+    EXPECT_EQ(dev.stuckGranuleCount(), 0u) << "no wear, no sticking";
+
+    dev.preWear(params.enduranceCycles);  // fully worn
+    dev.write(dev.busyUntil(), 0, false);
+    // Rate 1.0 at full wear: the line's data granules and its
+    // companion parity granule all stick.
+    EXPECT_GT(dev.stuckSymbols(0), 0u);
+    EXPECT_GT(dev.stuckSymbols(32), 0u);
+    EXPECT_GT(dev.stuckSymbols(mem::Addr(0) | mem::pramParityTag), 0u);
+
+    // Stuck symbols persist across reads and cap at the limit.
+    for (int i = 0; i < 3; ++i) {
+        const auto f = dev.sampleReadFaults(0);
+        EXPECT_EQ(f.stuck, dev.stuckSymbols(0));
+        EXPECT_LE(f.stuck, params.faults.maxStuckPerGranule);
+    }
+
+    // Retirement forgets the granule's stuck state.
+    dev.retireGranule(0);
+    EXPECT_EQ(dev.stuckSymbols(0), 0u);
+}
+
+TEST(MediaFaults, WearCountersSaturate)
+{
+    mem::PramParams params;
+    params.capacityBytes = 1 << 20;
+    params.wearRegionBytes = 64 << 10;
+
+    mem::PramDevice dev(params);
+    dev.preWear(3 * params.enduranceCycles);  // way past end of life
+    EXPECT_DOUBLE_EQ(dev.wearFraction(0), 1.0);
+
+    // Further writes must not wrap the saturated counter.
+    Tick t = dev.busyUntil();
+    for (int i = 0; i < 64; ++i)
+        t = dev.write(t, 0, false).completeAt;
+    EXPECT_DOUBLE_EQ(dev.wearFraction(0), 1.0);
+
+    stats::Histogram hist;
+    dev.addWearSamples(hist);
+    const std::uint64_t regions =
+        params.capacityBytes / params.wearRegionBytes;
+    EXPECT_EQ(hist.count(), regions);
+    EXPECT_EQ(hist.max(), params.enduranceCycles);
+}
+
+// --- PSM RAS read path ---------------------------------------------
+
+TEST(PsmRas, TransientFaultsAreCorrectedNotSilent)
+{
+    psm::PsmParams pp = smallPsmParams();
+    pp.dimm.device.faults.enabled = true;
+    pp.dimm.device.faults.transientBer = 1e-3;
+    psm::Psm psm(pp);
+
+    Rng rng(11);
+    Tick t = 0;
+    for (int i = 0; i < 4000; ++i) {
+        mem::MemRequest req;
+        req.addr = rng.below(psm.managedLines()) * mem::cacheLineBytes;
+        req.op = rng.chance(0.25) ? mem::MemOp::Write
+                                  : mem::MemOp::Read;
+        t = psm.access(req, t).completeAt + 5 * tickNs;
+    }
+    const psm::PsmStats &s = psm.stats();
+    EXPECT_GT(s.rasCheckedReads, 0u);
+    EXPECT_GT(s.correctedReads + s.parityRewrites, 0u)
+        << "1e-3 BER over 4000 ops must corrupt something";
+    EXPECT_EQ(s.sdcEvents, 0u);
+}
+
+TEST(PsmRas, SymbolFallbackRecoversDoubleErasures)
+{
+    psm::PsmParams pp = smallPsmParams();
+    pp.dimm.device.faults.enabled = true;
+    pp.dimm.device.faults.transientBer = 0.2;  // double faults common
+    pp.symbolEccFallback = true;
+    psm::Psm psm(pp);
+
+    Rng rng(12);
+    Tick t = 0;
+    for (int i = 0; i < 1500; ++i) {
+        mem::MemRequest req;
+        req.addr = rng.below(psm.managedLines()) * mem::cacheLineBytes;
+        req.op = mem::MemOp::Read;
+        t = psm.access(req, t).completeAt + 5 * tickNs;
+    }
+    const psm::PsmStats &s = psm.stats();
+    EXPECT_GT(s.symbolCorrections, 0u);
+    EXPECT_EQ(s.uncorrectableReads, 0u)
+        << "RS(2,2) erasure decode covers every double-fault pattern";
+    EXPECT_EQ(s.sdcEvents, 0u);
+}
+
+TEST(PsmRas, DoubleErasureWithoutFallbackRaisesContainment)
+{
+    psm::PsmParams pp = smallPsmParams();
+    pp.dimm.device.faults.enabled = true;
+    pp.dimm.device.faults.transientBer = 0.2;
+    pp.symbolEccFallback = false;
+    psm::Psm psm(pp);
+
+    Rng rng(13);
+    Tick t = 0;
+    bool saw_containment = false;
+    for (int i = 0; i < 1500 && !saw_containment; ++i) {
+        mem::MemRequest req;
+        req.addr = rng.below(psm.managedLines()) * mem::cacheLineBytes;
+        req.op = mem::MemOp::Read;
+        const mem::AccessResult res = psm.access(req, t);
+        saw_containment = res.containment;
+        t = res.completeAt + 5 * tickNs;
+    }
+    EXPECT_TRUE(saw_containment);
+    EXPECT_GT(psm.stats().uncorrectableReads, 0u);
+    EXPECT_GT(psm.stats().mceCount, 0u);
+    EXPECT_EQ(psm.stats().sdcEvents, 0u);
+}
+
+TEST(PsmRas, StuckLineIsRetiredOnReadAndStaysRetired)
+{
+    psm::PsmParams pp = smallPsmParams();
+    pp.dimm.device.faults.enabled = true;
+    pp.dimm.device.faults.wearStuckRate = 1.0;
+    pp.dimm.device.faults.wearOnsetFraction = 0.0;
+    pp.symbolEccFallback = true;  // double-stuck lines recover + retire
+    pp.spareLines = 256;
+    psm::Psm psm(pp);
+
+    for (std::uint32_t d = 0; d < pp.dimms; ++d)
+        for (std::uint32_t g = 0; g < psm.dimm(d).groupCount(); ++g)
+            psm.dimm(d).group(g).preWear(
+                pp.dimm.device.enduranceCycles);
+
+    // Write a line (sticking its granules at full wear), then read it.
+    mem::MemRequest wr;
+    wr.op = mem::MemOp::Write;
+    Tick t = psm.access(wr, 0).completeAt;
+    t = psm.flush(t);  // push it out of the row buffer
+    mem::MemRequest rd;
+    t = psm.access(rd, t).completeAt + 5 * tickNs;
+
+    EXPECT_EQ(psm.stats().retiredLines, 1u);
+    EXPECT_EQ(psm.retireTable().retiredCount(), 1u);
+    EXPECT_EQ(psm.stats().sdcEvents, 0u);
+}
+
+// --- patrol scrub + Start-Gap rotation -----------------------------
+
+TEST(PatrolScrub, SweepServicesEveryLineOnceDespiteGapRotation)
+{
+    psm::PsmParams pp = smallPsmParams();
+    pp.wearThreshold = 16;  // rotate the gap briskly
+    psm::Psm psm(pp);
+
+    psm::ScrubParams sp;
+    sp.linesPerStep = 1024;
+    psm::PatrolScrubber scrubber(psm, sp);
+
+    const std::uint64_t lines = psm.managedLines();
+    Tick t = 0;
+    std::uint64_t serviced = 0;
+    bool rotated_mid_sweep = false;
+    Rng rng(21);
+    while (scrubber.sweepsCompleted() == 0) {
+        serviced += scrubber.step(t);
+        t += 100 * tickMs;  // generous idle window per step
+
+        // Rotate the gap mid-sweep with real write traffic, then
+        // drain the row buffers so the scrubber is not deferred.
+        const std::uint64_t moves_before = psm.stats().wearMoves;
+        for (int w = 0; w < 64; ++w) {
+            mem::MemRequest req;
+            req.addr = rng.below(lines) * mem::cacheLineBytes;
+            req.op = mem::MemOp::Write;
+            t = psm.access(req, t).completeAt + 5 * tickNs;
+        }
+        t = psm.flush(t) + 100 * tickMs;
+        if (psm.stats().wearMoves > moves_before
+            && scrubber.cursor() != 0)
+            rotated_mid_sweep = true;
+    }
+
+    // The cursor walks *logical* lines, so Start-Gap rotation cannot
+    // make it skip or double-scrub: one sweep = every line once.
+    EXPECT_TRUE(rotated_mid_sweep);
+    EXPECT_EQ(serviced, lines);
+    EXPECT_EQ(psm.stats().scrubbedLines, lines);
+    EXPECT_EQ(scrubber.stats().skipped, 0u);
+}
+
+TEST(PatrolScrub, PlantedStuckLineIsRetiredExactlyOnce)
+{
+    psm::PsmParams pp = smallPsmParams();
+    pp.dimm.device.faults.enabled = true;
+    pp.dimm.device.faults.wearStuckRate = 1.0;
+    pp.dimm.device.faults.wearOnsetFraction = 0.0;
+    pp.spareLines = 64;
+    psm::Psm psm(pp);
+
+    // Plant a single-half stuck line directly at the device: stick
+    // all three granules with a direct write, then clear B and the
+    // parity companion so exactly one half is bad (the XCC-correct +
+    // retire path).
+    mem::PramDevice &dev = psm.dimm(0).group(0);
+    dev.preWear(pp.dimm.device.enduranceCycles);
+    dev.write(0, 0, false);
+    dev.retireGranule(32);
+    dev.retireGranule(mem::Addr(0) | mem::pramParityTag);
+    ASSERT_GT(dev.stuckSymbols(0), 0u);
+
+    psm::ScrubParams sp;
+    sp.linesPerStep = 4096;
+    psm::PatrolScrubber scrubber(psm, sp);
+
+    Tick t = 10 * tickMs;
+    while (scrubber.sweepsCompleted() < 2) {
+        scrubber.step(t);
+        t += 500 * tickMs;
+    }
+    // Sweep one retires the slot; sweep two must find the remapped
+    // spare clean — the same physical damage is never retired twice.
+    EXPECT_EQ(scrubber.stats().retirements, 1u);
+    EXPECT_EQ(psm.stats().retiredLines, 1u);
+    EXPECT_EQ(psm.retireTable().retiredCount(), 1u);
+    EXPECT_EQ(psm.stats().sdcEvents, 0u);
+}
+
+TEST(PatrolScrub, DefersWhileDeviceBusy)
+{
+    psm::Psm psm(smallPsmParams());
+    psm::ScrubParams sp;
+    sp.linesPerStep = 4;
+    sp.maxRetries = 2;
+    psm::PatrolScrubber scrubber(psm, sp);
+
+    // Saturate unit 0's device with a write, then scrub at t=0: the
+    // first lines of the sweep land on busy media and defer.
+    mem::MemRequest req;
+    req.op = mem::MemOp::Write;
+    psm.access(req, 0);
+    const std::uint64_t serviced = scrubber.step(0);
+    EXPECT_LT(serviced, sp.linesPerStep);
+    EXPECT_GT(psm.stats().scrubDeferrals, 0u);
+}
+
+// --- MCE escalation ------------------------------------------------
+
+/** Rig with a guaranteed-uncorrectable line at address 0. */
+struct McePsmRig
+{
+    psm::PsmParams pp;
+    std::unique_ptr<psm::Psm> psm;
+    Tick t = 0;
+
+    explicit McePsmRig(psm::McePolicy policy)
+    {
+        pp = smallPsmParams();
+        pp.mcePolicy = policy;
+        pp.dimm.device.faults.enabled = true;
+        pp.dimm.device.faults.wearStuckRate = 1.0;
+        pp.dimm.device.faults.wearOnsetFraction = 0.0;
+        pp.spareLines = 64;
+        psm = std::make_unique<psm::Psm>(pp);
+        for (std::uint32_t d = 0; d < pp.dimms; ++d)
+            for (std::uint32_t g = 0; g < psm->dimm(d).groupCount();
+                 ++g)
+                psm->dimm(d).group(g).preWear(
+                    pp.dimm.device.enduranceCycles);
+    }
+
+    /** Write+read address 0 until containment pops. */
+    bool
+    provoke()
+    {
+        for (int i = 0; i < 4; ++i) {
+            mem::MemRequest wr;
+            wr.op = mem::MemOp::Write;
+            t = psm->access(wr, t).completeAt;
+            t = psm->flush(t);
+            mem::MemRequest rd;
+            const mem::AccessResult res = psm->access(rd, t);
+            t = res.completeAt + 5 * tickNs;
+            if (res.containment)
+                return true;
+        }
+        return false;
+    }
+};
+
+TEST(MceEscalation, ContainKillsOwnerAndRetiresLine)
+{
+    McePsmRig rig(psm::McePolicy::Contain);
+    kernel::Kernel kern(smallKernelParams());
+    pecos::MceHandler mce(kern, *rig.psm);
+
+    // First user process owns the faulting page.
+    std::uint32_t victim = 0;
+    for (const auto &proc : kern.processes()) {
+        if (proc->pid() != 1 && !proc->isKernelThread()) {
+            victim = proc->pid();
+            break;
+        }
+    }
+    ASSERT_NE(victim, 0u);
+    mce.registerOwner(0, 4096, victim);
+
+    ASSERT_TRUE(rig.provoke());
+    const pecos::MceOutcome out = mce.handle(0, rig.t);
+
+    EXPECT_EQ(out.action, pecos::MceAction::Contained);
+    EXPECT_EQ(out.killedPid, victim);
+    EXPECT_TRUE(out.lineRetired);
+    EXPECT_EQ(kern.findProcess(victim), nullptr);
+    EXPECT_EQ(mce.stats().contained, 1u);
+    EXPECT_EQ(mce.stats().tasksKilled, 1u);
+    EXPECT_EQ(mce.stats().linesRetired, 1u);
+    EXPECT_EQ(rig.psm->retireTable().retiredCount(), 1u);
+    // Contain must NOT reset OC-PMEM.
+    EXPECT_EQ(rig.psm->stats().resets, 0u);
+}
+
+TEST(MceEscalation, ContainWithoutOwnerEscalatesToColdBoot)
+{
+    McePsmRig rig(psm::McePolicy::Contain);
+    kernel::Kernel kern(smallKernelParams());
+    pecos::MceHandler mce(kern, *rig.psm);
+
+    ASSERT_TRUE(rig.provoke());
+    const pecos::MceOutcome out = mce.handle(0, rig.t);
+
+    EXPECT_EQ(out.action, pecos::MceAction::ColdBoot);
+    EXPECT_EQ(mce.stats().kernelEscalations, 1u);
+    EXPECT_EQ(mce.stats().coldBoots, 1u);
+    EXPECT_GT(rig.psm->stats().resets, 0u);
+}
+
+TEST(MceEscalation, ResetColdBootPolicyResetsPmem)
+{
+    McePsmRig rig(psm::McePolicy::ResetColdBoot);
+    kernel::Kernel kern(smallKernelParams());
+    pecos::MceHandler mce(kern, *rig.psm);
+    mce.registerOwner(0, 4096, 2);  // owner is irrelevant on this arm
+
+    ASSERT_TRUE(rig.provoke());
+    const pecos::MceOutcome out = mce.handle(0, rig.t);
+
+    EXPECT_EQ(out.action, pecos::MceAction::ColdBoot);
+    EXPECT_EQ(out.killedPid, 0u);
+    EXPECT_FALSE(out.lineRetired);
+    EXPECT_EQ(mce.stats().coldBoots, 1u);
+    EXPECT_GT(rig.psm->stats().resets, 0u);
+    // Nobody was killed.
+    EXPECT_EQ(mce.stats().tasksKilled, 0u);
+}
+
+TEST(MceEscalation, ContainedTrialSurvivesSngStopResume)
+{
+    // The headline Contain property: kill the owner, retire the
+    // line, then stop the whole machine and bring it back — the
+    // survivors' registers round-trip byte-exact.
+    psm::PsmParams pp = sngPsmParams();
+    pp.mcePolicy = psm::McePolicy::Contain;
+    pp.dimm.device.faults.enabled = true;
+    pp.dimm.device.faults.wearStuckRate = 1.0;
+    pp.dimm.device.faults.wearOnsetFraction = 0.0;
+    pp.spareLines = 256;
+
+    kernel::Kernel kern(smallKernelParams());
+    psm::Psm psm(pp);
+    mem::BackingStore store;
+    pecos::Sng sng(kern, psm, store, {});
+    pecos::MceHandler mce(kern, psm);
+
+    for (std::uint32_t d = 0; d < pp.dimms; ++d)
+        for (std::uint32_t g = 0; g < psm.dimm(d).groupCount(); ++g)
+            psm.dimm(d).group(g).preWear(
+                pp.dimm.device.enduranceCycles);
+
+    std::uint32_t victim = 0;
+    for (const auto &proc : kern.processes()) {
+        if (proc->pid() != 1 && !proc->isKernelThread()) {
+            victim = proc->pid();
+            break;
+        }
+    }
+    ASSERT_NE(victim, 0u);
+    mce.registerOwner(0, 4096, victim);
+
+    // Provoke and contain an uncorrectable at address 0.
+    Tick t = 0;
+    bool contained = false;
+    for (int i = 0; i < 4 && !contained; ++i) {
+        mem::MemRequest wr;
+        wr.op = mem::MemOp::Write;
+        t = psm.access(wr, t).completeAt;
+        t = psm.flush(t);
+        mem::MemRequest rd;
+        const mem::AccessResult res = psm.access(rd, t);
+        t = res.completeAt + 5 * tickNs;
+        if (res.containment) {
+            const pecos::MceOutcome out = mce.handle(0, t);
+            ASSERT_EQ(out.action, pecos::MceAction::Contained);
+            ASSERT_TRUE(out.lineRetired);
+            contained = true;
+        }
+    }
+    ASSERT_TRUE(contained);
+
+    // Stop-and-Go with no power cut: must resume, not cold boot.
+    const kernel::SystemSnapshot before = kern.snapshot();
+    const pecos::StopReport stop = sng.stop(t);
+    Rng rng(31);
+    kern.scramble(rng);
+    const pecos::GoReport go = sng.resume(stop.offlineDone + tickMs);
+
+    EXPECT_FALSE(go.coldBoot);
+    const kernel::SystemSnapshot after = kern.snapshot();
+    ASSERT_EQ(after.entries.size(), before.entries.size());
+    for (std::size_t p = 0; p < after.entries.size(); ++p) {
+        EXPECT_EQ(after.entries[p].pid, before.entries[p].pid);
+        EXPECT_EQ(after.entries[p].regs, before.entries[p].regs);
+    }
+    EXPECT_EQ(after.deviceCookies, before.deviceCookies);
+    // The retirement survived the stop (it lives in PSM state, not
+    // in anything the scramble touched).
+    EXPECT_EQ(psm.retireTable().retiredCount(), 1u);
+}
+
+// --- platform::System plumbing -------------------------------------
+
+TEST(SystemRas, ConfigOverridesReachPsmAndHandler)
+{
+    platform::SystemConfig config;
+    config.cores = 2;
+    config.kernel = smallKernelParams();
+    config.mcePolicy = psm::McePolicy::Contain;
+    mem::MediaFaultParams faults;
+    faults.enabled = true;
+    faults.transientBer = 1e-4;
+    config.mediaFaults = faults;
+    config.spareLines = 128;
+
+    platform::System sys(config);
+    EXPECT_EQ(sys.psm().params().mcePolicy, psm::McePolicy::Contain);
+    EXPECT_TRUE(sys.psm().params().dimm.device.faults.enabled);
+    EXPECT_DOUBLE_EQ(
+        sys.psm().params().dimm.device.faults.transientBer, 1e-4);
+    EXPECT_EQ(sys.psm().params().spareLines, 128u);
+    EXPECT_EQ(sys.psm().retireTable().spareTotal(), 128u);
+
+    // The handler is wired to this system's kernel: an MCE on an
+    // unowned address under Contain escalates through it.
+    EXPECT_EQ(sys.mceHandler().stats().raised, 0u);
+}
+
+TEST(SystemRas, DefaultsLeaveFaultModelOff)
+{
+    platform::SystemConfig config;
+    config.cores = 2;
+    config.kernel = smallKernelParams();
+    platform::System sys(config);
+    EXPECT_FALSE(sys.psm().params().dimm.device.faults.enabled);
+    EXPECT_EQ(sys.psm().params().spareLines, 0u);
+    EXPECT_EQ(sys.psm().params().mcePolicy,
+              psm::McePolicy::ResetColdBoot);
+}
+
+} // namespace

@@ -42,6 +42,27 @@ TEST(Summary, EmptyIsSafe)
     EXPECT_DOUBLE_EQ(s.cv(), 0.0);
 }
 
+TEST(Summary, MergeMatchesPooledMoments)
+{
+    Summary a, b, pooled;
+    for (double v : {2.0, 4.0, 4.0, 4.0})
+        a.add(v), pooled.add(v);
+    for (double v : {5.0, 5.0, 7.0, 9.0})
+        b.add(v), pooled.add(v);
+    a.merge(b);
+    EXPECT_EQ(a.count(), pooled.count());
+    EXPECT_DOUBLE_EQ(a.mean(), pooled.mean());
+    EXPECT_NEAR(a.variance(), pooled.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), pooled.min());
+    EXPECT_DOUBLE_EQ(a.max(), pooled.max());
+
+    Summary empty;
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), a.mean());
+    a.merge(Summary{});
+    EXPECT_EQ(a.count(), 8u);
+}
+
 TEST(Summary, Geomean)
 {
     EXPECT_DOUBLE_EQ(geomean({1.0, 4.0, 16.0}), 4.0);
@@ -150,6 +171,60 @@ TEST(Histogram, CountIncludesStagedSamples)
     // Fewer than stagingCapacity samples: nothing flushed yet, but
     // count() must already see them.
     EXPECT_EQ(h.count(), 100u);
+}
+
+/**
+ * merge() must be equivalent to having inserted both sample sets
+ * into one histogram — the PSM-wide wear distribution is aggregated
+ * from per-device histograms this way, and staged samples on either
+ * side must not be dropped.
+ */
+TEST(Histogram, MergeEqualsUnionOfSamples)
+{
+    Histogram a, b, combined;
+    std::uint64_t x = 99;
+    for (int i = 0; i < 2000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const std::uint64_t v = x % 500'000;
+        (i % 2 ? a : b).add(v);
+        combined.add(v);
+    }
+    // Leave both sides with staged samples: merge must flush them.
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+    // The pooled-variance merge reassociates the Welford update, so
+    // the moments agree only to rounding.
+    EXPECT_NEAR(a.stddev(), combined.stddev(),
+                combined.stddev() * 1e-9);
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_EQ(a.percentile(q), combined.percentile(q));
+}
+
+TEST(Histogram, MergeWithEmptySides)
+{
+    Histogram filled, empty;
+    for (int i = 1; i <= 64; ++i)
+        filled.add(static_cast<std::uint64_t>(i));
+
+    Histogram lhs_empty;
+    lhs_empty.merge(filled);
+    EXPECT_EQ(lhs_empty.count(), 64u);
+    EXPECT_EQ(lhs_empty.max(), 64u);
+
+    filled.merge(empty);
+    EXPECT_EQ(filled.count(), 64u);
+    EXPECT_DOUBLE_EQ(filled.mean(), 32.5);
+}
+
+TEST(Histogram, MergeRejectsMismatchedResolution)
+{
+    Histogram fine(32), coarse(8);
+    EXPECT_THROW(fine.merge(coarse), FatalError);
 }
 
 TEST(TimeSeries, IntegrateIsAreaUnderCurve)
