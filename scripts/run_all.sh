@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Build everything, run the full test suite, regenerate every paper
-# figure, and refresh BENCH_kernel.json, teeing the transcripts the
+# figure, and refresh BENCH_kernel.json and BENCH_service.json (the
+# bench loop below runs bench_service_availability with its default
+# full-size arguments from the repo root), teeing the transcripts the
 # repository ships with (test_output.txt / bench_output.txt).
 #
 # Usage: scripts/run_all.sh [-j N]

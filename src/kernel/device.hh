@@ -37,6 +37,34 @@ enum class DeviceClass
     Platform,  ///< the long tail of platform devices
 };
 
+/**
+ * Provider of real device context bytes.
+ *
+ * By default Auto-Stop charges timing for a device's context dump
+ * but moves no bytes (the context is opaque). A driver that owns
+ * genuine volatile state — descriptor rings, queue heads — binds a
+ * DeviceContext to its Device; Auto-Stop then serializes the image
+ * through the durability cursor into the DCB payload region, and Go
+ * reads it back and hands it to restoreContext(), so the state that
+ * survives a power cycle is exactly what the cursor let through.
+ */
+class DeviceContext
+{
+  public:
+    virtual ~DeviceContext() = default;
+
+    /**
+     * Append the device's serialized volatile state to @p out. The
+     * image must be exactly Device::contextBytes() long (the DCB
+     * payload region is laid out from the declared sizes).
+     */
+    virtual void saveContext(std::vector<std::uint8_t> &out) = 0;
+
+    /** Reinstate volatile state from the DCB image read back on Go. */
+    virtual void restoreContext(const std::uint8_t *data,
+                                std::size_t len) = 0;
+};
+
 /** Latency of each dpm callback. */
 struct DpmCosts
 {
@@ -89,6 +117,22 @@ class Device
     std::uint64_t contextCookie() const { return cookie; }
     void setContextCookie(std::uint64_t v) { cookie = v; }
 
+    /**
+     * Bind a real context provider; @p context_bytes (when nonzero)
+     * replaces the declared context size with the provider's fixed
+     * image size. Pass nullptr to unbind.
+     */
+    void
+    bindContext(DeviceContext *provider, std::uint64_t context_bytes = 0)
+    {
+        _context = provider;
+        if (provider && context_bytes != 0)
+            _contextBytes = context_bytes;
+    }
+
+    /** The bound provider (nullptr = timing-only context dump). */
+    DeviceContext *context() const { return _context; }
+
   private:
     std::string _name;
     DeviceClass _class;
@@ -97,6 +141,7 @@ class Device
     std::uint64_t _mmioBytes;
     bool _suspended = false;
     std::uint64_t cookie = 0;
+    DeviceContext *_context = nullptr;
 };
 
 /**

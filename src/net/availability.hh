@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Client-visible availability and tail-latency recorder.
+ *
+ * Tracks what the *clients* observe: the goodput timeline (completed
+ * requests per sampling window), the end-to-end latency distribution
+ * (first issue to acknowledgement, so retries and outage dwell count
+ * against the tail), and per-outage downtime — the gap between the
+ * last acknowledgement before a power event and the first one served
+ * after it. The downtime attributable to the persistence mechanism is that
+ * gap minus the AC-off dwell, which every mode pays equally.
+ */
+
+#ifndef LIGHTPC_NET_AVAILABILITY_HH
+#define LIGHTPC_NET_AVAILABILITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+#include "stats/time_series.hh"
+
+namespace lightpc::net
+{
+
+/** One power event as the clients experienced it. */
+struct OutageRecord
+{
+    Tick eventAt = 0;             ///< power-event interrupt tick
+    Tick lastSuccessBefore = 0;   ///< latest ack preceding the event
+    Tick firstSuccessAfter = 0;   ///< earliest ack *served* after it
+    bool closed = false;          ///< saw a post-event-served success
+
+    /** Client-visible downtime (maxTick while still open). */
+    Tick
+    downtime() const
+    {
+        if (!closed)
+            return maxTick;
+        return firstSuccessAfter - lastSuccessBefore;
+    }
+};
+
+/**
+ * The recorder. The service plane calls onSuccess() for every
+ * acknowledged request, sample() from a periodic stats event, and
+ * outageBegin() when a power event fires.
+ */
+class AvailabilityRecorder
+{
+  public:
+    explicit AvailabilityRecorder(Tick window_in) : window(window_in)
+    {
+        if (window == 0)
+            fatal("AvailabilityRecorder window must be nonzero");
+    }
+
+    /**
+     * An acknowledgement reached a client. @p served_at is when the
+     * server generated the response: an outage only closes on an ack
+     * *served* after its power event — a straggler frame that was on
+     * the wire when power died still delivers, but it proves nothing
+     * about the service being back.
+     */
+    void
+    onSuccess(Tick now, Tick first_issued_at, Tick served_at)
+    {
+        lat.add(now - first_issued_at);
+        latSummary.add(ticksToUs(now - first_issued_at));
+        ++windowCompletions;
+        lastSuccess = now;
+        for (OutageRecord &o : outages) {
+            if (o.closed)
+                continue;
+            if (served_at > o.eventAt) {
+                o.firstSuccessAfter = now;
+                o.closed = true;
+            } else if (now > o.lastSuccessBefore) {
+                // A straggler served before the event is still a
+                // client-visible success: it narrows the gap even
+                // though it cannot close it.
+                o.lastSuccessBefore = now;
+            }
+        }
+    }
+
+    /** A power event fired; opens an outage record. */
+    void
+    outageBegin(Tick event_at)
+    {
+        OutageRecord o;
+        o.eventAt = event_at;
+        o.lastSuccessBefore = lastSuccess;
+        outages.push_back(o);
+    }
+
+    /** Periodic goodput sample (requests/s over the last window). */
+    void
+    sample(Tick now)
+    {
+        const double seconds =
+            static_cast<double>(window) / static_cast<double>(tickSec);
+        goodput.record(now, static_cast<double>(windowCompletions)
+                                / seconds);
+        windowCompletions = 0;
+    }
+
+    Tick sampleWindow() const { return window; }
+    Tick lastSuccessAt() const { return lastSuccess; }
+    const std::vector<OutageRecord> &outageRecords() const
+    {
+        return outages;
+    }
+    stats::Histogram &latency() { return lat; }
+    const stats::Summary &latencySummaryUs() const { return latSummary; }
+    const stats::TimeSeries &goodputSeries() const { return goodput; }
+
+  private:
+    Tick window;
+    Tick lastSuccess = 0;
+    std::uint64_t windowCompletions = 0;
+    stats::Histogram lat;           ///< ticks, first issue -> ack
+    stats::Summary latSummary;      ///< microseconds (mean/cv)
+    stats::TimeSeries goodput{"goodput"};
+    std::vector<OutageRecord> outages;
+};
+
+} // namespace lightpc::net
+
+#endif // LIGHTPC_NET_AVAILABILITY_HH

@@ -1,0 +1,144 @@
+#include "net/client_fleet.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace lightpc::net
+{
+
+ClientFleet::ClientFleet(const FleetParams &params)
+    : _params(params), rng(params.seed)
+{
+    if (_params.clients == 0)
+        fatal("ClientFleet needs at least one client");
+    if (_params.arrivalsPerSec <= 0.0)
+        fatal("ClientFleet arrival rate must be positive");
+    if (_params.maxAttempts == 0)
+        fatal("ClientFleet needs at least one attempt per request");
+}
+
+Tick
+ClientFleet::nextInterarrival()
+{
+    // Exponential inter-arrival: -ln(U) / lambda, clamped away from
+    // zero so two arrivals never share a tick.
+    double u = rng.uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    const double seconds = -std::log(u) / _params.arrivalsPerSec;
+    const auto ticks =
+        static_cast<Tick>(seconds * static_cast<double>(tickSec));
+    return ticks > 0 ? ticks : 1;
+}
+
+RpcRequest
+ClientFleet::newRequest(Tick now)
+{
+    RpcRequest req;
+    req.reqId = nextReqId++;
+    req.client = static_cast<std::uint32_t>(rng.below(_params.clients));
+    req.op = _params.mix.pickOp(rng);
+    req.key = _params.mix.pickKey(rng);
+    req.valueSeed = rng.next();
+    req.scanLength = _params.mix.scanLength;
+    req.attempt = 1;
+    req.firstIssuedAt = now;
+
+    Pending pending;
+    pending.base = req;
+    pending.attempts = 1;
+    pending.op = req.op;
+    outstanding.emplace(req.reqId, pending);
+    if (req.op == workload::KvOp::Put)
+        putKeys.emplace(req.reqId, req.key);
+
+    ++_stats.arrivals;
+    ++_stats.attempts;
+    return req;
+}
+
+Tick
+ClientFleet::timeoutFor(std::uint32_t attempt)
+{
+    // Exponential backoff: timeout * 2^(attempt-1), capped, plus
+    // jitter so a fleet stalled by the same outage does not retry in
+    // lockstep.
+    Tick wait = _params.clientTimeout;
+    for (std::uint32_t i = 1; i < attempt && wait < _params.backoffCap;
+         ++i)
+        wait *= 2;
+    if (wait > _params.backoffCap)
+        wait = _params.backoffCap;
+    if (_params.retryJitter > 0)
+        wait += rng.below(_params.retryJitter);
+    return wait;
+}
+
+std::optional<RpcRequest>
+ClientFleet::retryAttempt(std::uint64_t req_id, Tick now)
+{
+    auto it = outstanding.find(req_id);
+    if (it == outstanding.end())
+        return std::nullopt;  // already acknowledged
+    Pending &pending = it->second;
+    if (pending.attempts >= _params.maxAttempts) {
+        ++_stats.failed;
+        outstanding.erase(it);
+        return std::nullopt;
+    }
+    ++pending.attempts;
+    ++_stats.attempts;
+    ++_stats.retries;
+    RpcRequest req = pending.base;
+    req.attempt = pending.attempts;
+    (void)now;
+    return req;
+}
+
+ClientFleet::AckOutcome
+ClientFleet::onResponse(const RpcResponse &resp, Tick now)
+{
+    auto it = outstanding.find(resp.reqId);
+    if (it == outstanding.end()) {
+        ++_stats.duplicateAcks;
+        return AckOutcome::Duplicate;
+    }
+    if (resp.status == RpcStatus::Rejected
+        || resp.status == RpcStatus::DeadlineExceeded) {
+        // Server is alive but pushed back; leave the request pending
+        // so the armed timeout retries it with backoff.
+        ++_stats.retriableErrors;
+        return AckOutcome::RetriableError;
+    }
+
+    if (it->second.op == workload::KvOp::Put
+        && resp.status == RpcStatus::Ok) {
+        AckedPut put;
+        put.reqId = resp.reqId;
+        put.key = it->second.base.key;
+        put.version = resp.version;
+        put.ackedAt = now;
+        acked.push_back(put);
+        ++_stats.ackedPuts;
+    }
+    ++_stats.completed;
+    outstanding.erase(it);
+    return AckOutcome::Completed;
+}
+
+Tick
+ClientFleet::firstIssuedAt(std::uint64_t req_id) const
+{
+    auto it = outstanding.find(req_id);
+    return it == outstanding.end() ? 0 : it->second.base.firstIssuedAt;
+}
+
+std::uint64_t
+ClientFleet::putKeyOf(std::uint64_t req_id) const
+{
+    auto it = putKeys.find(req_id);
+    return it == putKeys.end() ? 0 : it->second;
+}
+
+} // namespace lightpc::net

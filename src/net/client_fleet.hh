@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Open-loop client load generator.
+ *
+ * Models thousands of independent clients behind a Poisson arrival
+ * process: new logical requests arrive at a configured aggregate
+ * rate regardless of how the server is doing (open loop — an outage
+ * does not pause the offered load, it piles it up). Each logical
+ * request retries on timeout with exponential backoff and jitter,
+ * re-sending the *same* request ID so the server's dedup set keeps
+ * retries idempotent; after the attempt budget it gives up.
+ *
+ * The fleet also keeps the verification oracle: which PUTs were
+ * acknowledged (and must therefore be durable) and which request IDs
+ * belong to which key (so per-key version counters can be audited
+ * against the server's persistent dedup set).
+ */
+
+#ifndef LIGHTPC_NET_CLIENT_FLEET_HH
+#define LIGHTPC_NET_CLIENT_FLEET_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/rpc.hh"
+#include "sim/rng.hh"
+#include "sim/ticks.hh"
+#include "workload/service_mix.hh"
+
+namespace lightpc::net
+{
+
+/** Fleet sizing and client-side retry policy. */
+struct FleetParams
+{
+    /** Simulated client endpoints (request fan-in). */
+    std::uint32_t clients = 2000;
+
+    /** Aggregate open-loop arrival rate. */
+    double arrivalsPerSec = 4000.0;
+
+    /** First-attempt timeout; doubles per retry up to backoffCap. */
+    Tick clientTimeout = 30 * tickMs;
+    Tick backoffCap = 500 * tickMs;
+    Tick retryJitter = 5 * tickMs;
+
+    /** Total attempts per logical request (first + retries). */
+    std::uint32_t maxAttempts = 9;
+
+    workload::ServiceMix mix;
+
+    std::uint64_t seed = 1;
+};
+
+/** Client-side counters. */
+struct FleetStats
+{
+    std::uint64_t arrivals = 0;       ///< logical requests created
+    std::uint64_t attempts = 0;       ///< attempts incl. retries
+    std::uint64_t retries = 0;
+    std::uint64_t completed = 0;      ///< acknowledged requests
+    std::uint64_t failed = 0;         ///< attempt budget exhausted
+    std::uint64_t duplicateAcks = 0;  ///< late acks for done requests
+    std::uint64_t retriableErrors = 0;///< Rejected/DeadlineExceeded
+    std::uint64_t ackedPuts = 0;
+};
+
+/** Oracle record of one acknowledged PUT. */
+struct AckedPut
+{
+    std::uint64_t reqId = 0;
+    std::uint64_t key = 0;
+    std::uint64_t version = 0;  ///< version the ack reported
+    Tick ackedAt = 0;
+};
+
+/**
+ * The fleet. Passive: the service plane owns the event queue and
+ * calls in; the fleet owns request identity, retry state, and the
+ * oracle ledger.
+ */
+class ClientFleet
+{
+  public:
+    explicit ClientFleet(const FleetParams &params = FleetParams());
+
+    const FleetParams &params() const { return _params; }
+    const FleetStats &stats() const { return _stats; }
+
+    /** Exponential inter-arrival draw for the Poisson process. */
+    Tick nextInterarrival();
+
+    /** Create a new logical request (attempt 1). */
+    RpcRequest newRequest(Tick now);
+
+    /**
+     * Timeout fired for @p req_id: either the next attempt to send
+     * (same reqId, bumped attempt counter) or nullopt when the
+     * request is done, unknown, or out of attempts (then it counts
+     * as failed).
+     */
+    std::optional<RpcRequest> retryAttempt(std::uint64_t req_id,
+                                           Tick now);
+
+    /** Client-side wait before retrying attempt @p attempt. */
+    Tick timeoutFor(std::uint32_t attempt);
+
+    /** What a delivered response did to the logical request. */
+    enum class AckOutcome
+    {
+        Completed,       ///< first ack: request done
+        Duplicate,       ///< request already done (late/dup ack)
+        RetriableError,  ///< backpressure/deadline: retry on timeout
+    };
+
+    /** Deliver a response to its client. */
+    AckOutcome onResponse(const RpcResponse &resp, Tick now);
+
+    bool isOutstanding(std::uint64_t req_id) const
+    {
+        return outstanding.find(req_id) != outstanding.end();
+    }
+    std::size_t outstandingCount() const { return outstanding.size(); }
+
+    /** First-issue tick of an outstanding request (0 if unknown). */
+    Tick firstIssuedAt(std::uint64_t req_id) const;
+
+    // --- oracle ---------------------------------------------------
+
+    /** Every acknowledged PUT so far (append order). */
+    const std::vector<AckedPut> &ackedPuts() const { return acked; }
+
+    /** Key of a PUT request ID (any PUT ever issued), 0 if unknown. */
+    std::uint64_t putKeyOf(std::uint64_t req_id) const;
+
+  private:
+    struct Pending
+    {
+        RpcRequest base;            ///< attempt-1 form
+        std::uint32_t attempts = 1; ///< attempts issued so far
+        workload::KvOp op = workload::KvOp::Get;
+    };
+
+    FleetParams _params;
+    FleetStats _stats;
+    Rng rng;
+    std::uint64_t nextReqId = 1;
+    std::unordered_map<std::uint64_t, Pending> outstanding;
+    std::unordered_map<std::uint64_t, std::uint64_t> putKeys;
+    std::vector<AckedPut> acked;
+};
+
+} // namespace lightpc::net
+
+#endif // LIGHTPC_NET_CLIENT_FLEET_HH

@@ -1,0 +1,411 @@
+#include "net/kv_service.hh"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "sim/logging.hh"
+
+namespace lightpc::net
+{
+
+namespace
+{
+
+bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+KvService::KvService(mem::BackingStore &store_in, mem::TimedMem &timed_in,
+                     const KvParams &params)
+    : store(store_in), timed(timed_in), _params(params)
+{
+    if (!isPowerOfTwo(_params.keyCapacity)
+        || !isPowerOfTwo(_params.dedupCapacity))
+        fatal("KvService capacities must be powers of two");
+    if (_params.queueCapacity == 0)
+        fatal("KvService queue capacity must be nonzero");
+    queue.reserve(_params.queueCapacity);
+    _pool.emplace(store, _params.poolBase, _params.poolSize);
+    Tick t = 0;
+    openRoot(t);
+}
+
+std::uint64_t
+KvService::rootBytes() const
+{
+    return sizeof(RootHeader)
+        + std::uint64_t(_params.keyCapacity) * sizeof(KvSlot)
+        + std::uint64_t(_params.dedupCapacity) * sizeof(std::uint64_t);
+}
+
+void
+KvService::openRoot(Tick &t)
+{
+    root = _pool->root(t, rootBytes());
+    rootAddr = _pool->direct(t, root);
+
+    RootHeader hdr;
+    _pool->readObject(root, 0, &hdr, sizeof(hdr));
+    if (hdr.magic == rootMagic) {
+        if (hdr.keyCapacity != _params.keyCapacity
+            || hdr.dedupCapacity != _params.dedupCapacity)
+            fatal("KvService reopened with mismatched capacities");
+        return;
+    }
+    hdr = RootHeader{};
+    hdr.magic = rootMagic;
+    hdr.keyCapacity = _params.keyCapacity;
+    hdr.dedupCapacity = _params.dedupCapacity;
+    clock(t);
+    _pool->writeObject(root, 0, &hdr, sizeof(hdr));
+    t = timed.writeSpan(t, rootAddr, sizeof(hdr));
+}
+
+void
+KvService::clock(Tick t)
+{
+    store.setWriteClock(t);
+}
+
+std::uint64_t
+KvService::hashOf(std::uint64_t x)
+{
+    // splitmix64 finalizer.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+KvService::readSlot(std::uint32_t idx, KvSlot &out) const
+{
+    _pool->readObject(root,
+                      keyTableOffset()
+                          + std::uint64_t(idx) * sizeof(KvSlot),
+                      &out, sizeof(out));
+}
+
+std::uint64_t
+KvService::dedupAt(std::uint32_t idx) const
+{
+    std::uint64_t id = 0;
+    _pool->readObject(root,
+                      dedupOffset()
+                          + std::uint64_t(idx) * sizeof(std::uint64_t),
+                      &id, sizeof(id));
+    return id;
+}
+
+std::uint32_t
+KvService::probeKey(std::uint64_t key, bool &found) const
+{
+    const std::uint32_t mask = _params.keyCapacity - 1;
+    std::uint32_t idx =
+        static_cast<std::uint32_t>(hashOf(key)) & mask;
+    for (std::uint32_t i = 0; i < _params.keyCapacity; ++i) {
+        KvSlot slot;
+        readSlot(idx, slot);
+        if (slot.key == key) {
+            found = true;
+            return idx;
+        }
+        if (slot.key == 0) {
+            found = false;
+            return idx;
+        }
+        idx = (idx + 1) & mask;
+    }
+    fatal("KvService key table full (keyCapacity too small)");
+}
+
+std::uint32_t
+KvService::probeDedup(std::uint64_t req_id, bool &found) const
+{
+    const std::uint32_t mask = _params.dedupCapacity - 1;
+    std::uint32_t idx =
+        static_cast<std::uint32_t>(hashOf(req_id)) & mask;
+    for (std::uint32_t i = 0; i < _params.dedupCapacity; ++i) {
+        const std::uint64_t id = dedupAt(idx);
+        if (id == req_id) {
+            found = true;
+            return idx;
+        }
+        if (id == 0) {
+            found = false;
+            return idx;
+        }
+        idx = (idx + 1) & mask;
+    }
+    fatal("KvService dedup set full (dedupCapacity too small)");
+}
+
+bool
+KvService::admit(const RpcRequest &req)
+{
+    if (queue.size() >= _params.queueCapacity) {
+        ++_stats.rejected;
+        return false;
+    }
+    queue.push_back(req);
+    _stats.maxQueueDepth = std::max(
+        _stats.maxQueueDepth, static_cast<std::uint32_t>(queue.size()));
+    return true;
+}
+
+bool
+KvService::queuePop(RpcRequest &out)
+{
+    if (queue.empty())
+        return false;
+    out = queue.front();
+    queue.erase(queue.begin());
+    return true;
+}
+
+void
+KvService::dropQueue()
+{
+    _stats.queueDropped += queue.size();
+    queue.clear();
+}
+
+void
+KvService::chargeCheckpoint(Tick &t)
+{
+    if (_params.checkpointBytesPerOp == 0)
+        return;
+    const std::uint64_t pages =
+        (_params.checkpointBytesPerOp + 4095) / 4096;
+    t += pages * _params.checkpointPerPage;
+    t = timed.writeSpan(t, _params.checkpointBase,
+                        _params.checkpointBytesPerOp);
+}
+
+RpcResponse
+KvService::execute(Tick &t, const RpcRequest &req)
+{
+    ++_stats.executed;
+    t += _params.parseCost;
+    clock(t);
+
+    RpcResponse resp;
+    resp.reqId = req.reqId;
+    resp.client = req.client;
+
+    if (req.deadline != 0 && t > req.deadline) {
+        ++_stats.deadlineExceeded;
+        resp.status = RpcStatus::DeadlineExceeded;
+        resp.servedAt = t;
+        return resp;
+    }
+
+    switch (req.op) {
+    case workload::KvOp::Get: resp = executeGet(t, req); break;
+    case workload::KvOp::Put: resp = executePut(t, req); break;
+    case workload::KvOp::Scan: resp = executeScan(t, req); break;
+    }
+
+    // A-CheckPC: synchronous checkpoint at the handler's function
+    // boundary, before the response leaves the server.
+    chargeCheckpoint(t);
+    resp.servedAt = t;
+    return resp;
+}
+
+RpcResponse
+KvService::executeGet(Tick &t, const RpcRequest &req)
+{
+    ++_stats.gets;
+    RpcResponse resp;
+    resp.reqId = req.reqId;
+    resp.client = req.client;
+
+    (void)_pool->direct(t, root);  // swizzle cost per object access
+    bool found = false;
+    const std::uint32_t idx = probeKey(req.key, found);
+    t = timed.readSpan(t,
+                       rootAddr + keyTableOffset()
+                           + std::uint64_t(idx) * sizeof(KvSlot),
+                       sizeof(KvSlot));
+    if (!found) {
+        resp.status = RpcStatus::NotFound;
+        return resp;
+    }
+    KvSlot slot;
+    readSlot(idx, slot);
+    resp.status = RpcStatus::Ok;
+    resp.version = slot.version;
+    resp.valueSeed = slot.valueSeed;
+    return resp;
+}
+
+RpcResponse
+KvService::executePut(Tick &t, const RpcRequest &req)
+{
+    ++_stats.puts;
+    RpcResponse resp;
+    resp.reqId = req.reqId;
+    resp.client = req.client;
+
+    // Idempotence: a retry of an applied PUT is acknowledged from
+    // the dedup set without touching the key table.
+    bool applied = false;
+    const std::uint32_t dedup_idx = probeDedup(req.reqId, applied);
+    t = timed.readSpan(t,
+                       rootAddr + dedupOffset()
+                           + std::uint64_t(dedup_idx)
+                                 * sizeof(std::uint64_t),
+                       sizeof(std::uint64_t));
+    bool key_found = false;
+    const std::uint32_t slot_idx = probeKey(req.key, key_found);
+    const std::uint64_t slot_off =
+        keyTableOffset() + std::uint64_t(slot_idx) * sizeof(KvSlot);
+    t = timed.readSpan(t, rootAddr + slot_off, sizeof(KvSlot));
+
+    if (applied) {
+        ++_stats.idempotentHits;
+        KvSlot slot;
+        readSlot(slot_idx, slot);
+        resp.status = RpcStatus::Ok;
+        resp.version = slot.version;
+        resp.valueSeed = slot.valueSeed;
+        return resp;
+    }
+
+    KvSlot slot;
+    readSlot(slot_idx, slot);
+
+    RootHeader hdr;
+    _pool->readObject(root, 0, &hdr, sizeof(hdr));
+
+    // The transaction: key slot + dedup entry + applied counter move
+    // together or not at all. The write clock advances with t at
+    // every stage, so an armed power cut drops a suffix of these
+    // writes and recovery rolls the survivors back.
+    const std::uint64_t dedup_off =
+        dedupOffset() + std::uint64_t(dedup_idx) * sizeof(std::uint64_t);
+    const std::uint64_t count_off = offsetof(RootHeader, appliedCount);
+
+    clock(t);
+    _pool->txBegin(t);
+    clock(t);
+    _pool->txAddRange(t, root, slot_off, sizeof(KvSlot));
+    clock(t);
+    _pool->txAddRange(t, root, dedup_off, sizeof(std::uint64_t));
+    clock(t);
+    _pool->txAddRange(t, root, count_off, sizeof(std::uint64_t));
+
+    slot.key = req.key;
+    slot.version += 1;
+    slot.lastReqId = req.reqId;
+    slot.valueSeed = req.valueSeed;
+    clock(t);
+    _pool->writeObject(root, slot_off, &slot, sizeof(slot));
+    t = timed.writeSpan(t, rootAddr + slot_off, sizeof(slot));
+
+    clock(t);
+    _pool->writeObject(root, dedup_off, &req.reqId,
+                       sizeof(req.reqId));
+    t = timed.writeSpan(t, rootAddr + dedup_off, sizeof(req.reqId));
+
+    hdr.appliedCount += 1;
+    clock(t);
+    _pool->writeObject(root, count_off, &hdr.appliedCount,
+                       sizeof(hdr.appliedCount));
+    t = timed.writeSpan(t, rootAddr + count_off,
+                        sizeof(hdr.appliedCount));
+
+    clock(t);
+    _pool->txCommit(t);
+    t = timed.fence(t);
+
+    ++_stats.putsApplied;
+    resp.status = RpcStatus::Ok;
+    resp.version = slot.version;
+    resp.valueSeed = slot.valueSeed;
+    return resp;
+}
+
+RpcResponse
+KvService::executeScan(Tick &t, const RpcRequest &req)
+{
+    ++_stats.scans;
+    RpcResponse resp;
+    resp.reqId = req.reqId;
+    resp.client = req.client;
+
+    const std::uint32_t mask = _params.keyCapacity - 1;
+    const std::uint32_t len = std::min(
+        req.scanLength == 0 ? 1u : req.scanLength,
+        _params.keyCapacity);
+    std::uint32_t idx =
+        static_cast<std::uint32_t>(hashOf(req.key)) & mask;
+    std::uint64_t digest = 0;
+    for (std::uint32_t i = 0; i < len; ++i) {
+        KvSlot slot;
+        readSlot(idx, slot);
+        digest ^= hashOf(slot.key ^ (slot.version << 32));
+        t += _params.scanPerSlot;
+        idx = (idx + 1) & mask;
+    }
+    t = timed.readSpan(t, rootAddr + keyTableOffset(),
+                       std::uint64_t(len) * sizeof(KvSlot));
+    resp.status = RpcStatus::Ok;
+    resp.valueSeed = digest;
+    return resp;
+}
+
+void
+KvService::recover(Tick &t)
+{
+    ++_stats.recoveries;
+    // Reopen over the same region: the constructor rolls back any
+    // transaction whose commit truncation did not beat the rails.
+    _pool.emplace(store, _params.poolBase, _params.poolSize);
+    if (!_pool->openedExisting())
+        fatal("KvService recovery found no pool header");
+    // Runtime re-attach: root lookup and swizzle, plus a fixed
+    // reopen cost (header checks, allocator map rebuild).
+    t += 200 * tickUs;
+    openRoot(t);
+}
+
+std::optional<KvKeyState>
+KvService::lookup(std::uint64_t key) const
+{
+    bool found = false;
+    const std::uint32_t idx = probeKey(key, found);
+    if (!found)
+        return std::nullopt;
+    KvSlot slot;
+    readSlot(idx, slot);
+    return KvKeyState{slot.key, slot.version, slot.lastReqId,
+                      slot.valueSeed};
+}
+
+std::vector<std::uint64_t>
+KvService::appliedIds() const
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint32_t i = 0; i < _params.dedupCapacity; ++i) {
+        const std::uint64_t id = dedupAt(i);
+        if (id != 0)
+            out.push_back(id);
+    }
+    return out;
+}
+
+std::uint64_t
+KvService::appliedCount() const
+{
+    RootHeader hdr;
+    _pool->readObject(root, 0, &hdr, sizeof(hdr));
+    return hdr.appliedCount;
+}
+
+} // namespace lightpc::net

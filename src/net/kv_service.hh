@@ -1,0 +1,231 @@
+/**
+ * @file
+ * KV/RPC server over the persistent object pool.
+ *
+ * Data plane: an open-addressed key table plus a persistent request-
+ * ID dedup set, both inside one root object of a PMDK-style
+ * ObjectPool on OC-PMEM. Every PUT runs as an undo-logged transaction
+ * that updates the key slot, the dedup entry, and the applied
+ * counter together; the pool's write-ahead log plus the backing
+ * store's durability cursor give exact crash semantics:
+ *
+ *  - the service advances the store's write clock at every stage, so
+ *    a power cut mid-PUT drops a *suffix* of the transaction's
+ *    writes; recovery (pool reopen) rolls the survivors back;
+ *  - the acknowledgement is only sent after commit truncation, so an
+ *    acked PUT is durable by construction;
+ *  - a retry of an already-applied PUT hits the dedup set and is
+ *    acknowledged without re-applying (idempotence).
+ *
+ * Control plane: a bounded admission queue with backpressure
+ * (Rejected when full) and per-request absolute deadlines
+ * (DeadlineExceeded at dequeue, without applying).
+ */
+
+#ifndef LIGHTPC_NET_KV_SERVICE_HH
+#define LIGHTPC_NET_KV_SERVICE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/backing_store.hh"
+#include "mem/timed_mem.hh"
+#include "net/rpc.hh"
+#include "persist/object_pool.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::net
+{
+
+/** Service sizing and per-operation costs. */
+struct KvParams
+{
+    /** Pool placement on OC-PMEM (below the SnG reserved area). */
+    mem::Addr poolBase = std::uint64_t(256) << 20;
+    std::uint64_t poolSize = 24 << 20;
+
+    /** Open-addressed key-table slots (power of two). */
+    std::uint32_t keyCapacity = 4096;
+
+    /** Persistent dedup-set slots (power of two). */
+    std::uint32_t dedupCapacity = 1 << 15;
+
+    /** Admission-queue bound (backpressure past this). */
+    std::uint32_t queueCapacity = 512;
+
+    /** RPC decode + handler dispatch. */
+    Tick parseCost = 3 * tickUs;
+
+    /** Per-slot cost of SCAN iteration. */
+    Tick scanPerSlot = 400 * tickNs;
+
+    /**
+     * A-CheckPC baseline: synchronous per-request checkpoint copy of
+     * this many stack/heap bytes (0 = off). Charged through the
+     * timed memory so the overhead arises in the memory system.
+     */
+    std::uint64_t checkpointBytesPerOp = 0;
+
+    /** Where the per-request checkpoints land (A-CheckPC region). */
+    mem::Addr checkpointBase = std::uint64_t(1) << 41;
+
+    /** Page-copy handling cost for the per-request checkpoint. */
+    Tick checkpointPerPage = 5 * tickUs;
+};
+
+/** Service-side counters. */
+struct KvStats
+{
+    std::uint64_t executed = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t scans = 0;
+    std::uint64_t putsApplied = 0;     ///< new transactions committed
+    std::uint64_t idempotentHits = 0;  ///< PUT retries already applied
+    std::uint64_t rejected = 0;        ///< admission backpressure
+    std::uint64_t deadlineExceeded = 0;
+    std::uint64_t queueDropped = 0;    ///< admitted but lost to cold boot
+    std::uint64_t recoveries = 0;
+    std::uint32_t maxQueueDepth = 0;
+};
+
+/** Key-table state exposed for oracle checks. */
+struct KvKeyState
+{
+    std::uint64_t key = 0;
+    std::uint64_t version = 0;
+    std::uint64_t lastReqId = 0;
+    std::uint64_t valueSeed = 0;
+};
+
+/**
+ * The server.
+ */
+class KvService
+{
+  public:
+    /**
+     * Open (or create) the service state in @p store; @p timed
+     * charges the PSM-path line traffic of each operation.
+     */
+    KvService(mem::BackingStore &store, mem::TimedMem &timed,
+              const KvParams &params = KvParams());
+
+    const KvParams &params() const { return _params; }
+    const KvStats &stats() const { return _stats; }
+
+    // --- admission queue ------------------------------------------
+
+    /** Admit a request. False = backpressure (caller sends Rejected). */
+    bool admit(const RpcRequest &req);
+
+    /** Dequeue the oldest admitted request. */
+    bool queuePop(RpcRequest &out);
+
+    std::uint32_t queueDepth() const
+    {
+        return static_cast<std::uint32_t>(queue.size());
+    }
+    std::uint32_t queueCapacity() const
+    {
+        return _params.queueCapacity;
+    }
+
+    /** Cold boot: the volatile admission queue is lost. */
+    void dropQueue();
+
+    // --- execution ------------------------------------------------
+
+    /**
+     * Execute one request. @p t advances by the full service time
+     * (parse, probes, transaction, flushes); the store's write clock
+     * tracks @p t stage by stage, so an armed power cut interacts
+     * with the transaction exactly as the rails would.
+     */
+    RpcResponse execute(Tick &t, const RpcRequest &req);
+
+    /**
+     * Crash recovery: reopen the pool over the same region (rolling
+     * back any uncommitted transaction) and re-anchor the root.
+     */
+    void recover(Tick &t);
+
+    // --- oracle accessors (functional reads, no timing) -----------
+
+    /** Key-table state for @p key. */
+    std::optional<KvKeyState> lookup(std::uint64_t key) const;
+
+    /** Every request ID in the persistent dedup set (slot order). */
+    std::vector<std::uint64_t> appliedIds() const;
+
+    /** The persistent applied-PUT counter. */
+    std::uint64_t appliedCount() const;
+
+    const persist::ObjectPool &pool() const { return *_pool; }
+
+  private:
+    struct KvSlot
+    {
+        std::uint64_t key = 0;  ///< 0 = empty
+        std::uint64_t version = 0;
+        std::uint64_t lastReqId = 0;
+        std::uint64_t valueSeed = 0;
+    };
+
+    struct RootHeader
+    {
+        std::uint64_t magic = 0;
+        std::uint32_t keyCapacity = 0;
+        std::uint32_t dedupCapacity = 0;
+        std::uint64_t appliedCount = 0;
+        std::uint64_t pad[5] = {};
+    };
+
+    static constexpr std::uint64_t rootMagic =
+        0x4b565f524f4f5431ULL;  // "KV_ROOT1"
+
+    std::uint64_t rootBytes() const;
+    std::uint64_t keyTableOffset() const { return sizeof(RootHeader); }
+    std::uint64_t
+    dedupOffset() const
+    {
+        return keyTableOffset()
+            + std::uint64_t(_params.keyCapacity) * sizeof(KvSlot);
+    }
+
+    void openRoot(Tick &t);
+
+    /** Advance the store's write clock to @p t (stage boundary). */
+    void clock(Tick t);
+
+    static std::uint64_t hashOf(std::uint64_t x);
+
+    /** Key-table probe: slot index holding @p key, or the first
+     *  empty slot on its probe path. */
+    std::uint32_t probeKey(std::uint64_t key, bool &found) const;
+
+    /** Dedup probe: slot holding @p req_id, or first empty slot. */
+    std::uint32_t probeDedup(std::uint64_t req_id, bool &found) const;
+
+    void readSlot(std::uint32_t idx, KvSlot &out) const;
+    std::uint64_t dedupAt(std::uint32_t idx) const;
+
+    RpcResponse executeGet(Tick &t, const RpcRequest &req);
+    RpcResponse executePut(Tick &t, const RpcRequest &req);
+    RpcResponse executeScan(Tick &t, const RpcRequest &req);
+    void chargeCheckpoint(Tick &t);
+
+    mem::BackingStore &store;
+    mem::TimedMem &timed;
+    KvParams _params;
+    KvStats _stats;
+    std::optional<persist::ObjectPool> _pool;
+    persist::ObjectId root;
+    mem::Addr rootAddr = 0;  ///< pool-physical address of the root
+    std::vector<RpcRequest> queue;  ///< volatile admission queue
+};
+
+} // namespace lightpc::net
+
+#endif // LIGHTPC_NET_KV_SERVICE_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * RPC wire types of the network service plane.
+ *
+ * Requests and responses are trivially-copyable PODs: they live in
+ * the NIC's RX/TX descriptor rings, whose contents Auto-Stop
+ * serializes byte-for-byte into the DCB payload region, so the wire
+ * format doubles as the persistent ring-context format.
+ *
+ * Request IDs are globally unique and *stable across retries*: a
+ * client that times out re-sends the same reqId, and the server's
+ * persistent dedup table makes re-execution idempotent. That is what
+ * keeps a retry that races a power cut from double-applying a PUT.
+ */
+
+#ifndef LIGHTPC_NET_RPC_HH
+#define LIGHTPC_NET_RPC_HH
+
+#include <cstdint>
+#include <type_traits>
+
+#include "sim/ticks.hh"
+#include "workload/service_mix.hh"
+
+namespace lightpc::net
+{
+
+/** Server verdict on one request attempt. */
+enum class RpcStatus : std::uint32_t
+{
+    Ok = 0,
+    NotFound = 1,          ///< GET of a never-written key
+    Rejected = 2,          ///< admission queue full (backpressure)
+    DeadlineExceeded = 3,  ///< dequeued past its deadline; not applied
+};
+
+/** Display name. */
+inline const char *
+rpcStatusName(RpcStatus status)
+{
+    switch (status) {
+    case RpcStatus::Ok: return "OK";
+    case RpcStatus::NotFound: return "NOT_FOUND";
+    case RpcStatus::Rejected: return "REJECTED";
+    case RpcStatus::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+    }
+    return "?";
+}
+
+/** One request attempt as it sits in the NIC RX ring. */
+struct RpcRequest
+{
+    std::uint64_t reqId = 0;    ///< stable across retries (idempotence)
+    std::uint32_t client = 0;
+    workload::KvOp op = workload::KvOp::Get;
+    std::uint64_t key = 0;
+    std::uint64_t valueSeed = 0;   ///< PUT payload digest
+    std::uint32_t scanLength = 0;
+    std::uint32_t attempt = 1;     ///< 1 = first issue
+    Tick deadline = 0;             ///< absolute server-side deadline
+    Tick firstIssuedAt = 0;        ///< latency base (first attempt)
+};
+
+/** One response as it sits in the NIC TX ring. */
+struct RpcResponse
+{
+    std::uint64_t reqId = 0;
+    std::uint32_t client = 0;
+    RpcStatus status = RpcStatus::Ok;
+    std::uint64_t version = 0;    ///< key version after/at the op
+    std::uint64_t valueSeed = 0;  ///< GET payload / SCAN digest
+    Tick servedAt = 0;            ///< server completion tick
+};
+
+static_assert(std::is_trivially_copyable_v<RpcRequest>);
+static_assert(std::is_trivially_copyable_v<RpcResponse>);
+
+} // namespace lightpc::net
+
+#endif // LIGHTPC_NET_RPC_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The network service plane: end-to-end client-visible availability
+ * of a persistent KV service across power cycles.
+ *
+ * runService() assembles one LightPC platform (kernel + dpm devices +
+ * PSM-backed OC-PMEM), registers a NicDevice in the dpm_list, runs a
+ * KvService over a persistent ObjectPool, and drives an open-loop
+ * ClientFleet against it on the discrete-event queue. Seeded power
+ * cuts interrupt the run; what happens next depends on the
+ * persistence mode:
+ *
+ *  - SnG        — PecOS Stop-and-Go: the EP-cut commits within the
+ *                 PSU hold-up, the NIC rings ride the DCB through the
+ *                 outage, and Go resumes the service with its queued
+ *                 traffic intact.
+ *  - SysPc      — hibernate-style full-system image, attempted at the
+ *                 power event; the dump cannot beat the hold-up, so
+ *                 recovery is a cold reboot.
+ *  - SCheckPc   — periodic BLCR-style dumps that stall the service
+ *                 (stop-the-world), plus a cold reboot on power loss.
+ *  - ACheckPc   — per-request synchronous checkpoint copies, plus a
+ *                 cold reboot on power loss.
+ *
+ * All modes share the same transactional pool, so *durability* of
+ * acknowledged writes holds everywhere (that is an invariant, checked
+ * against the fleet's ledger); what differs is the client-visible
+ * downtime and tail latency — the paper's Fig. 19-22 argument
+ * recast as a service-level benchmark.
+ */
+
+#ifndef LIGHTPC_NET_SERVICE_PLANE_HH
+#define LIGHTPC_NET_SERVICE_PLANE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/client_fleet.hh"
+#include "net/kv_service.hh"
+#include "net/nic.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::net
+{
+
+/** Which persistence mechanism carries the service through outages. */
+enum class PersistMode
+{
+    SnG,       ///< PecOS Stop-and-Go (LightPC)
+    SysPc,     ///< full-system image at power-down
+    SCheckPc,  ///< periodic system-level checkpoint (BLCR-style)
+    ACheckPc,  ///< per-request application-level checkpoint
+};
+
+/** Display name. */
+const char *persistModeName(PersistMode mode);
+
+/** One experiment configuration. */
+struct ServiceConfig
+{
+    PersistMode mode = PersistMode::SnG;
+
+    /** Arrivals are generated for this long; then the run drains. */
+    Tick runFor = 8 * tickSec;
+
+    /** Extra drain time after the last arrival. */
+    Tick drainGrace = 3 * tickSec;
+
+    /** Power events, evenly spaced inside runFor. */
+    std::uint32_t cuts = 3;
+
+    /**
+     * Land each cut while the service is mid-flight (server busy or
+     * frames queued in a NIC ring): from its nominal instant, the
+     * power event probes every cutProbeInterval until it catches the
+     * service under load, up to half the inter-cut spacing. This is
+     * the adversarial case — queued traffic and an unsent ack are at
+     * stake — and what makes DCB ring resurrection observable.
+     */
+    bool cutUnderLoad = true;
+    Tick cutProbeInterval = 37 * tickUs;
+
+    /** AC-off dwell between the power event and restoration. */
+    Tick offDwell = 100 * tickMs;
+
+    /** PSU hold-up: rails stay in spec this long past the event. */
+    Tick holdup = 16 * tickMs;
+
+    /** One-way client <-> server propagation. */
+    Tick wireLatency = 20 * tickUs;
+
+    /** NIC TX drain interval (one response frame per interval). */
+    Tick txDrainInterval = 2 * tickUs;
+
+    /** Server-side deadline granted to each attempt. */
+    Tick requestDeadline = 250 * tickMs;
+
+    /** Goodput sampling window. */
+    Tick goodputWindow = 10 * tickMs;
+
+    /** S-CheckPC: period and VM footprint of the periodic dump. */
+    Tick scheckPeriod = 100 * tickMs;
+    std::uint64_t scheckVmBytes = std::uint64_t(48) << 20;
+
+    /** A-CheckPC: synchronous checkpoint bytes per request. */
+    std::uint64_t acheckBytesPerOp = 18000;
+
+    /** Kernel population behind the service. */
+    std::uint32_t userProcesses = 24;
+    std::uint32_t kernelThreads = 16;
+    std::size_t deviceCount = 60;
+
+    FleetParams fleet;
+    KvParams kv;
+    NicParams nic;
+
+    std::uint64_t seed = 42;
+};
+
+/** One power event as measured at the clients. */
+struct ServiceOutage
+{
+    Tick eventAt = 0;
+    Tick lastSuccessBefore = 0;
+    Tick firstSuccessAfter = 0;  ///< maxTick when never recovered
+    Tick downtime = 0;           ///< client-visible ack gap
+    Tick attributable = 0;       ///< downtime minus the AC-off dwell
+    bool coldBoot = false;       ///< recovery had no usable commit
+};
+
+/** Everything one run produces. */
+struct ServiceResult
+{
+    PersistMode mode = PersistMode::SnG;
+    std::string modeName;
+
+    // Client side.
+    std::uint64_t arrivals = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t duplicateAcks = 0;
+    std::uint64_t ackedPuts = 0;
+
+    // Server side.
+    std::uint64_t executed = 0;
+    std::uint64_t putsApplied = 0;
+    std::uint64_t idempotentHits = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t deadlineExceeded = 0;
+    std::uint64_t queueDropped = 0;
+    std::uint64_t recoveries = 0;
+
+    // NIC.
+    std::uint64_t framesRx = 0;
+    std::uint64_t framesTx = 0;
+    std::uint64_t rxDropsDown = 0;
+    std::uint64_t rxDropsFull = 0;
+
+    /** Bounded-queue high-water marks (audited against capacity). */
+    std::uint32_t maxQueueDepth = 0;
+    std::uint32_t maxRxOccupancy = 0;
+    std::uint32_t maxTxOccupancy = 0;
+    std::uint64_t wireDrops = 0;  ///< frames lost to AC-off (plane)
+
+    /** Frames resurrected from the DCB ring images across outages. */
+    std::uint64_t ringPreservedFrames = 0;
+
+    /** Queued frames destroyed by cold boots (baselines pay this). */
+    std::uint64_t ringFramesLost = 0;
+    std::uint64_t contextImagesSaved = 0;
+    std::uint64_t contextImagesRestored = 0;
+
+    std::uint64_t coldBoots = 0;
+
+    // Latency, first issue -> ack, in microseconds.
+    double meanUs = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+
+    /** Mean goodput over the arrival phase (completions / runFor). */
+    double goodputMean = 0.0;
+
+    /** Goodput timeline (window samples, req/s). */
+    std::vector<std::pair<Tick, double>> goodput;
+
+    std::vector<ServiceOutage> outages;
+    Tick worstDowntime = 0;
+    Tick worstAttributable = 0;
+
+    /** Accumulated SnG Stop / Go wall time across outages. */
+    Tick stopTicksTotal = 0;
+    Tick goTicksTotal = 0;
+
+    // Invariant audit (all must be zero / empty).
+    std::uint64_t lostAckedPuts = 0;    ///< acked but not in dedup set
+    std::uint64_t duplicateApplied = 0; ///< version/dedup mismatches
+    std::vector<std::string> violations;
+
+    /** FNV digest of the run's observable counters (determinism). */
+    std::uint64_t digest = 0;
+};
+
+/** Run one configuration to completion. */
+ServiceResult runService(const ServiceConfig &config);
+
+} // namespace lightpc::net
+
+#endif // LIGHTPC_NET_SERVICE_PLANE_HH

@@ -148,7 +148,22 @@ Sng::autoStopDevices(Tick when, StopReport &report)
         pmem.setWriteClock(t);
         pmem.writeValue(dcb_addr, entry);
         dcb_addr += sizeof(DcbEntry);
-        t = timed.writeSpan(t, payload_addr, dev->contextBytes());
+        if (kernel::DeviceContext *ctx = dev->context()) {
+            // Real driver state (descriptor rings, queue heads):
+            // serialize the image through the durability cursor, so
+            // what Go resurrects is exactly what beat the rails.
+            ctxScratch.clear();
+            ctx->saveContext(ctxScratch);
+            if (ctxScratch.size() != dev->contextBytes())
+                panic("device '", dev->name(), "' context image is ",
+                      ctxScratch.size(), " bytes, declared ",
+                      dev->contextBytes());
+            t = timed.writeBytes(t, payload_addr, ctxScratch.data(),
+                                 ctxScratch.size());
+            ++report.contextImagesSaved;
+        } else {
+            t = timed.writeSpan(t, payload_addr, dev->contextBytes());
+        }
         payload_addr += dev->contextBytes();
         report.controlBlockBytes += sizeof(DcbEntry)
             + dev->contextBytes();
@@ -336,7 +351,17 @@ Sng::resume(Tick when)
         t = timed.readSpan(t, dcb_addr, sizeof(DcbEntry));
         // Driver context from the payload region where Auto-Stop
         // serialized it (not from the DCB entry array).
-        t = timed.readSpan(t, payload_off[i], dev.contextBytes());
+        if (kernel::DeviceContext *ctx = dev.context()) {
+            // The volatile rings are garbage after a real power
+            // loss; the durable DCB image is authoritative.
+            ctxScratch.resize(dev.contextBytes());
+            t = timed.readBytes(t, payload_off[i], ctxScratch.data(),
+                                ctxScratch.size());
+            ctx->restoreContext(ctxScratch.data(), ctxScratch.size());
+            ++report.contextImagesRestored;
+        } else {
+            t = timed.readSpan(t, payload_off[i], dev.contextBytes());
+        }
         // The saved MMIO image: read back from OC-PMEM, then
         // replayed into the peripheral with uncached stores.
         t = timed.readSpan(t, payload_off[i] + dev.contextBytes(),

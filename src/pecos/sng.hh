@@ -117,6 +117,9 @@ struct StopReport
     std::uint64_t dirtyLinesFlushed = 0;
     std::uint64_t controlBlockBytes = 0;
 
+    /** Devices whose bound DeviceContext was serialized for real. */
+    std::uint64_t contextImagesSaved = 0;
+
     Tick processStopTicks() const { return processStopDone - start; }
     Tick
     deviceStopTicks() const
@@ -139,6 +142,9 @@ struct GoReport
     bool coldBoot = false;  ///< no commit found
     std::uint64_t devicesRevived = 0;
     std::uint64_t tasksScheduled = 0;
+
+    /** Devices whose DCB image was handed back to a DeviceContext. */
+    std::uint64_t contextImagesRestored = 0;
 
     /** First byte of the device payload region Go read back. */
     mem::Addr payloadBase = 0;
@@ -239,6 +245,9 @@ class Sng
     PsmPort port;
     mem::TimedMem timed;
     std::uint64_t fallbackDirtyLines = 200;
+
+    /** Scratch buffer for DeviceContext images (reused per device). */
+    std::vector<std::uint8_t> ctxScratch;
 };
 
 } // namespace lightpc::pecos

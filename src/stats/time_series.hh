@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/ticks.hh"
 
 namespace lightpc::stats
@@ -27,11 +28,25 @@ class TimeSeries
 
     explicit TimeSeries(std::string label) : _label(std::move(label)) {}
 
-    /** Record a sample; ticks must be non-decreasing. */
+    /**
+     * Record a sample; ticks must be non-decreasing (integrate() and
+     * downsample() both assume time-ordered samples).
+     */
     void
     record(Tick when, double value)
     {
+        if (!_samples.empty() && when < _samples.back().when)
+            panic("TimeSeries '", _label, "': tick ", when,
+                  " precedes last recorded tick ",
+                  _samples.back().when);
         _samples.push_back({when, value});
+    }
+
+    /** Tick of the most recent sample (0 when empty). */
+    Tick
+    lastTick() const
+    {
+        return _samples.empty() ? 0 : _samples.back().when;
     }
 
     const std::string &label() const { return _label; }

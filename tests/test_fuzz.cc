@@ -13,6 +13,7 @@
 
 #include "fault/ras_campaign.hh"
 #include "mem/backing_store.hh"
+#include "net/service_plane.hh"
 #include "persist/object_pool.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -183,5 +184,60 @@ TEST_P(RasFuzz, CombinedPowerCutAndMediaFaultsHoldInvariants)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RasFuzz,
                          ::testing::Values(3, 212, 4099));
+
+class ServiceFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+/**
+ * Live KV traffic with power cuts landing at seed-random points
+ * mid-flight (the plane probes each cut onto a busy instant, and the
+ * seed moves where the busy instants are). Whatever the seed and
+ * persistence mode, the service-level invariants must hold: no
+ * acknowledged PUT lost, no PUT double-applied under retries that
+ * race the cut, and every bounded queue within its capacity.
+ */
+TEST_P(ServiceFuzz, TrafficAndPowerCutsHoldInvariants)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+
+    net::ServiceConfig cfg;
+    const net::PersistMode modes[] = {
+        net::PersistMode::SnG, net::PersistMode::SysPc,
+        net::PersistMode::SCheckPc, net::PersistMode::ACheckPc};
+    cfg.mode = modes[rng.below(4)];
+    cfg.runFor = (300 + rng.below(400)) * tickMs;
+    cfg.drainGrace = 2500 * tickMs;
+    cfg.cuts = 1 + static_cast<std::uint32_t>(rng.below(2));
+    cfg.offDwell = 50 * tickMs;
+    cfg.fleet.clients = 200;
+    cfg.fleet.arrivalsPerSec = 1000.0;
+    cfg.seed = seed;
+
+    const net::ServiceResult r = net::runService(cfg);
+
+    for (const std::string &note : r.violations)
+        ADD_FAILURE() << r.modeName << ": " << note;
+    EXPECT_EQ(r.lostAckedPuts, 0u) << r.modeName;
+    EXPECT_EQ(r.duplicateApplied, 0u) << r.modeName;
+    EXPECT_EQ(r.outages.size(), cfg.cuts) << r.modeName;
+    EXPECT_GT(r.completed, 0u) << r.modeName;
+
+    // Bounded queues stayed bounded.
+    EXPECT_LE(r.maxQueueDepth, cfg.kv.queueCapacity);
+    EXPECT_LE(r.maxRxOccupancy, cfg.nic.ringEntries);
+    EXPECT_LE(r.maxTxOccupancy, cfg.nic.ringEntries);
+
+    // SnG never cold-boots; every baseline outage costs one.
+    if (cfg.mode == net::PersistMode::SnG)
+        EXPECT_EQ(r.coldBoots, 0u);
+    else
+        EXPECT_EQ(r.coldBoots, r.outages.size()) << r.modeName;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServiceFuzz,
+                         ::testing::Values(7, 101, 555, 2025, 31337,
+                                           900913));
 
 } // namespace

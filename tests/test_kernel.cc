@@ -205,6 +205,100 @@ TEST(KernelLifecycle, InitCannotExit)
     EXPECT_THROW(kern.exitProcess(1), FatalError);
 }
 
+// --- DCB context round-trip ----------------------------------------
+
+namespace
+{
+
+/**
+ * A context provider that records when Auto-Stop and Go touch it, so
+ * dpm ordering and image fidelity are both observable.
+ */
+struct RecordingContext : DeviceContext
+{
+    RecordingContext(std::vector<std::string> *journal_in,
+                     std::string tag_in,
+                     std::vector<std::uint8_t> bytes)
+        : journal(journal_in), tag(std::move(tag_in)),
+          state(std::move(bytes))
+    {
+    }
+
+    void
+    saveContext(std::vector<std::uint8_t> &out) override
+    {
+        journal->push_back("save:" + tag);
+        out.insert(out.end(), state.begin(), state.end());
+    }
+
+    void
+    restoreContext(const std::uint8_t *data, std::size_t len) override
+    {
+        journal->push_back("restore:" + tag);
+        state.assign(data, data + len);
+    }
+
+    std::vector<std::string> *journal;
+    std::string tag;
+    std::vector<std::uint8_t> state;
+};
+
+} // namespace
+
+TEST(DeviceContextDcb, NetworkRingImageRoundTripsThroughStopAndGo)
+{
+    Kernel kern;
+    std::vector<std::string> journal;
+
+    // Two Network-class drivers with real (distinct) ring images,
+    // registered in dpm order: eth0 first, eth1 second.
+    std::vector<std::uint8_t> ring0(96), ring1(64);
+    for (std::size_t i = 0; i < ring0.size(); ++i)
+        ring0[i] = static_cast<std::uint8_t>(0xa0 + i);
+    for (std::size_t i = 0; i < ring1.size(); ++i)
+        ring1[i] = static_cast<std::uint8_t>(0x30 + i * 3);
+    RecordingContext ctx0(&journal, "eth0", ring0);
+    RecordingContext ctx1(&journal, "eth1", ring1);
+
+    DpmCosts costs{tickUs, tickUs, tickUs, tickUs, tickUs, tickUs};
+    Device &dev0 = kern.devices().add(std::make_unique<Device>(
+        "eth0", DeviceClass::Network, costs, ring0.size(), 4096));
+    Device &dev1 = kern.devices().add(std::make_unique<Device>(
+        "eth1", DeviceClass::Network, costs, ring1.size(), 4096));
+    dev0.bindContext(&ctx0, ring0.size());
+    dev1.bindContext(&ctx1, ring1.size());
+
+    psm::Psm psm;
+    mem::BackingStore pmem;
+    pecos::Sng sng(kern, psm, pmem, {});
+
+    const auto stop = sng.stop(0);
+    ASSERT_FALSE(stop.commitFailed);
+    EXPECT_EQ(stop.contextImagesSaved, 2u);
+    EXPECT_TRUE(dev0.suspended());
+    EXPECT_TRUE(dev1.suspended());
+
+    // The DRAM copies die with the rails; only the DCB images in
+    // OC-PMEM may come back.
+    ctx0.state.assign(ring0.size(), 0xff);
+    ctx1.state.assign(ring1.size(), 0xff);
+
+    const auto go = sng.resume(stop.offlineDone + tickMs);
+    EXPECT_FALSE(go.coldBoot);
+    EXPECT_EQ(go.contextImagesRestored, 2u);
+    EXPECT_FALSE(dev0.suspended());
+    EXPECT_FALSE(dev1.suspended());
+
+    // Byte-exact resurrection of both ring images.
+    EXPECT_EQ(ctx0.state, ring0);
+    EXPECT_EQ(ctx1.state, ring1);
+
+    // dpm ordering: suspend in registration order, resume inverse.
+    const std::vector<std::string> expected{
+        "save:eth0", "save:eth1", "restore:eth1", "restore:eth0"};
+    EXPECT_EQ(journal, expected);
+}
+
 TEST(KernelLifecycle, SngHandlesDynamicPopulation)
 {
     // Spawn and exit around the default population, then verify a

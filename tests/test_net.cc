@@ -1,0 +1,536 @@
+/**
+ * @file
+ * Tests for the network service plane (src/net/): NIC descriptor
+ * rings and their DCB context images, the KV/RPC server's crash
+ * semantics, the client fleet's retry machinery, the availability
+ * recorder, and end-to-end runService() invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/service_plane.hh"
+
+#include "kernel/device.hh"
+#include "mem/backing_store.hh"
+#include "mem/memory_port.hh"
+#include "mem/timed_mem.hh"
+#include "net/availability.hh"
+#include "net/client_fleet.hh"
+#include "net/kv_service.hh"
+#include "net/nic.hh"
+#include "pecos/sng.hh"
+#include "platform/system.hh"
+#include "sim/rng.hh"
+
+namespace
+{
+
+using namespace lightpc;
+using namespace lightpc::net;
+
+RpcRequest
+makeReq(std::uint64_t id, workload::KvOp op, std::uint64_t key,
+        std::uint64_t value_seed = 0)
+{
+    RpcRequest req;
+    req.reqId = id;
+    req.client = static_cast<std::uint32_t>(id % 17);
+    req.op = op;
+    req.key = key;
+    req.valueSeed = value_seed;
+    req.scanLength = 8;
+    return req;
+}
+
+// --- NIC rings -----------------------------------------------------
+
+TEST(Nic, RingsAreBoundedFifos)
+{
+    kernel::DeviceManager mgr;
+    NicParams params;
+    params.ringEntries = 4;
+    NicDevice nic(mgr, "eth0", params);
+
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        EXPECT_TRUE(nic.rxPush(makeReq(i, workload::KvOp::Get, i)));
+    EXPECT_FALSE(nic.rxPush(makeReq(5, workload::KvOp::Get, 5)));
+    EXPECT_EQ(nic.stats().rxDropsFull, 1u);
+    EXPECT_EQ(nic.rxOccupancy(), 4u);
+
+    RpcRequest out;
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+        ASSERT_TRUE(nic.rxPop(out));
+        EXPECT_EQ(out.reqId, i);
+    }
+    EXPECT_FALSE(nic.rxPop(out));
+
+    RpcResponse resp;
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+        resp.reqId = i;
+        EXPECT_TRUE(nic.txPush(resp));
+    }
+    EXPECT_FALSE(nic.txPush(resp));
+    EXPECT_EQ(nic.stats().txDropsFull, 1u);
+    for (std::uint64_t i = 1; i <= 4; ++i) {
+        ASSERT_TRUE(nic.txPop(resp));
+        EXPECT_EQ(resp.reqId, i);
+    }
+    EXPECT_EQ(nic.stats().maxRxOccupancy, 4u);
+    EXPECT_EQ(nic.stats().maxTxOccupancy, 4u);
+}
+
+TEST(Nic, LinkDownRefusesTraffic)
+{
+    kernel::DeviceManager mgr;
+    NicDevice nic(mgr, "eth0");
+    EXPECT_TRUE(nic.linkUp());
+
+    nic.device().setSuspended(true);
+    EXPECT_FALSE(nic.linkUp());
+    EXPECT_FALSE(nic.rxPush(makeReq(1, workload::KvOp::Get, 1)));
+    EXPECT_EQ(nic.stats().rxDropsDown, 1u);
+    RpcResponse resp;
+    EXPECT_FALSE(nic.txPush(resp));
+
+    nic.device().setSuspended(false);
+    EXPECT_TRUE(nic.rxPush(makeReq(2, workload::KvOp::Get, 2)));
+}
+
+TEST(Nic, RegistersAsNetworkClassInDpmList)
+{
+    kernel::DeviceManager mgr;
+    const std::size_t before = mgr.count();
+    NicDevice nic(mgr, "eth0");
+    ASSERT_EQ(mgr.count(), before + 1);
+    const kernel::Device &dev = mgr.device(mgr.count() - 1);
+    EXPECT_EQ(&dev, &nic.device());
+    EXPECT_EQ(dev.deviceClass(), kernel::DeviceClass::Network);
+    EXPECT_EQ(dev.contextBytes(), nic.contextImageBytes());
+    EXPECT_GT(dev.contextBytes(), 0u);
+}
+
+TEST(Nic, ContextRoundTripBeatsScramble)
+{
+    kernel::DeviceManager mgr;
+    NicParams params;
+    params.ringEntries = 8;
+    NicDevice nic(mgr, "eth0", params);
+
+    // Advance the RX head so the image must preserve a non-trivial
+    // ring state, not just entry zero onward.
+    ASSERT_TRUE(nic.rxPush(makeReq(1, workload::KvOp::Get, 1)));
+    RpcRequest scratch;
+    ASSERT_TRUE(nic.rxPop(scratch));
+    for (std::uint64_t i = 2; i <= 4; ++i)
+        ASSERT_TRUE(nic.rxPush(makeReq(i, workload::KvOp::Put, 10 + i,
+                                       100 + i)));
+    RpcResponse resp;
+    resp.reqId = 77;
+    resp.client = 3;
+    resp.version = 9;
+    resp.status = RpcStatus::Ok;
+    ASSERT_TRUE(nic.txPush(resp));
+
+    std::vector<std::uint8_t> image;
+    nic.saveContext(image);
+    EXPECT_EQ(image.size(), nic.contextImageBytes());
+
+    Rng rng(5);
+    nic.scrambleVolatile(rng);
+    nic.restoreContext(image.data(), image.size());
+
+    EXPECT_EQ(nic.rxOccupancy(), 3u);
+    for (std::uint64_t i = 2; i <= 4; ++i) {
+        ASSERT_TRUE(nic.rxPop(scratch));
+        EXPECT_EQ(scratch.reqId, i);
+        EXPECT_EQ(scratch.key, 10 + i);
+        EXPECT_EQ(scratch.valueSeed, 100 + i);
+    }
+    RpcResponse rout;
+    ASSERT_TRUE(nic.txPop(rout));
+    EXPECT_EQ(rout.reqId, 77u);
+    EXPECT_EQ(rout.version, 9u);
+}
+
+TEST(Nic, QueuedFramesRideTheDcbThroughStopAndGo)
+{
+    platform::SystemConfig sc;
+    sc.kind = platform::PlatformKind::LightPC;
+    sc.kernel.userProcesses = 8;
+    sc.kernel.kernelThreads = 6;
+    sc.kernel.deviceCount = 12;
+    platform::System sys(sc);
+    NicDevice nic(sys.kernel().devices(), "eth0");
+
+    for (std::uint64_t i = 1; i <= 5; ++i)
+        ASSERT_TRUE(
+            nic.rxPush(makeReq(i, workload::KvOp::Put, 100 + i, i)));
+    RpcResponse resp;
+    resp.reqId = 77;
+    resp.client = 3;
+    resp.version = 9;
+    ASSERT_TRUE(nic.txPush(resp));
+
+    const auto stop = sys.sng().stop(0);
+    ASSERT_FALSE(stop.commitFailed);
+    EXPECT_EQ(stop.contextImagesSaved, 1u);
+    EXPECT_FALSE(nic.linkUp());
+
+    // DRAM contents are unspecified once the rails fall; only the
+    // DCB image in OC-PMEM may carry the rings across.
+    Rng rng(99);
+    sys.kernel().scramble(rng);
+    nic.scrambleVolatile(rng);
+
+    const auto go = sys.sng().resume(stop.offlineDone);
+    EXPECT_FALSE(go.coldBoot);
+    EXPECT_EQ(go.contextImagesRestored, 1u);
+    EXPECT_TRUE(nic.linkUp());
+
+    EXPECT_EQ(nic.rxOccupancy(), 5u);
+    RpcRequest out;
+    for (std::uint64_t i = 1; i <= 5; ++i) {
+        ASSERT_TRUE(nic.rxPop(out));
+        EXPECT_EQ(out.reqId, i);
+        EXPECT_EQ(out.key, 100 + i);
+        EXPECT_EQ(out.valueSeed, i);
+    }
+    RpcResponse rout;
+    ASSERT_TRUE(nic.txPop(rout));
+    EXPECT_EQ(rout.reqId, 77u);
+    EXPECT_EQ(rout.version, 9u);
+}
+
+// --- KvService -----------------------------------------------------
+
+struct FixedPort : mem::MemoryPort
+{
+    mem::AccessResult
+    access(const mem::MemRequest &, Tick when) override
+    {
+        mem::AccessResult result;
+        result.completeAt = when + 40 * tickNs;
+        return result;
+    }
+    Tick fence(Tick when) override { return when; }
+};
+
+struct KvRig
+{
+    explicit KvRig(const KvParams &params = KvParams())
+        : timed(port, &store), kv(store, timed, params)
+    {
+    }
+
+    FixedPort port;
+    mem::BackingStore store;
+    mem::TimedMem timed;
+    KvService kv;
+};
+
+TEST(KvService, PutThenGetReturnsVersionedValue)
+{
+    KvRig rig;
+    Tick t = 0;
+
+    auto miss = rig.kv.execute(t, makeReq(1, workload::KvOp::Get, 42));
+    EXPECT_EQ(miss.status, RpcStatus::NotFound);
+
+    auto put =
+        rig.kv.execute(t, makeReq(2, workload::KvOp::Put, 42, 777));
+    EXPECT_EQ(put.status, RpcStatus::Ok);
+    EXPECT_EQ(put.version, 1u);
+
+    auto get = rig.kv.execute(t, makeReq(3, workload::KvOp::Get, 42));
+    EXPECT_EQ(get.status, RpcStatus::Ok);
+    EXPECT_EQ(get.version, 1u);
+    EXPECT_EQ(get.valueSeed, 777u);
+
+    auto put2 =
+        rig.kv.execute(t, makeReq(4, workload::KvOp::Put, 42, 778));
+    EXPECT_EQ(put2.version, 2u);
+    EXPECT_EQ(rig.kv.appliedCount(), 2u);
+}
+
+TEST(KvService, PutRetryIsIdempotent)
+{
+    KvRig rig;
+    Tick t = 0;
+    const auto req = makeReq(9, workload::KvOp::Put, 5, 123);
+
+    auto first = rig.kv.execute(t, req);
+    EXPECT_EQ(first.status, RpcStatus::Ok);
+    EXPECT_EQ(first.version, 1u);
+
+    // The retry carries the same request ID; the persistent dedup
+    // set must acknowledge without re-applying.
+    auto retry = req;
+    retry.attempt = 2;
+    auto second = rig.kv.execute(t, retry);
+    EXPECT_EQ(second.status, RpcStatus::Ok);
+    EXPECT_EQ(second.version, 1u);
+    EXPECT_EQ(rig.kv.stats().idempotentHits, 1u);
+    EXPECT_EQ(rig.kv.appliedCount(), 1u);
+    ASSERT_TRUE(rig.kv.lookup(5).has_value());
+    EXPECT_EQ(rig.kv.lookup(5)->version, 1u);
+}
+
+TEST(KvService, AdmissionQueueBackpressures)
+{
+    KvParams params;
+    params.queueCapacity = 4;
+    KvRig rig(params);
+
+    for (std::uint64_t i = 1; i <= 4; ++i)
+        EXPECT_TRUE(rig.kv.admit(makeReq(i, workload::KvOp::Get, i)));
+    EXPECT_FALSE(rig.kv.admit(makeReq(5, workload::KvOp::Get, 5)));
+    EXPECT_EQ(rig.kv.stats().rejected, 1u);
+    EXPECT_EQ(rig.kv.stats().maxQueueDepth, 4u);
+
+    RpcRequest out;
+    ASSERT_TRUE(rig.kv.queuePop(out));
+    EXPECT_EQ(out.reqId, 1u);
+    EXPECT_TRUE(rig.kv.admit(makeReq(6, workload::KvOp::Get, 6)));
+
+    rig.kv.dropQueue();
+    EXPECT_EQ(rig.kv.queueDepth(), 0u);
+    EXPECT_EQ(rig.kv.stats().queueDropped, 4u);
+}
+
+TEST(KvService, ExpiredDeadlineIsNotApplied)
+{
+    KvRig rig;
+    Tick t = 1 * tickMs;
+    auto req = makeReq(1, workload::KvOp::Put, 7, 42);
+    req.deadline = t + 1;  // expires during parse
+
+    auto resp = rig.kv.execute(t, req);
+    EXPECT_EQ(resp.status, RpcStatus::DeadlineExceeded);
+    EXPECT_EQ(rig.kv.stats().deadlineExceeded, 1u);
+    EXPECT_FALSE(rig.kv.lookup(7).has_value());
+    EXPECT_EQ(rig.kv.appliedCount(), 0u);
+    EXPECT_TRUE(rig.kv.appliedIds().empty());
+}
+
+TEST(KvService, TornPutRollsBackOnRecovery)
+{
+    KvRig rig;
+    Tick t = 0;
+    auto full =
+        rig.kv.execute(t, makeReq(1, workload::KvOp::Put, 11, 500));
+    ASSERT_EQ(full.status, RpcStatus::Ok);
+
+    // Power dies right after parse: every write of the second PUT's
+    // transaction carries a stamp at or past the cut and is dropped
+    // at the media, exactly as the rails would drop it.
+    const Tick cut = t + rig.kv.params().parseCost + 1;
+    rig.store.armPowerCut(cut, 0xdead);
+    (void)rig.kv.execute(t, makeReq(2, workload::KvOp::Put, 22, 501));
+    rig.store.disarmPowerCut();
+
+    Tick rt = t;
+    rig.kv.recover(rt);
+    EXPECT_EQ(rig.kv.stats().recoveries, 1u);
+
+    // The torn PUT vanished; the committed one is intact.
+    EXPECT_FALSE(rig.kv.lookup(22).has_value());
+    ASSERT_TRUE(rig.kv.lookup(11).has_value());
+    EXPECT_EQ(rig.kv.lookup(11)->version, 1u);
+    EXPECT_EQ(rig.kv.lookup(11)->valueSeed, 500u);
+    EXPECT_EQ(rig.kv.appliedCount(), 1u);
+    const auto ids = rig.kv.appliedIds();
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], 1u);
+}
+
+TEST(KvService, ScanIsDeterministic)
+{
+    KvRig rig;
+    Tick t = 0;
+    for (std::uint64_t k = 1; k <= 6; ++k)
+        (void)rig.kv.execute(
+            t, makeReq(k, workload::KvOp::Put, k, 1000 + k));
+
+    auto a = rig.kv.execute(t, makeReq(50, workload::KvOp::Scan, 1));
+    auto b = rig.kv.execute(t, makeReq(51, workload::KvOp::Scan, 1));
+    EXPECT_EQ(a.status, RpcStatus::Ok);
+    EXPECT_EQ(a.valueSeed, b.valueSeed);
+    EXPECT_EQ(rig.kv.stats().scans, 2u);
+}
+
+// --- ClientFleet ---------------------------------------------------
+
+TEST(ClientFleet, BackoffDoublesAndCaps)
+{
+    FleetParams params;
+    params.clientTimeout = 10 * tickMs;
+    params.backoffCap = 40 * tickMs;
+    params.retryJitter = 0;
+    ClientFleet fleet(params);
+
+    EXPECT_EQ(fleet.timeoutFor(1), 10 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(2), 20 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(3), 40 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(4), 40 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(8), 40 * tickMs);
+}
+
+TEST(ClientFleet, RetryKeepsRequestIdAndExhaustsBudget)
+{
+    FleetParams params;
+    params.maxAttempts = 3;
+    ClientFleet fleet(params);
+
+    const RpcRequest req = fleet.newRequest(100);
+    EXPECT_TRUE(fleet.isOutstanding(req.reqId));
+    EXPECT_EQ(fleet.firstIssuedAt(req.reqId), 100u);
+
+    auto r2 = fleet.retryAttempt(req.reqId, 200);
+    ASSERT_TRUE(r2.has_value());
+    EXPECT_EQ(r2->reqId, req.reqId);
+    EXPECT_EQ(r2->attempt, 2u);
+    auto r3 = fleet.retryAttempt(req.reqId, 300);
+    ASSERT_TRUE(r3.has_value());
+    EXPECT_EQ(r3->attempt, 3u);
+
+    // Budget spent: the request fails and leaves the outstanding set.
+    EXPECT_FALSE(fleet.retryAttempt(req.reqId, 400).has_value());
+    EXPECT_EQ(fleet.stats().failed, 1u);
+    EXPECT_FALSE(fleet.isOutstanding(req.reqId));
+    EXPECT_EQ(fleet.stats().attempts, 3u);
+    EXPECT_EQ(fleet.stats().retries, 2u);
+}
+
+TEST(ClientFleet, AckOutcomesDriveTheLedger)
+{
+    FleetParams params;
+    params.mix.getFraction = 0.0;
+    params.mix.putFraction = 1.0;  // every request is a PUT
+    ClientFleet fleet(params);
+
+    const RpcRequest req = fleet.newRequest(10);
+    ASSERT_EQ(req.op, workload::KvOp::Put);
+    EXPECT_EQ(fleet.putKeyOf(req.reqId), req.key);
+
+    RpcResponse resp;
+    resp.reqId = req.reqId;
+    resp.status = RpcStatus::Rejected;
+    EXPECT_EQ(fleet.onResponse(resp, 20),
+              ClientFleet::AckOutcome::RetriableError);
+    EXPECT_TRUE(fleet.isOutstanding(req.reqId));
+
+    resp.status = RpcStatus::Ok;
+    resp.version = 4;
+    EXPECT_EQ(fleet.onResponse(resp, 30),
+              ClientFleet::AckOutcome::Completed);
+    ASSERT_EQ(fleet.ackedPuts().size(), 1u);
+    EXPECT_EQ(fleet.ackedPuts()[0].key, req.key);
+    EXPECT_EQ(fleet.ackedPuts()[0].version, 4u);
+    EXPECT_EQ(fleet.ackedPuts()[0].ackedAt, 30u);
+
+    // A late duplicate ack (the retry that also completed) counts
+    // but does not re-enter the ledger.
+    EXPECT_EQ(fleet.onResponse(resp, 40),
+              ClientFleet::AckOutcome::Duplicate);
+    EXPECT_EQ(fleet.stats().duplicateAcks, 1u);
+    EXPECT_EQ(fleet.ackedPuts().size(), 1u);
+}
+
+// --- AvailabilityRecorder ------------------------------------------
+
+TEST(Availability, StragglerAckDoesNotCloseAnOutage)
+{
+    AvailabilityRecorder rec(10 * tickMs);
+    rec.onSuccess(100, 50, 90);
+    rec.outageBegin(200);
+
+    // A frame already on the wire at the cut delivers afterwards,
+    // but it was *served* before the event: it must not count as
+    // recovery.
+    rec.onSuccess(210, 120, 150);
+    ASSERT_EQ(rec.outageRecords().size(), 1u);
+    EXPECT_FALSE(rec.outageRecords()[0].closed);
+    EXPECT_EQ(rec.outageRecords()[0].downtime(), maxTick);
+
+    rec.onSuccess(5000, 4000, 4900);
+    EXPECT_TRUE(rec.outageRecords()[0].closed);
+    EXPECT_EQ(rec.outageRecords()[0].firstSuccessAfter, 5000u);
+    EXPECT_EQ(rec.outageRecords()[0].lastSuccessBefore, 210u);
+}
+
+// --- runService end to end -----------------------------------------
+
+ServiceConfig
+tinyConfig(PersistMode mode, std::uint64_t seed)
+{
+    ServiceConfig cfg;
+    cfg.mode = mode;
+    cfg.runFor = 600 * tickMs;
+    cfg.drainGrace = 2500 * tickMs;
+    cfg.cuts = 1;
+    cfg.offDwell = 50 * tickMs;
+    cfg.fleet.clients = 300;
+    cfg.fleet.arrivalsPerSec = 1500.0;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(ServicePlane, SnGSmokeHoldsInvariants)
+{
+    const ServiceConfig cfg = tinyConfig(PersistMode::SnG, 11);
+    const ServiceResult r = runService(cfg);
+
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_EQ(r.lostAckedPuts, 0u);
+    EXPECT_EQ(r.duplicateApplied, 0u);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_GT(r.ackedPuts, 0u);
+
+    ASSERT_EQ(r.outages.size(), 1u);
+    EXPECT_LT(r.outages[0].downtime, maxTick);
+    EXPECT_FALSE(r.outages[0].coldBoot);
+    EXPECT_EQ(r.coldBoots, 0u);
+
+    // The NIC rings rode the DCB: an image per power cycle, and at
+    // least one queued frame resurrected (the cut lands under load).
+    EXPECT_EQ(r.contextImagesSaved, 1u);
+    EXPECT_EQ(r.contextImagesRestored, 1u);
+    EXPECT_GE(r.ringPreservedFrames, 1u);
+    EXPECT_EQ(r.ringFramesLost, 0u);
+
+    EXPECT_LE(r.maxQueueDepth, cfg.kv.queueCapacity);
+    EXPECT_LE(r.maxRxOccupancy, cfg.nic.ringEntries);
+    EXPECT_LE(r.maxTxOccupancy, cfg.nic.ringEntries);
+}
+
+TEST(ServicePlane, SnGBeatsColdRebootOnClientVisibleDowntime)
+{
+    const ServiceResult sng =
+        runService(tinyConfig(PersistMode::SnG, 13));
+    const ServiceResult syspc =
+        runService(tinyConfig(PersistMode::SysPc, 13));
+
+    EXPECT_TRUE(sng.violations.empty());
+    EXPECT_TRUE(syspc.violations.empty());
+    EXPECT_EQ(syspc.coldBoots, 1u);
+    ASSERT_EQ(sng.outages.size(), 1u);
+    ASSERT_EQ(syspc.outages.size(), 1u);
+    EXPECT_LT(sng.worstAttributable, syspc.worstAttributable);
+}
+
+TEST(ServicePlane, DeterministicUnderFixedSeed)
+{
+    const ServiceResult a = runService(tinyConfig(PersistMode::SnG, 17));
+    const ServiceResult b = runService(tinyConfig(PersistMode::SnG, 17));
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.ackedPuts, b.ackedPuts);
+    ASSERT_EQ(a.outages.size(), b.outages.size());
+    for (std::size_t i = 0; i < a.outages.size(); ++i)
+        EXPECT_EQ(a.outages[i].downtime, b.outages[i].downtime);
+
+    const ServiceResult c = runService(tinyConfig(PersistMode::SnG, 18));
+    EXPECT_NE(a.digest, c.digest);
+}
+
+} // namespace

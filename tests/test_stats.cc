@@ -237,6 +237,28 @@ TEST(TimeSeries, IntegrateIsAreaUnderCurve)
     EXPECT_DOUBLE_EQ(ts.integrate(), 60.0);
 }
 
+TEST(TimeSeries, LastTickTracksNewestSample)
+{
+    TimeSeries ts("goodput");
+    EXPECT_EQ(ts.lastTick(), 0u);
+    ts.record(5, 1.0);
+    ts.record(5, 2.0);  // equal ticks are allowed
+    ts.record(9, 3.0);
+    EXPECT_EQ(ts.lastTick(), 9u);
+    ts.clear();
+    EXPECT_EQ(ts.lastTick(), 0u);
+}
+
+TEST(TimeSeriesDeath, DecreasingTickPanics)
+{
+    TimeSeries ts("ipc");
+    ts.record(100, 1.0);
+    EXPECT_DEATH(ts.record(99, 2.0), "precedes");
+    // The guard fires before the sample lands.
+    EXPECT_EQ(ts.samples().size(), 1u);
+    EXPECT_EQ(ts.lastTick(), 100u);
+}
+
 TEST(TimeSeries, DownsampleBoundsPoints)
 {
     TimeSeries ts("ipc");
