@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Compound-failure campaign driver.
+ *
+ * Runs the seeded compound campaign — cut-during-Stop at every drain
+ * sub-phase, cut-during-Go with the double-resume idempotence proof,
+ * brownout aborts and capped-backoff baseline retries, and >= 3-cut
+ * Poisson storms against a single multi-epoch backing store — and
+ * asserts the extended durability invariant: every failure pattern
+ * converges onto the durable EP-cut or a cold boot, never a third
+ * outcome. Emits BENCH_compound.json.
+ *
+ *   bench_compound_fault [--trials N] [--seed S] [--out FILE]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hh"
+#include "fault/compound.hh"
+#include "stats/table.hh"
+
+using namespace lightpc;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--trials N] [--seed S] [--out FILE]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t trials = 500;
+    std::uint64_t seed = 2026;
+    std::string out = "BENCH_compound.json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                std::exit(usage(argv[0]));
+            return argv[++i];
+        };
+        if (arg == "--trials")
+            trials = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--seed")
+            seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--out")
+            out = value();
+        else
+            return usage(argv[0]);
+    }
+    if (trials == 0)
+        return usage(argv[0]);
+
+    bench::banner("Compound failures",
+                  "nested cuts, brownouts, storms, supervised recovery");
+    bench::paperRef("full system persistence must hold when the next"
+                    " outage lands inside the recovery from the last");
+
+    fault::CompoundConfig config;
+    config.trials = trials;
+    config.seed = seed;
+    const fault::CompoundResult r = fault::runCompoundCampaign(config);
+
+    stats::Table table({"psu", "trials", "resumes", "cold", "degraded",
+                        "retries", "torn_go", "aborts", "violations"});
+    table.addRow({r.psu, std::to_string(r.trials),
+                  std::to_string(r.resumes),
+                  std::to_string(r.coldBoots),
+                  std::to_string(r.degradedColdBoots),
+                  std::to_string(r.supervisorRetries),
+                  std::to_string(r.tornResumes),
+                  std::to_string(r.abortedStops),
+                  std::to_string(r.violations)});
+    table.print(std::cout);
+
+    std::cout << "\ncuts per Stop drain sub-phase:";
+    for (std::size_t p = 1; p < r.stopPhaseCuts.size(); ++p)
+        std::cout << " "
+                  << pecos::stopSubPhaseName(
+                         static_cast<pecos::StopSubPhase>(p))
+                  << "=" << r.stopPhaseCuts[p];
+    std::cout << "\ncuts per Go sub-phase:";
+    for (std::size_t p = 1; p < r.goPhaseCuts.size(); ++p)
+        std::cout << " "
+                  << pecos::goSubPhaseName(
+                         static_cast<pecos::GoSubPhase>(p))
+                  << "=" << r.goPhaseCuts[p];
+    std::cout << "\nstorms: " << r.stormTrials << " trials, "
+              << r.stormCutsTotal << " cuts, max epochs on one store "
+              << r.maxCutEpochs << ", stale writes rejected "
+              << r.staleWritesRejected << "\n";
+    for (const std::string &note : r.violationNotes)
+        std::cout << "  VIOLATION " << note << "\n";
+
+    // The acceptance matrix.
+    bench::check(r.violations == 0,
+                 "zero durability/SDC/convergence violations over "
+                     + std::to_string(r.trials) + " trials");
+    bench::check(r.trials >= 500 || trials < 500,
+                 "campaign ran the full default trial count");
+
+    using pecos::StopSubPhase;
+    bool all_stop = true;
+    for (std::size_t p = 1; p < r.stopPhaseCuts.size(); ++p)
+        all_stop = all_stop && r.stopPhaseCuts[p] > 0;
+    bench::check(all_stop,
+                 "cuts landed in every Stop drain sub-phase");
+
+    using pecos::GoSubPhase;
+    bench::check(r.goPhaseCount(GoSubPhase::DeviceRestore) > 0
+                     && r.goPhaseCount(GoSubPhase::ProcessThaw) > 0
+                     && r.goPhaseCount(GoSubPhase::Complete) > 0,
+                 "cuts landed mid context-restore, mid process-thaw,"
+                 " and post-convergence");
+    bench::check(r.tornResumes > 0,
+                 "torn resumes were produced and replayed");
+    bench::check(r.idempotenceChecks == r.goCutTrials,
+                 "every Go-cut trial ran the double-resume"
+                 " idempotence proof");
+
+    bench::check(r.abortedStops > 0
+                     && r.abortContinues == r.abortedStops,
+                 "brownout aborts resumed in place and survived the"
+                 " next persistence cycle");
+    bench::check(r.baselineRetries > 0 && r.baselineRecoveries > 0,
+                 "baseline dumps retried through the sag with capped"
+                 " backoff and recovered");
+
+    bench::check(r.stormTrials > 0 && r.stormCutsTotal
+                     >= 3 * r.stormTrials,
+                 "every storm carried at least three cuts");
+    bench::check(r.maxCutEpochs >= 3,
+                 "a single store survived >= 3 durability epochs");
+
+    // Determinism anchor: the same seed must reproduce the same
+    // campaign bit-for-bit.
+    const fault::CompoundResult again = fault::runCompoundCampaign(config);
+    bench::check(again.digest == r.digest,
+                 "campaign is deterministic under its seed");
+
+    std::FILE *f = std::fopen(out.c_str(), "w");
+    if (!f) {
+        std::perror(out.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"compound_fault\",\n");
+    std::fprintf(f, "  \"trials\": %llu,\n",
+                 static_cast<unsigned long long>(r.trials));
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"psu\": \"%s\",\n", r.psu.c_str());
+    std::fprintf(f, "  \"scenarios\": {\"stop_cut\": %llu,"
+                    " \"go_cut\": %llu, \"brownout\": %llu,"
+                    " \"storm\": %llu},\n",
+                 static_cast<unsigned long long>(r.stopCutTrials),
+                 static_cast<unsigned long long>(r.goCutTrials),
+                 static_cast<unsigned long long>(r.brownoutTrials),
+                 static_cast<unsigned long long>(r.stormTrials));
+    std::fprintf(f, "  \"stop_phase_cuts\": {");
+    for (std::size_t p = 1; p < r.stopPhaseCuts.size(); ++p)
+        std::fprintf(f, "%s\"%s\": %llu", p == 1 ? "" : ", ",
+                     pecos::stopSubPhaseName(
+                         static_cast<pecos::StopSubPhase>(p)),
+                     static_cast<unsigned long long>(
+                         r.stopPhaseCuts[p]));
+    std::fprintf(f, "},\n  \"go_phase_cuts\": {");
+    for (std::size_t p = 1; p < r.goPhaseCuts.size(); ++p)
+        std::fprintf(f, "%s\"%s\": %llu", p == 1 ? "" : ", ",
+                     pecos::goSubPhaseName(
+                         static_cast<pecos::GoSubPhase>(p)),
+                     static_cast<unsigned long long>(
+                         r.goPhaseCuts[p]));
+    std::fprintf(f, "},\n");
+    std::fprintf(f, "  \"resumes\": %llu,\n  \"cold_boots\": %llu,\n"
+                    "  \"degraded_cold_boots\": %llu,\n"
+                    "  \"supervisor_retries\": %llu,\n"
+                    "  \"livelocks\": %llu,\n",
+                 static_cast<unsigned long long>(r.resumes),
+                 static_cast<unsigned long long>(r.coldBoots),
+                 static_cast<unsigned long long>(r.degradedColdBoots),
+                 static_cast<unsigned long long>(r.supervisorRetries),
+                 static_cast<unsigned long long>(r.livelocks));
+    std::fprintf(f, "  \"aborted_stops\": %llu,\n"
+                    "  \"abort_continues\": %llu,\n"
+                    "  \"baseline_retries\": %llu,\n"
+                    "  \"baseline_recoveries\": %llu,\n",
+                 static_cast<unsigned long long>(r.abortedStops),
+                 static_cast<unsigned long long>(r.abortContinues),
+                 static_cast<unsigned long long>(r.baselineRetries),
+                 static_cast<unsigned long long>(r.baselineRecoveries));
+    std::fprintf(f, "  \"torn_resumes\": %llu,\n"
+                    "  \"idempotence_checks\": %llu,\n",
+                 static_cast<unsigned long long>(r.tornResumes),
+                 static_cast<unsigned long long>(r.idempotenceChecks));
+    std::fprintf(f, "  \"storm_cuts\": %llu,\n"
+                    "  \"max_cut_epochs\": %llu,\n"
+                    "  \"stale_writes_rejected\": %llu,\n",
+                 static_cast<unsigned long long>(r.stormCutsTotal),
+                 static_cast<unsigned long long>(r.maxCutEpochs),
+                 static_cast<unsigned long long>(
+                     r.staleWritesRejected));
+    std::fprintf(f, "  \"dropped_writes\": %llu,\n"
+                    "  \"torn_writes\": %llu,\n"
+                    "  \"violations\": %llu,\n",
+                 static_cast<unsigned long long>(r.droppedWrites),
+                 static_cast<unsigned long long>(r.tornWrites),
+                 static_cast<unsigned long long>(r.violations));
+    std::fprintf(f, "  \"digest\": \"0x%016llx\"\n}\n",
+                 static_cast<unsigned long long>(r.digest));
+    std::fclose(f);
+    std::cout << "\nwrote " << out << "\n";
+
+    return bench::result();
+}

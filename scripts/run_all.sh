@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Build everything, run the full test suite, regenerate every paper
-# figure, and refresh BENCH_kernel.json and BENCH_service.json (the
-# bench loop below runs bench_service_availability with its default
+# figure, and refresh BENCH_kernel.json, BENCH_service.json,
+# BENCH_fault.json, BENCH_ras.json and BENCH_compound.json (the bench
+# loop below runs bench_service_availability, fault_campaign_main,
+# ras_campaign_main and bench_compound_fault with their default
 # full-size arguments from the repo root), teeing the transcripts the
 # repository ships with (test_output.txt / bench_output.txt).
 #

@@ -1,0 +1,702 @@
+#include "fault/compound.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "fault/fault_injector.hh"
+#include "fault/power_rail.hh"
+#include "mem/timed_mem.hh"
+#include "persist/checkpoint.hh"
+#include "power/power_model.hh"
+#include "psm/psm.hh"
+#include "sim/logging.hh"
+
+namespace lightpc::fault
+{
+
+std::vector<Tick>
+CutStorm::poisson(Tick start, Tick mean_gap, std::size_t count)
+{
+    std::vector<Tick> cuts;
+    cuts.reserve(count);
+    Tick t = start;
+    for (std::size_t i = 0; i < count; ++i) {
+        // Exponential gap with the requested mean, at least one tick
+        // (two cuts can never share an instant).
+        const double u = rng.uniform();
+        const double gap =
+            -static_cast<double>(mean_gap) * std::log(1.0 - u);
+        t += std::max<Tick>(1, static_cast<Tick>(gap));
+        cuts.push_back(t);
+    }
+    return cuts;
+}
+
+Tick
+CutStorm::uniformIn(Tick lo, Tick hi)
+{
+    return hi > lo ? lo + rng.below(hi - lo) : lo;
+}
+
+SupervisorOutcome
+RecoverySupervisor::supervise(Tick when, const std::vector<Tick> &cuts,
+                              Rng &rng)
+{
+    if (pmem.powerCutArmed())
+        fatal("RecoverySupervisor needs the store disarmed at entry");
+
+    SupervisorOutcome out;
+    Tick t = when;
+    std::size_t ci = 0;
+    Tick backoff = cfg.retryBackoff;
+
+    while (true) {
+        ++out.attempts;
+
+        // Cuts in the past fell while the machine was already down;
+        // the outage absorbed them.
+        while (ci < cuts.size() && cuts[ci] <= t)
+            ++ci;
+        const Tick external = ci < cuts.size() ? cuts[ci] : maxTick;
+
+        // The watchdog reset *is* a power cut at the deadline tick:
+        // a hung Go cannot land its commit-clear past it, exactly as
+        // if the rails had fallen.
+        const Tick watchdog = cfg.resumeDeadline == maxTick
+            ? maxTick : t + cfg.resumeDeadline;
+        const Tick arm = std::min(external, watchdog);
+        if (arm != maxTick)
+            pmem.armPowerCut(arm, rng.next());
+
+        const pecos::GoReport go = sng.resume(t);
+
+        const bool interrupted = go.interrupted;
+        if (arm != maxTick) {
+            out.staleWritesSeen += pmem.cutStats().staleWrites;
+            // The armed instant only becomes an epoch floor if the
+            // machine actually reached it; a resume that converged
+            // first means the cut never fired (AC back, watchdog
+            // fed) and the floor must not move into the future.
+            if (arm <= go.done)
+                pmem.disarmPowerCut();
+            else
+                pmem.cancelPowerCut();
+        }
+
+        if (go.coldBoot) {
+            // Nothing durable to replay: the machine converges cold.
+            out.converged = true;
+            out.coldBoot = true;
+            out.convergedAt = go.done;
+            return out;
+        }
+        if (!interrupted) {
+            // The commit-clear landed: converged.
+            out.converged = true;
+            out.convergedAt = go.done;
+            return out;
+        }
+
+        // This attempt died — to the external cut, or to the
+        // watchdog declaring a livelock. Either way the volatile
+        // side is gone and the durable EP-cut is still intact.
+        if (watchdog <= external) {
+            ++out.livelocks;
+        } else {
+            ++out.cutsConsumed;
+            ++ci;
+        }
+        kern.scramble(rng);
+
+        if (out.attempts >= cfg.maxAttempts) {
+            // K resumes have failed against this image. Escalate:
+            // invalidate it and boot cold — degraded, but the
+            // machine converges instead of thrashing forever.
+            const Tick boot_at = arm + backoff;
+            sng.invalidateCommit(boot_at);
+            const pecos::GoReport cold = sng.resume(boot_at);
+            out.converged = true;
+            out.coldBoot = true;
+            out.degradedColdBoot = true;
+            out.convergedAt = cold.done;
+            return out;
+        }
+
+        t = arm + backoff;
+        backoff = std::min(backoff * 2, cfg.backoffCap);
+    }
+}
+
+std::uint64_t
+machineStateDigest(const kernel::Kernel &kern,
+                   const mem::BackingStore &pmem)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+
+    const kernel::SystemSnapshot snap = kern.snapshot();
+    for (const auto &entry : snap.entries) {
+        mix(entry.pid);
+        mix(static_cast<std::uint64_t>(entry.state));
+        for (const std::uint64_t x : entry.regs.x)
+            mix(x);
+        mix(entry.regs.pc);
+        mix(entry.regs.sp);
+        mix(entry.regs.satp);
+    }
+    for (const std::uint64_t cookie : snap.deviceCookies)
+        mix(cookie);
+    mix(pmem.contentDigest());
+    return h;
+}
+
+namespace
+{
+
+/** A MemoryPort view over the PSM (TimedMem plumbing). */
+class PsmMemPort : public mem::MemoryPort
+{
+  public:
+    explicit PsmMemPort(psm::Psm &psm) : psm(psm) {}
+
+    mem::AccessResult
+    access(const mem::MemRequest &req, Tick when) override
+    {
+        return psm.access(req, when);
+    }
+
+    Tick fence(Tick when) override { return psm.flush(when); }
+
+  private:
+    psm::Psm &psm;
+};
+
+/** One fresh SnG platform (identical construction every trial). */
+struct SngRig
+{
+    kernel::Kernel kern;
+    psm::Psm psm;
+    mem::BackingStore store;
+    pecos::Sng sng{kern, psm, store, {}};
+};
+
+/** The image-baseline fabric for brownout retry trials. */
+struct ImageRig
+{
+    mem::BackingStore store;
+    psm::Psm psm;
+    PsmMemPort port{psm};
+    mem::TimedMem pmem{port, &store};
+};
+
+void
+flagViolation(CompoundResult &result, const std::string &note)
+{
+    ++result.violations;
+    if (result.violationNotes.size() < 8)
+        result.violationNotes.push_back(note);
+}
+
+/** Register/cookie round-trip check against a pre-stop snapshot. */
+bool
+stateRoundTrips(const kernel::SystemSnapshot &before,
+                const kernel::SystemSnapshot &after)
+{
+    if (after.entries.size() != before.entries.size()
+        || after.deviceCookies != before.deviceCookies)
+        return false;
+    for (std::size_t p = 0; p < after.entries.size(); ++p) {
+        if (after.entries[p].pid != before.entries[p].pid
+            || !(after.entries[p].regs == before.entries[p].regs))
+            return false;
+    }
+    return true;
+}
+
+double
+busyWatts(const power::PowerModel &model, std::uint32_t cores,
+          std::uint32_t pram_dimms)
+{
+    power::ActivitySample sample;
+    sample.coresActive = cores;
+    sample.coresIdle = 0;
+    sample.coreUtilization = 1.0;
+    sample.pramDimms = pram_dimms;
+    return model.staticWattsOf(sample);
+}
+
+} // namespace
+
+CompoundResult
+runCompoundCampaign(const CompoundConfig &config)
+{
+    using pecos::GoSubPhase;
+    using pecos::StopSubPhase;
+
+    CompoundResult result;
+    result.psu = config.psu.spec().name;
+
+    Rng rng(config.seed ^ 0x636f6d70ULL);  // "comp"
+    CutStorm storm(config.seed * 0x9e3779b97f4a7c15ULL + 1);
+
+    // Dry runs: the Stop and Go timelines (construction is
+    // deterministic, so every trial replays these boundaries until a
+    // cut diverges it).
+    pecos::StopReport dryStop;
+    pecos::GoReport dryGo;
+    std::uint32_t cores = 0;
+    std::uint32_t dimms = 0;
+    {
+        SngRig rig;
+        dryStop = rig.sng.stop(0);
+        dryGo = rig.sng.resume(dryStop.offlineDone + 100 * tickMs);
+        cores = rig.kern.cores();
+        dimms = rig.psm.params().dimms;
+    }
+    const Tick goWindow = dryGo.done - dryGo.start;
+
+    const power::PowerModel power_model;
+    const double watts = busyWatts(power_model, cores, dimms);
+    const Tick holdup = config.psu.holdupTime(watts);
+
+    for (std::uint64_t i = 0; i < config.trials; ++i) {
+        const int scenario = static_cast<int>(i % 4);
+
+        if (scenario == 0) {
+            // ---- Cut-during-Stop, one drain sub-phase per trial —
+            // rotating so every sub-phase is hit, then supervised
+            // recovery.
+            ++result.stopCutTrials;
+
+            struct Window { Tick lo, hi; };
+            const Window windows[7] = {
+                {0, dryStop.processStopDone},
+                {dryStop.processStopDone, dryStop.ctxSaveDone},
+                {dryStop.ctxSaveDone, dryStop.deviceStopDone},
+                {dryStop.deviceStopDone, dryStop.workerOfflineDone},
+                {dryStop.workerOfflineDone, dryStop.commitStart},
+                {dryStop.commitStart, dryStop.commitAt},
+                {dryStop.commitAt + 1,
+                 dryStop.commitAt + dryStop.offlineDone / 8},
+            };
+            const Window &w = windows[(i / 4) % 7];
+            const Tick cut = storm.uniformIn(w.lo, w.hi);
+
+            SngRig rig;
+            const kernel::SystemSnapshot before = rig.kern.snapshot();
+            rig.store.armPowerCut(cut, rng.next());
+
+            const pecos::StopReport stop = rig.sng.stop(0);
+            ++result.stopPhaseCuts[static_cast<std::size_t>(
+                stop.cutSubPhase)];
+            result.droppedWrites += stop.writesDropped;
+            result.tornWrites += stop.writesTorn;
+
+            const bool expect = stop.commitAt < cut;
+            rig.kern.scramble(rng);
+            rig.store.disarmPowerCut();
+            if (rig.sng.hasCommit() != expect) {
+                std::ostringstream note;
+                note << "stop-cut@" << cut << " ("
+                     << pecos::stopSubPhaseName(stop.cutSubPhase)
+                     << "): commit durable=" << rig.sng.hasCommit()
+                     << " expected=" << expect;
+                flagViolation(result, note.str());
+            }
+
+            RecoverySupervisor sup(rig.sng, rig.kern, rig.store,
+                                   config.supervisor);
+            const SupervisorOutcome out =
+                sup.supervise(cut + 100 * tickMs, {}, rng);
+            result.supervisorRetries += out.attempts - 1;
+            result.livelocks += out.livelocks;
+            if (!out.converged) {
+                flagViolation(result, "stop-cut: supervisor failed "
+                                      "to converge");
+            } else if (out.coldBoot == expect
+                       && !out.degradedColdBoot) {
+                std::ostringstream note;
+                note << "stop-cut@" << cut << ": coldBoot="
+                     << out.coldBoot << " but commit durable="
+                     << expect;
+                flagViolation(result, note.str());
+            }
+            if (!out.coldBoot) {
+                if (!stateRoundTrips(before, rig.kern.snapshot()))
+                    flagViolation(result,
+                                  "stop-cut: resumed with corrupt "
+                                  "register state");
+                ++result.resumes;
+            } else {
+                ++result.coldBoots;
+            }
+        } else if (scenario == 1) {
+            // ---- Cut-during-Go: a clean EP-cut, then the cut lands
+            // inside the resume. A torn resume must leave the commit
+            // valid, and replaying it must be byte-identical to an
+            // uninterrupted resume of the same image.
+            ++result.goCutTrials;
+
+            // The uninterrupted reference machine.
+            SngRig ref;
+            ref.sng.stop(0);
+            const Tick resume_at = dryStop.offlineDone + 100 * tickMs;
+            ref.kern.scramble(rng);
+            ref.sng.resume(resume_at);
+            const std::uint64_t ref_digest =
+                machineStateDigest(ref.kern, ref.store);
+
+            SngRig rig;
+            rig.sng.stop(0);
+            rig.kern.scramble(rng);
+
+            // Rotate the cut across the Go sub-phase windows (the
+            // dry-run boundaries are exact: the trial resumes at the
+            // same tick the dry run did).
+            struct Window { Tick lo, hi; };
+            const Window windows[6] = {
+                {dryGo.start, dryGo.bcbRestored},
+                {dryGo.bcbRestored, dryGo.coresUp},
+                {dryGo.coresUp, dryGo.devicesResumed},
+                {dryGo.devicesResumed, dryGo.thawDone},
+                {dryGo.thawDone, dryGo.done + 1},
+                {dryGo.done + 1, dryGo.done + 1 + goWindow / 8},
+            };
+            const Window &w = windows[(i / 4) % 6];
+            const Tick cut = storm.uniformIn(w.lo, w.hi);
+            rig.store.armPowerCut(cut, rng.next());
+            const pecos::GoReport go1 = rig.sng.resume(resume_at);
+            ++result.goPhaseCuts[static_cast<std::size_t>(
+                go1.cutSubPhase)];
+            result.droppedWrites += rig.store.cutStats().droppedWrites;
+            result.tornWrites += rig.store.cutStats().tornWrites;
+            result.staleWritesRejected +=
+                rig.store.cutStats().staleWrites;
+            rig.store.disarmPowerCut();
+
+            if (go1.interrupted) {
+                ++result.tornResumes;
+                if (!rig.sng.hasCommit()) {
+                    flagViolation(result, "go-cut: torn resume lost "
+                                          "the durable EP-cut");
+                }
+                // The machine died mid-Go; replay from the image.
+                rig.kern.scramble(rng);
+                const pecos::GoReport go2 =
+                    rig.sng.resume(go1.cutTick + 100 * tickMs);
+                if (go2.coldBoot || go2.interrupted)
+                    flagViolation(result, "go-cut: resume replay "
+                                          "failed to converge");
+            } else if (rig.sng.hasCommit()) {
+                flagViolation(result, "go-cut: converged resume left "
+                                      "the commit set");
+            }
+            ++result.resumes;
+
+            // The idempotence proof: torn-and-replayed or not, the
+            // machine must equal the once-resumed reference.
+            ++result.idempotenceChecks;
+            if (machineStateDigest(rig.kern, rig.store)
+                != ref_digest) {
+                std::ostringstream note;
+                note << "go-cut@" << cut << " ("
+                     << pecos::goSubPhaseName(go1.cutSubPhase)
+                     << "): replayed resume diverged from the "
+                        "reference machine";
+                flagViolation(result, note.str());
+            }
+        } else if (scenario == 2) {
+            // ---- Brownout: a mains sag that may or may not reach
+            // the hold-up floor.
+            ++result.brownoutTrials;
+
+            const double supply = 0.7 * rng.uniform();
+            const double depth = 1.0 - supply;
+            const Tick floor = static_cast<Tick>(
+                static_cast<double>(holdup) / depth);
+            const Tick dur = static_cast<Tick>(
+                (0.3 + 1.3 * rng.uniform())
+                * static_cast<double>(floor));
+
+            PowerRail rail(config.psu, watts);
+            rail.addSag(0, dur, supply);
+            const SagOutcome sag = rail.evaluateSags();
+
+            if (sag.railsFailed) {
+                // Deep sag: a real cut at the drained tick, racing
+                // the Stop that the power event started.
+                SngRig rig;
+                const kernel::SystemSnapshot before =
+                    rig.kern.snapshot();
+                rig.store.armPowerCut(sag.failTick, rng.next());
+                const pecos::StopReport stop = rig.sng.stop(0);
+                ++result.stopPhaseCuts[static_cast<std::size_t>(
+                    stop.cutSubPhase)];
+                result.droppedWrites += stop.writesDropped;
+                result.tornWrites += stop.writesTorn;
+                const bool expect = stop.commitAt < sag.failTick;
+                rig.kern.scramble(rng);
+                rig.store.disarmPowerCut();
+                RecoverySupervisor sup(rig.sng, rig.kern, rig.store,
+                                       config.supervisor);
+                const SupervisorOutcome out = sup.supervise(
+                    sag.failTick + 100 * tickMs, {}, rng);
+                if (out.coldBoot == expect)
+                    flagViolation(result,
+                                  "brownout-cut: recovery disagrees "
+                                  "with commit durability");
+                if (!out.coldBoot) {
+                    if (!stateRoundTrips(before, rig.kern.snapshot()))
+                        flagViolation(result,
+                                      "brownout-cut: corrupt resume");
+                    ++result.resumes;
+                } else {
+                    ++result.coldBoots;
+                }
+            } else if (i % 8 == 2) {
+                // Shallow sag, SnG: the Stop ran to completion on
+                // capacitor reserve, then AC recovered — abort in
+                // place, no reboot, and keep running.
+                SngRig rig;
+                const kernel::SystemSnapshot before =
+                    rig.kern.snapshot();
+                const pecos::StopReport stop = rig.sng.stop(0);
+                const Tick abort_at =
+                    std::max(sag.recoveredAt, stop.offlineDone) + 1;
+                const pecos::AbortReport abort =
+                    rig.sng.abortStop(abort_at);
+                ++result.abortedStops;
+
+                if (!abort.commitCleared || rig.sng.hasCommit())
+                    flagViolation(result,
+                                  "brownout-abort: stale EP-cut "
+                                  "survived the abort");
+                if (rig.kern.devices().suspendedCount() != 0
+                    || abort.devicesRevived != stop.devicesSuspended)
+                    flagViolation(result,
+                                  "brownout-abort: devices left "
+                                  "suspended");
+                if (abort.tasksUnparked != stop.tasksParked)
+                    flagViolation(result,
+                                  "brownout-abort: parked tasks "
+                                  "left frozen");
+                if (!stateRoundTrips(before, rig.kern.snapshot()))
+                    flagViolation(result,
+                                  "brownout-abort: register state "
+                                  "changed across the abort");
+
+                // ...and continue: the aborted machine must still
+                // persist correctly through a later real cycle.
+                const kernel::SystemSnapshot mid =
+                    rig.kern.snapshot();
+                const pecos::StopReport stop2 =
+                    rig.sng.stop(abort.done + 50 * tickMs);
+                rig.kern.scramble(rng);
+                const pecos::GoReport go = rig.sng.resume(
+                    stop2.offlineDone + 100 * tickMs);
+                if (go.coldBoot
+                    || !stateRoundTrips(mid, rig.kern.snapshot())) {
+                    flagViolation(result,
+                                  "brownout-abort: post-abort cycle "
+                                  "failed to round-trip");
+                } else {
+                    ++result.abortContinues;
+                    ++result.resumes;
+                }
+            } else {
+                // Shallow sag, image baseline: each dump attempt
+                // during the sag dies to the drained reserve; the
+                // service retries with capped exponential backoff
+                // until AC is stable.
+                ImageRig rig;
+                persist::SysPc syspc(rig.pmem);
+                FaultInjector injector(rig.store);
+
+                constexpr std::uint64_t image_bytes = 2 << 20;
+                const std::uint32_t failures =
+                    1 + static_cast<std::uint32_t>(rng.below(3));
+                Tick t = 0;
+                Tick backoff = config.supervisor.retryBackoff;
+                std::uint32_t attempt = 0;
+                for (;;) {
+                    ++attempt;
+                    if (attempt <= failures) {
+                        const Tick cut =
+                            t + tickMs + rng.below(tickMs);
+                        injector.armCut(cut, rng.next());
+                        syspc.dumpImageCommitted(t, image_bytes,
+                                                 rng.next());
+                        injector.powerRestored();
+                        if (syspc.committedImage().seq != 0) {
+                            flagViolation(result,
+                                          "brownout-baseline: dump "
+                                          "committed past the cut");
+                        }
+                        ++result.baselineRetries;
+                        t = cut + backoff;
+                        backoff =
+                            std::min(backoff * 2,
+                                     config.supervisor.backoffCap);
+                    } else {
+                        // AC stable: this dump must land.
+                        syspc.dumpImageCommitted(t, image_bytes,
+                                                 rng.next());
+                        const auto rec = syspc.committedImage();
+                        if (rec.seq != attempt
+                            || !syspc.committedImageIntact(rec)) {
+                            flagViolation(result,
+                                          "brownout-baseline: "
+                                          "post-sag dump did not "
+                                          "commit intact");
+                        } else {
+                            ++result.baselineRecoveries;
+                        }
+                        break;
+                    }
+                }
+            }
+        } else {
+            // ---- Poisson cut storm against ONE store: every cut
+            // opens a new durability epoch; bytes dropped by an
+            // earlier cut must never resurface under a later one.
+            ++result.stormTrials;
+
+            SngRig rig;
+            const std::size_t n_cuts = 3
+                + static_cast<std::size_t>(
+                      rng.below(config.stormExtraCuts + 1));
+            const Tick mean_gap = static_cast<Tick>(
+                config.stormGapFraction
+                * static_cast<double>(holdup));
+            const std::vector<Tick> schedule = storm.poisson(
+                storm.uniformIn(0, dryStop.offlineDone), mean_gap,
+                n_cuts);
+            result.stormCutsTotal += schedule.size();
+
+            Tick t = 0;
+            std::size_t idx = 0;
+            while (idx < schedule.size()) {
+                const Tick cut = schedule[idx];
+                if (cut <= t) {
+                    // This cut fell while the machine was down or
+                    // recovering; the outage absorbed it.
+                    ++idx;
+                    continue;
+                }
+                const kernel::SystemSnapshot before =
+                    rig.kern.snapshot();
+                rig.store.armPowerCut(cut, rng.next());
+                const pecos::StopReport stop = rig.sng.stop(t);
+                ++result.stopPhaseCuts[static_cast<std::size_t>(
+                    stop.cutSubPhase)];
+                result.droppedWrites += stop.writesDropped;
+                result.tornWrites += stop.writesTorn;
+                result.staleWritesRejected +=
+                    rig.store.cutStats().staleWrites;
+
+                const bool expect = stop.commitAt < cut;
+                rig.kern.scramble(rng);
+                rig.store.disarmPowerCut();
+                if (rig.sng.hasCommit() != expect) {
+                    std::ostringstream note;
+                    note << "storm cut#" << idx << "@" << cut
+                         << ": commit durable=" << rig.sng.hasCommit()
+                         << " expected=" << expect;
+                    flagViolation(result, note.str());
+                }
+                ++idx;
+
+                // Restore inside the storm: the next cuts are live
+                // and can land mid-Go; the supervisor replays until
+                // it converges past them.
+                const std::vector<Tick> remaining(
+                    schedule.begin()
+                        + static_cast<std::ptrdiff_t>(idx),
+                    schedule.end());
+                RecoverySupervisor sup(rig.sng, rig.kern, rig.store,
+                                       config.supervisor);
+                const SupervisorOutcome out = sup.supervise(
+                    cut + mean_gap / 4, remaining, rng);
+                result.supervisorRetries += out.attempts - 1;
+                result.livelocks += out.livelocks;
+                result.staleWritesRejected += out.staleWritesSeen;
+                result.tornResumes += out.cutsConsumed;
+                if (out.degradedColdBoot)
+                    ++result.degradedColdBoots;
+
+                if (!out.converged) {
+                    flagViolation(result, "storm: supervisor failed "
+                                          "to converge");
+                } else if (expect && !out.coldBoot) {
+                    if (!stateRoundTrips(before,
+                                         rig.kern.snapshot()))
+                        flagViolation(result,
+                                      "storm: corrupt resume state");
+                    ++result.resumes;
+                } else if (expect && out.coldBoot
+                           && !out.degradedColdBoot) {
+                    flagViolation(result,
+                                  "storm: durable commit but "
+                                  "converged cold");
+                } else if (!expect && !out.coldBoot) {
+                    flagViolation(result,
+                                  "storm: no durable commit but "
+                                  "warm resume");
+                } else {
+                    ++result.coldBoots;
+                }
+
+                idx += out.cutsConsumed;
+                t = out.convergedAt + mean_gap / 2;
+            }
+            result.maxCutEpochs = std::max<std::uint64_t>(
+                result.maxCutEpochs, rig.store.cutEpoch());
+        }
+        ++result.trials;
+    }
+
+    // Determinism anchor over every counter.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    mix(result.trials);
+    mix(result.stopCutTrials);
+    mix(result.goCutTrials);
+    mix(result.brownoutTrials);
+    mix(result.stormTrials);
+    for (const std::uint64_t c : result.stopPhaseCuts)
+        mix(c);
+    for (const std::uint64_t c : result.goPhaseCuts)
+        mix(c);
+    mix(result.resumes);
+    mix(result.coldBoots);
+    mix(result.degradedColdBoots);
+    mix(result.supervisorRetries);
+    mix(result.livelocks);
+    mix(result.abortedStops);
+    mix(result.abortContinues);
+    mix(result.baselineRetries);
+    mix(result.baselineRecoveries);
+    mix(result.tornResumes);
+    mix(result.idempotenceChecks);
+    mix(result.stormCutsTotal);
+    mix(result.maxCutEpochs);
+    mix(result.staleWritesRejected);
+    mix(result.droppedWrites);
+    mix(result.tornWrites);
+    mix(result.violations);
+    result.digest = h;
+    return result;
+}
+
+} // namespace lightpc::fault

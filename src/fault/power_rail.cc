@@ -89,4 +89,71 @@ PowerRail::failTick(Tick ac_loss) const
     return t;
 }
 
+void
+PowerRail::addSag(Tick at, Tick duration, double supply_fraction)
+{
+    if (!_sags.empty()
+        && at < _sags.back().at + _sags.back().duration)
+        fatal("sags must be added in order and must not overlap");
+    if (supply_fraction < 0.0 || supply_fraction > 1.0)
+        fatal("sag supply fraction must be within [0, 1]");
+    _sags.push_back({at, duration, supply_fraction});
+}
+
+SagOutcome
+PowerRail::evaluateSags() const
+{
+    const double full = _psu.spec().storedJoules;
+    const double recharge = _psu.spec().rechargeWatts;
+
+    SagOutcome out;
+    out.minJoules = full;
+
+    double joules = full;
+    Tick prev_end = 0;
+    for (const SagEvent &sag : _sags) {
+        // AC is nominal between sags: refill, capped at the reserve.
+        if (sag.at > prev_end && recharge > 0.0)
+            joules = std::min(
+                full,
+                joules + recharge * ticksToSec(sag.at - prev_end));
+
+        // Drain through the sag, segmented by the load profile.
+        const Tick sag_end = sag.at + sag.duration;
+        Tick t = sag.at;
+        for (std::size_t i = 0; i < steps.size() && t < sag_end;
+             ++i) {
+            const Tick seg_end = std::min(
+                sag_end,
+                i + 1 < steps.size() ? steps[i + 1].at : maxTick);
+            if (seg_end <= t)
+                continue;
+
+            const double drain =
+                steps[i].watts * (1.0 - sag.supplyFraction);
+            if (drain <= 0.0) {
+                t = seg_end;
+                continue;
+            }
+
+            const double ticks_left =
+                (joules / drain) * static_cast<double>(tickSec);
+            const double seg_ticks = static_cast<double>(seg_end - t);
+            if (ticks_left < seg_ticks) {
+                out.railsFailed = true;
+                out.failTick = t + static_cast<Tick>(ticks_left);
+                out.minJoules = 0.0;
+                return out;
+            }
+            joules -= drain * ticksToSec(seg_end - t);
+            t = seg_end;
+        }
+
+        out.minJoules = std::min(out.minJoules, joules);
+        prev_end = sag_end;
+    }
+    out.recoveredAt = prev_end;
+    return out;
+}
+
 } // namespace lightpc::fault

@@ -31,6 +31,28 @@ struct LoadStep
 };
 
 /**
+ * One mains sag (brownout): for [at, at + duration) the input stage
+ * only covers @p supplyFraction of the platform load, and the bulk
+ * capacitors make up the difference. 0.0 is a full outage, 1.0 no
+ * sag at all.
+ */
+struct SagEvent
+{
+    Tick at = 0;
+    Tick duration = 0;
+    double supplyFraction = 0.0;
+};
+
+/** What a sequence of sags did to the reserve. */
+struct SagOutcome
+{
+    bool railsFailed = false;  ///< reserve hit zero inside a sag
+    Tick failTick = maxTick;   ///< the tick it hit zero
+    Tick recoveredAt = 0;      ///< end of the last sag when survived
+    double minJoules = 0.0;    ///< reserve low-water mark
+};
+
+/**
  * Integrates the platform load against the PSU's bulk-capacitor
  * energy after AC loss.
  */
@@ -77,9 +99,32 @@ class PowerRail
 
     const power::PsuModel &psu() const { return _psu; }
 
+    // --- brownout (partial sag) model -----------------------------
+
+    /**
+     * Append a mains sag. Sags must be added in increasing @p at
+     * order and must not overlap.
+     */
+    void addSag(Tick at, Tick duration, double supply_fraction);
+
+    const std::vector<SagEvent> &sags() const { return _sags; }
+
+    /**
+     * Run the reserve through every registered sag. During a sag the
+     * capacitors drain at load * (1 - supplyFraction); between sags
+     * the AC input recharges them at the PSU's rechargeWatts, capped
+     * at the full reserve. The rails fail the instant the reserve
+     * reaches zero *strictly inside* a sag — a sag whose duration is
+     * exactly the hold-up floor is the boundary case that just
+     * barely survives (the supply returns the same instant the
+     * reserve empties).
+     */
+    SagOutcome evaluateSags() const;
+
   private:
     power::PsuModel _psu;
     std::vector<LoadStep> steps;
+    std::vector<SagEvent> _sags;
 };
 
 } // namespace lightpc::fault

@@ -49,6 +49,15 @@ DeviceManager::allSuspended() const
     return true;
 }
 
+std::size_t
+DeviceManager::suspendedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &dev : dpmList)
+        n += dev->suspended() ? 1 : 0;
+    return n;
+}
+
 namespace
 {
 

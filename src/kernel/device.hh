@@ -108,7 +108,22 @@ class Device
     std::uint64_t mmioBytes() const { return _mmioBytes; }
 
     bool suspended() const { return _suspended; }
-    void setSuspended(bool v) { _suspended = v; }
+
+    void
+    setSuspended(bool v)
+    {
+        if (v && !_suspended)
+            ++_suspendCycles;
+        else if (!v && _suspended)
+            ++_resumeCycles;
+        _suspended = v;
+    }
+
+    /** Live->suspended transitions over the device's lifetime. */
+    std::uint64_t suspendCycles() const { return _suspendCycles; }
+
+    /** Suspended->live transitions (Go revivals + aborted stops). */
+    std::uint64_t resumeCycles() const { return _resumeCycles; }
 
     /**
      * A context cookie, scrambled while the device is live and
@@ -140,6 +155,8 @@ class Device
     std::uint64_t _contextBytes;
     std::uint64_t _mmioBytes;
     bool _suspended = false;
+    std::uint64_t _suspendCycles = 0;
+    std::uint64_t _resumeCycles = 0;
     std::uint64_t cookie = 0;
     DeviceContext *_context = nullptr;
 };
@@ -174,6 +191,9 @@ class DeviceManager
 
     /** True when every device is suspended. */
     bool allSuspended() const;
+
+    /** How many devices are currently suspended. */
+    std::size_t suspendedCount() const;
 
     /**
      * The prototype's default driver population ("all default device

@@ -72,6 +72,7 @@ BackingStore::armPowerCut(Tick cut_tick, std::uint64_t torn_seed)
 {
     cutArmed = true;
     _cutTick = cut_tick;
+    ++_cutEpoch;
     tornRng = Rng(torn_seed);
     _cutStats = DurabilityCutStats{};
 }
@@ -88,6 +89,16 @@ BackingStore::writeTimed(Tick start, Tick end, Addr addr,
         return;
     if (end < start)
         end = start;
+
+    // A write whose service interval began before a previously fired
+    // cut belongs to a dead epoch: the machine it was issued on lost
+    // power mid-flight. Replaying it under a newer armed cut must not
+    // resurrect the dropped suffix.
+    if (_epochFloor > 0 && start < _epochFloor) {
+        ++_cutStats.staleWrites;
+        _cutStats.staleBytes += len;
+        return;
+    }
 
     // An aligned store instruction is atomic: never torn.
     if (len <= 8) {
@@ -170,6 +181,46 @@ BackingStore::clear(Addr addr, std::uint64_t len)
         addr += chunk;
         len -= chunk;
     }
+}
+
+std::uint64_t
+BackingStore::contentDigest() const
+{
+    std::vector<Addr> ids;
+    ids.reserve(pages.size());
+    for (const auto &[id, page] : pages) {
+        const bool zero =
+            std::all_of(page->begin(), page->end(),
+                        [](std::uint8_t b) { return b == 0; });
+        if (!zero)
+            ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    };
+    for (const Addr id : ids) {
+        mix(id);
+        const Page &page = *findPage(id);
+        for (const std::uint8_t b : page) {
+            h ^= b;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+void
+BackingStore::copyContentsFrom(const BackingStore &other)
+{
+    pages.clear();
+    for (const auto &[id, page] : other.pages)
+        pages[id] = std::make_unique<Page>(*page);
 }
 
 bool

@@ -23,6 +23,7 @@
 #ifndef LIGHTPC_MEM_BACKING_STORE_HH
 #define LIGHTPC_MEM_BACKING_STORE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <cstring>
@@ -44,8 +45,10 @@ struct DurabilityCutStats
     std::uint64_t durableWrites = 0;  ///< fully landed before the cut
     std::uint64_t droppedWrites = 0;  ///< entirely after the cut
     std::uint64_t tornWrites = 0;     ///< straddled the cut
+    std::uint64_t staleWrites = 0;    ///< started before a past epoch
     std::uint64_t durableBytes = 0;
     std::uint64_t droppedBytes = 0;
+    std::uint64_t staleBytes = 0;
     Addr lastTornLine = 0;            ///< line address of the last tear
     std::uint64_t lastTornBytes = 0;  ///< bytes of it that landed
 };
@@ -111,20 +114,58 @@ class BackingStore
     /** Deep equality against another store (crash/recovery checks). */
     bool equals(const BackingStore &other) const;
 
+    /**
+     * Order-independent FNV-1a digest of all non-zero contents
+     * (pages visited in sorted id order; all-zero pages skipped, so
+     * materialization history does not perturb the digest).
+     */
+    std::uint64_t contentDigest() const;
+
+    /** Become a deep copy of @p other's contents (cursor state is
+     *  not copied — the clone starts disarmed). */
+    void copyContentsFrom(const BackingStore &other);
+
     // --- power-cut durability cursor ------------------------------
 
     /**
      * Arm a power cut: writes completing at or after @p cut_tick are
      * not durable. @p torn_seed drives the torn-line RNG. Resets the
-     * cut statistics.
+     * cut statistics and opens a new cut epoch.
      */
     void armPowerCut(Tick cut_tick, std::uint64_t torn_seed);
 
-    /** Power restored: subsequent writes are durable again. */
-    void disarmPowerCut() { cutArmed = false; }
+    /**
+     * Power restored: subsequent writes are durable again. The cut
+     * tick that just fired becomes the epoch floor — a later, re-armed
+     * cut must never let a write whose service interval began before
+     * this instant land, or bytes dropped by the first cut would be
+     * resurrected by replaying the same timed interval under the
+     * second (the single-epoch bug compound campaigns tripped over).
+     */
+    void
+    disarmPowerCut()
+    {
+        cutArmed = false;
+        _epochFloor = std::max(_epochFloor, _cutTick);
+    }
+
+    /**
+     * Cancel an armed cut that never fired — AC recovered, or a
+     * watchdog deadline was disarmed, before the machine reached the
+     * cut tick. No outage happened at that instant, so the epoch
+     * floor must NOT advance to it: writes issued by the continuing
+     * execution legitimately begin before the (hypothetical) cut.
+     */
+    void cancelPowerCut() { cutArmed = false; }
 
     bool powerCutArmed() const { return cutArmed; }
     Tick powerCutTick() const { return _cutTick; }
+
+    /** Cut epochs opened so far (armPowerCut() calls). */
+    std::uint64_t cutEpoch() const { return _cutEpoch; }
+
+    /** Writes may not begin before this tick (last fired cut). */
+    Tick epochFloor() const { return _epochFloor; }
 
     /**
      * Timestamp applied to subsequent untimed write()/writeValue()
@@ -150,6 +191,8 @@ class BackingStore
     bool cutArmed = false;
     Tick _cutTick = 0;
     Tick _writeClock = 0;
+    Tick _epochFloor = 0;
+    std::uint64_t _cutEpoch = 0;
     Rng tornRng{1};
     DurabilityCutStats _cutStats;
 };

@@ -303,24 +303,30 @@ struct Plane
     // --- power events ---------------------------------------------
 
     void
-    powerFailFire(Tick probe_deadline)
+    powerFailFire(Tick probe_deadline, std::uint32_t follow_ups_left = 0,
+                  bool is_follow_up = false)
     {
         const Tick now = eq.now();
         const bool underLoad = serverBusy || nic.rxOccupancy() > 0
             || nic.txOccupancy() > 0;
         // Never cut into an outage still in progress; and (when
         // configured) hold the cut until the service is mid-flight.
+        // Follow-up storm cuts carry an already-expired probe
+        // deadline, so they fire the instant the service is back up.
         if (!powerOn || !serviceUp
             || (cfg.cutUnderLoad && !underLoad
                 && now < probe_deadline)) {
             eq.scheduleIn(
                 cfg.cutProbeInterval,
-                [this, probe_deadline] {
-                    powerFailFire(probe_deadline);
+                [this, probe_deadline, follow_ups_left, is_follow_up] {
+                    powerFailFire(probe_deadline, follow_ups_left,
+                                  is_follow_up);
                 },
                 EventPriority::PowerEvent);
             return;
         }
+        if (is_follow_up)
+            ++res.stormFollowUpCuts;
         recorder.outageBegin(now);
         powerOn = false;
         serviceUp = false;
@@ -368,6 +374,19 @@ struct Plane
         res.outages.push_back(o);
         eq.schedule(now + cfg.offDwell, [this] { powerRestoreFire(); },
                     EventPriority::PowerEvent);
+
+        if (follow_ups_left > 0) {
+            // The next storm cut lands just past this restoration;
+            // the up-front guard then holds it until the recovery
+            // actually completes.
+            const Tick next_at = now + cfg.offDwell + cfg.stormSpacing;
+            eq.schedule(
+                next_at,
+                [this, next_at, follow_ups_left] {
+                    powerFailFire(next_at, follow_ups_left - 1, true);
+                },
+                EventPriority::PowerEvent);
+        }
     }
 
     /** Cold-boot recovery common path. @return service-up tick. */
@@ -575,6 +594,7 @@ struct Plane
         d.mix(res.framesRx);
         d.mix(res.framesTx);
         d.mix(res.ringPreservedFrames);
+        d.mix(res.stormFollowUpCuts);
         d.mix(lat.percentile(0.99));
         d.mix(recorder.lastSuccessAt());
         for (const ServiceOutage &o : res.outages)
@@ -594,7 +614,10 @@ struct Plane
             const Tick at = spacing * (k + 1);
             const Tick deadline = at + spacing / 2;
             eq.schedule(
-                at, [this, deadline] { powerFailFire(deadline); },
+                at,
+                [this, deadline] {
+                    powerFailFire(deadline, cfg.stormFollowUps);
+                },
                 EventPriority::PowerEvent);
         }
         if (cfg.mode == PersistMode::SCheckPc)

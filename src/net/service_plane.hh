@@ -84,6 +84,16 @@ struct ServiceConfig
     /** AC-off dwell between the power event and restoration. */
     Tick offDwell = 100 * tickMs;
 
+    /**
+     * Cut storms: after each scheduled cut fires, this many follow-up
+     * cuts chase the recovery. Each is scheduled stormSpacing past
+     * the previous restoration and fires as soon as the service is
+     * back up (no under-load wait) — the compound-failure case where
+     * the next outage lands inside the recovery from the last.
+     */
+    std::uint32_t stormFollowUps = 0;
+    Tick stormSpacing = 30 * tickMs;
+
     /** PSU hold-up: rails stay in spec this long past the event. */
     Tick holdup = 16 * tickMs;
 
@@ -174,6 +184,9 @@ struct ServiceResult
     std::uint64_t contextImagesRestored = 0;
 
     std::uint64_t coldBoots = 0;
+
+    /** Storm follow-up cuts that fired (chasing recoveries). */
+    std::uint64_t stormFollowUpCuts = 0;
 
     // Latency, first issue -> ack, in microseconds.
     double meanUs = 0.0;

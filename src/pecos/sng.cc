@@ -7,6 +7,37 @@
 namespace lightpc::pecos
 {
 
+const char *
+stopSubPhaseName(StopSubPhase phase)
+{
+    switch (phase) {
+      case StopSubPhase::None: return "none";
+      case StopSubPhase::DriveToIdle: return "drive-to-idle";
+      case StopSubPhase::DeviceContextSave: return "device-context-save";
+      case StopSubPhase::MasterCacheFlush: return "master-cache-flush";
+      case StopSubPhase::WorkerOffline: return "worker-offline";
+      case StopSubPhase::BootloaderDump: return "bootloader-dump";
+      case StopSubPhase::CommitWindow: return "commit-window";
+      case StopSubPhase::PostCommit: return "post-commit";
+    }
+    return "?";
+}
+
+const char *
+goSubPhaseName(GoSubPhase phase)
+{
+    switch (phase) {
+      case GoSubPhase::None: return "none";
+      case GoSubPhase::BcbRestore: return "bcb-restore";
+      case GoSubPhase::CoreBringup: return "core-bringup";
+      case GoSubPhase::DeviceRestore: return "device-restore";
+      case GoSubPhase::ProcessThaw: return "process-thaw";
+      case GoSubPhase::CommitClear: return "commit-clear";
+      case GoSubPhase::Complete: return "complete";
+    }
+    return "?";
+}
+
 Sng::Sng(kernel::Kernel &kernel, psm::Psm &psm_in,
          mem::BackingStore &pmem_in,
          std::vector<cache::L1Cache *> caches_in, const SngCosts &costs)
@@ -25,6 +56,13 @@ bool
 Sng::hasCommit() const
 {
     return pmem.readValue<std::uint64_t>(layout.bcbAddr()) == epCutMagic;
+}
+
+void
+Sng::invalidateCommit(Tick when)
+{
+    pmem.setWriteClock(when);
+    pmem.writeValue(layout.bcbAddr(), std::uint64_t(0));
 }
 
 Tick
@@ -179,6 +217,7 @@ Sng::autoStopDevices(Tick when, StopReport &report)
         dev->setSuspended(true);
         ++report.devicesSuspended;
     }
+    report.ctxSaveDone = t;
 
     // The device-stop phase ends with the master's cache flush.
     if (!caches.empty() && caches[0]) {
@@ -215,6 +254,7 @@ Sng::drawEpCut(Tick when, StopReport &report)
         }
         t += _costs.perWorkerOffline;
     }
+    report.workerOfflineDone = t;
 
     // Master: exception into the bootloader, dump kernel-invisible
     // registers + wear-leveler state into the BCB, record the MEPC,
@@ -249,6 +289,7 @@ Sng::drawEpCut(Tick when, StopReport &report)
     // The commit itself: one atomic 8-byte magic store, issued only
     // after everything it covers is quiescent. The EP-cut exists iff
     // this store beat the rails.
+    report.commitStart = t;
     t = timed.writeValue(t, layout.bcbAddr(), epCutMagic);
     report.commitAt = t;
     t = psm.flush(t);
@@ -282,6 +323,22 @@ Sng::stop(Tick when, Tick holdup)
         report.commitFailed = report.commitAt >= report.cutTick;
         report.writesDropped = pmem.cutStats().droppedWrites;
         report.writesTorn = pmem.cutStats().tornWrites;
+
+        const Tick cut = report.cutTick;
+        if (cut >= report.commitAt)
+            report.cutSubPhase = StopSubPhase::PostCommit;
+        else if (cut >= report.commitStart)
+            report.cutSubPhase = StopSubPhase::CommitWindow;
+        else if (cut >= report.workerOfflineDone)
+            report.cutSubPhase = StopSubPhase::BootloaderDump;
+        else if (cut >= report.deviceStopDone)
+            report.cutSubPhase = StopSubPhase::WorkerOffline;
+        else if (cut >= report.ctxSaveDone)
+            report.cutSubPhase = StopSubPhase::MasterCacheFlush;
+        else if (cut >= report.processStopDone)
+            report.cutSubPhase = StopSubPhase::DeviceContextSave;
+        else
+            report.cutSubPhase = StopSubPhase::DriveToIdle;
     }
     if (arm_here)
         pmem.disarmPowerCut();
@@ -302,7 +359,9 @@ Sng::resume(Tick when)
     if (bcb.magic != epCutMagic) {
         report.coldBoot = true;
         report.bcbRestored = report.coresUp = report.devicesResumed =
-            report.done = t;
+            report.thawDone = report.commitClearAt = report.done = t;
+        if (pmem.powerCutArmed())
+            report.cutTick = pmem.powerCutTick();
         return report;
     }
 
@@ -409,9 +468,91 @@ Sng::resume(Tick when)
         }
     }
     t += Tick(cores) * _costs.tlbFlushPerCore;
+    report.thawDone = t;
 
     // Clear the commit: the next boot without a new EP-cut is cold.
+    // This atomic store is the resume's linearization point — if a
+    // power cut drops it, the durable EP-cut stays valid and the
+    // next boot re-runs this exact Go (resume is idempotent because
+    // everything before this line only *reads* OC-PMEM).
     t = timed.writeValue(t, layout.bcbAddr(), std::uint64_t(0));
+    report.commitClearAt = t;
+
+    report.done = t;
+
+    if (pmem.powerCutArmed()) {
+        report.cutTick = pmem.powerCutTick();
+        report.interrupted = report.commitClearAt >= report.cutTick;
+
+        // The commit-clear store completes at done; it is durable
+        // (the resume converged) only when the cut is strictly
+        // after it, so Complete matches !interrupted exactly.
+        const Tick cut = report.cutTick;
+        if (cut > report.done)
+            report.cutSubPhase = GoSubPhase::Complete;
+        else if (cut >= report.thawDone)
+            report.cutSubPhase = GoSubPhase::CommitClear;
+        else if (cut >= report.devicesResumed)
+            report.cutSubPhase = GoSubPhase::ProcessThaw;
+        else if (cut >= report.coresUp)
+            report.cutSubPhase = GoSubPhase::DeviceRestore;
+        else if (cut >= report.bcbRestored)
+            report.cutSubPhase = GoSubPhase::CoreBringup;
+        else
+            report.cutSubPhase = GoSubPhase::BcbRestore;
+    }
+    return report;
+}
+
+AbortReport
+Sng::abortStop(Tick when)
+{
+    using kernel::TaskState;
+
+    AbortReport report;
+    report.start = when;
+
+    // Devices revive in inverse dpm order from their *live* volatile
+    // state: the rails never fell, so nothing was lost and no DCB
+    // payload read is needed.
+    Tick t = when;
+    const auto &devices = kern.devices().list();
+    for (std::size_t i = devices.size(); i-- > 0;) {
+        kernel::Device &dev = *devices[i];
+        if (!dev.suspended())
+            continue;
+        const kernel::DpmCosts &costs = dev.costs();
+        t += costs.resumeNoirq + costs.resume + costs.complete;
+        dev.setSuspended(false);
+        ++report.devicesRevived;
+    }
+    report.devicesResumed = t;
+
+    // Parked tasks flip straight back onto their run queues; their
+    // registers still live in the (never powered-down) PCBs.
+    const std::uint32_t cores = kern.cores();
+    for (std::size_t i = 0; i < kern.processCount(); ++i) {
+        kernel::Process &proc = kern.process(i);
+        if (proc.state() != TaskState::Uninterruptible)
+            continue;
+        proc.setState(TaskState::Runnable);
+        const std::uint32_t cpu = proc.cpu() < 0
+            ? 0 : static_cast<std::uint32_t>(proc.cpu()) % cores;
+        proc.setCpu(static_cast<int>(cpu));
+        kern.runQueue(cpu).push_back(&proc);
+        t += _costs.scheduleTask;
+        ++report.tasksUnparked;
+    }
+
+    kern.setPersistentFlag(false);
+
+    // An EP-cut the aborted Stop already committed describes a
+    // machine state the resumed execution immediately diverges from;
+    // leaving it would let a later cold boot resurrect a stale past.
+    if (hasCommit()) {
+        invalidateCommit(t);
+        report.commitCleared = true;
+    }
 
     report.done = t;
     return report;

@@ -81,12 +81,48 @@ struct SngCosts
     double idleQuiesceFactor = 0.78;
 };
 
+/**
+ * The drain sub-phase a power cut landed in. Campaigns assert
+ * per-phase coverage from this enum instead of re-deriving it from
+ * report timestamps (which drift whenever a cost changes).
+ */
+enum class StopSubPhase : std::uint8_t
+{
+    None,               ///< no cut armed during the Stop
+    DriveToIdle,        ///< parking tasks, PCB walk
+    DeviceContextSave,  ///< dpm suspend + DCB/MMIO serialization
+    MasterCacheFlush,   ///< the master's dirty-line dump
+    WorkerOffline,      ///< per-worker IPI + cache dump + offline
+    BootloaderDump,     ///< BCB body + register dump + fence
+    CommitWindow,       ///< the atomic commit store itself
+    PostCommit,         ///< cut landed after the commit completed
+};
+
+const char *stopSubPhaseName(StopSubPhase phase);
+
+/** The Go sub-phase a power cut landed in. */
+enum class GoSubPhase : std::uint8_t
+{
+    None,           ///< no cut armed during the Go
+    BcbRestore,     ///< commit check + BCB/wear-state reload
+    CoreBringup,    ///< per-worker power-up
+    DeviceRestore,  ///< inverse-dpm revive + context/MMIO reads
+    ProcessThaw,    ///< PCB restore + reschedule + TLB flush
+    CommitClear,    ///< the final atomic commit-clear store
+    Complete,       ///< cut landed after the resume completed
+};
+
+const char *goSubPhaseName(GoSubPhase phase);
+
 /** Decomposed Stop latency (Fig. 8b). */
 struct StopReport
 {
     Tick start = 0;
     Tick processStopDone = 0;  ///< Drive-to-Idle complete
-    Tick deviceStopDone = 0;   ///< dpm suspend + DCB complete
+    Tick ctxSaveDone = 0;      ///< dpm suspend + DCB/MMIO serialized
+    Tick deviceStopDone = 0;   ///< device stop incl. master flush
+    Tick workerOfflineDone = 0;  ///< every worker dumped + offline
+    Tick commitStart = 0;      ///< issue tick of the commit store
     Tick offlineDone = 0;      ///< EP-cut committed
 
     /**
@@ -98,6 +134,9 @@ struct StopReport
 
     /** The armed power-cut tick, maxTick when no cut was armed. */
     Tick cutTick = maxTick;
+
+    /** Which drain sub-phase was in flight at cutTick. */
+    StopSubPhase cutSubPhase = StopSubPhase::None;
 
     /**
      * The power rails fell out of specification before the commit
@@ -137,7 +176,30 @@ struct GoReport
     Tick bcbRestored = 0;
     Tick coresUp = 0;
     Tick devicesResumed = 0;
+    Tick thawDone = 0;      ///< PCBs restored, queues rebuilt, TLBs
     Tick done = 0;
+
+    /**
+     * Completion tick of the final commit-clear store (an atomic
+     * 8-byte write, the resume's linearization point). The resume
+     * *converged* iff this beat any armed power cut; a torn resume
+     * leaves the commit in place, so re-running Go from the same
+     * durable image is always legal.
+     */
+    Tick commitClearAt = 0;
+
+    /** The armed power-cut tick, maxTick when no cut was armed. */
+    Tick cutTick = maxTick;
+
+    /** Which Go sub-phase was in flight at cutTick. */
+    GoSubPhase cutSubPhase = GoSubPhase::None;
+
+    /**
+     * A power cut preempted the commit-clear: the machine died
+     * mid-resume and the durable EP-cut is still valid. The next
+     * boot must re-run Go from that image (idempotent).
+     */
+    bool interrupted = false;
 
     bool coldBoot = false;  ///< no commit found
     std::uint64_t devicesRevived = 0;
@@ -152,6 +214,26 @@ struct GoReport
     mem::Addr payloadEnd = 0;
     /** Device context + MMIO bytes actually read from OC-PMEM. */
     std::uint64_t payloadBytesRead = 0;
+
+    Tick totalTicks() const { return done - start; }
+};
+
+/**
+ * What an aborted Stop did (brownout recovered before the hold-up
+ * floor, so the machine resumes in place instead of cutting power).
+ */
+struct AbortReport
+{
+    Tick start = 0;
+    Tick devicesResumed = 0;
+    Tick done = 0;
+
+    std::uint64_t devicesRevived = 0;
+    std::uint64_t tasksUnparked = 0;
+
+    /** A landed EP-cut was invalidated (it described a state the
+     *  resumed execution immediately diverges from). */
+    bool commitCleared = false;
 
     Tick totalTicks() const { return done - start; }
 };
@@ -210,8 +292,28 @@ class Sng
      */
     GoReport resume(Tick when);
 
+    /**
+     * Abort an in-flight Stop: the mains sag recovered before the
+     * PSU's hold-up floor, so power never actually fails. The
+     * machine resumes *in place* from its intact volatile state — no
+     * reboot, no OC-PMEM context reads: devices revive in inverse
+     * dpm order from their live driver state, parked tasks flip
+     * straight back onto their run queues, and any EP-cut commit the
+     * Stop already drew is invalidated (execution is about to
+     * diverge from the image it describes).
+     */
+    AbortReport abortStop(Tick when);
+
     /** True when OC-PMEM holds a committed EP-cut. */
     bool hasCommit() const;
+
+    /**
+     * Invalidate the durable EP-cut at @p when (one atomic store):
+     * the next boot without a fresh commit is cold. The degraded
+     * escalation path of a recovery supervisor, and the tail of an
+     * aborted Stop.
+     */
+    void invalidateCommit(Tick when);
 
   private:
     /** A MemoryPort view over the PSM for TimedMem. */

@@ -34,6 +34,13 @@ struct PsuSpec
 
     /** Hold-up time documented by the relevant specification. */
     Tick specHoldup = 0;
+
+    /**
+     * Recharge rate of the bulk capacitors while AC is present (the
+     * inrush/PFC stage limits it). Brownout models use it to refill
+     * the reserve between sags; 0 keeps the reserve frozen.
+     */
+    double rechargeWatts = 0.0;
 };
 
 /**
@@ -73,15 +80,19 @@ class PsuModel
     static PsuModel
     atx()
     {
-        // 22 ms at the prototype's fully-utilized 18.9 W load.
-        return PsuModel({"ATX", 0.022 * 18.9, 18.9, 16 * tickMs});
+        // 22 ms at the prototype's fully-utilized 18.9 W load; the
+        // PFC stage refills the bulk caps in tens of milliseconds
+        // once AC returns.
+        return PsuModel({"ATX", 0.022 * 18.9, 18.9, 16 * tickMs,
+                         25.0});
     }
 
     /** The Dell server unit: measured 55 ms fully loaded. */
     static PsuModel
     dellServer()
     {
-        return PsuModel({"Server", 0.055 * 18.9, 18.9, 55 * tickMs});
+        return PsuModel({"Server", 0.055 * 18.9, 18.9, 55 * tickMs,
+                         60.0});
     }
 
   private:

@@ -192,6 +192,138 @@ TEST(DurabilityCursor, WriteClockGatesInstantWrites)
     EXPECT_EQ(store.cutStats().tornWrites, 0u);
 }
 
+TEST(DurabilityCursor, EpochFloorBlocksResurrectionAcrossCuts)
+{
+    // The single-epoch bug: bytes dropped by cut #1 must not be
+    // resurrected by replaying the same timed interval under cut #2.
+    BackingStore store;
+    const std::uint64_t v = 0xfeedfacecafef00dULL;
+
+    store.armPowerCut(1000, 11);
+    store.writeTimed(1100, 1200, 0x3000, &v, sizeof(v));  // dropped
+    EXPECT_EQ(store.readValue<std::uint64_t>(0x3000), 0u);
+    store.disarmPowerCut();
+    EXPECT_EQ(store.epochFloor(), 1000u);
+
+    // Second epoch: a replay of the pre-floor interval is stale and
+    // must be rejected even though it now ends before the new cut.
+    store.armPowerCut(5000, 12);
+    store.writeTimed(900, 980, 0x3000, &v, sizeof(v));
+    EXPECT_EQ(store.readValue<std::uint64_t>(0x3000), 0u);
+    EXPECT_EQ(store.cutStats().staleWrites, 1u);
+    EXPECT_EQ(store.cutStats().staleBytes, sizeof(v));
+
+    // Post-floor writes land as usual.
+    store.writeTimed(1500, 1600, 0x3000, &v, sizeof(v));
+    EXPECT_EQ(store.readValue<std::uint64_t>(0x3000), v);
+    store.disarmPowerCut();
+    EXPECT_EQ(store.cutEpoch(), 2u);
+    EXPECT_EQ(store.epochFloor(), 5000u);
+}
+
+TEST(DurabilityCursor, CancelledCutDoesNotAdvanceTheFloor)
+{
+    // An armed cut that never fired (AC back before the deadline)
+    // must not push the epoch floor into the future.
+    BackingStore store;
+    store.armPowerCut(1000, 13);
+    store.disarmPowerCut();
+    EXPECT_EQ(store.epochFloor(), 1000u);
+
+    store.armPowerCut(1'000'000, 14);
+    store.cancelPowerCut();
+    EXPECT_EQ(store.epochFloor(), 1000u);
+
+    // A write the continuing execution issues before the cancelled
+    // instant is perfectly legitimate.
+    const std::uint64_t v = 0x1234;
+    store.writeTimed(2000, 2100, 0x4000, &v, sizeof(v));
+    EXPECT_EQ(store.readValue<std::uint64_t>(0x4000), v);
+}
+
+// --- PowerRail brownout sags ---------------------------------------
+
+TEST(PowerRailSag, ZeroLoadDroopNeverFails)
+{
+    PowerRail rail(PsuModel::atx(), 0.0);
+    rail.addSag(0, 10 * tickSec, 0.0);  // total blackout, no load
+    const fault::SagOutcome out = rail.evaluateSags();
+    EXPECT_FALSE(out.railsFailed);
+    EXPECT_EQ(out.recoveredAt, 10 * tickSec);
+    EXPECT_DOUBLE_EQ(out.minJoules, PsuModel::atx().spec().storedJoules);
+}
+
+TEST(PowerRailSag, SagExactlyAtTheHoldupFloorSurvives)
+{
+    // A full blackout lasting exactly the hold-up drains the reserve
+    // to the floor but the rails never leave specification: failure
+    // requires running dry strictly inside the sag.
+    const PsuModel psu = PsuModel::atx();
+    const double watts = 18.9;
+    const Tick holdup = psu.holdupTime(watts);
+
+    PowerRail rail(psu, watts);
+    rail.addSag(0, holdup, 0.0);
+    const fault::SagOutcome at_floor = rail.evaluateSags();
+    EXPECT_FALSE(at_floor.railsFailed);
+    EXPECT_NEAR(at_floor.minJoules, 0.0, 1e-6);
+    EXPECT_EQ(at_floor.recoveredAt, holdup);
+
+    // One microsecond longer and the reserve runs dry mid-sag.
+    PowerRail over(psu, watts);
+    over.addSag(0, holdup + tickUs, 0.0);
+    const fault::SagOutcome failed = over.evaluateSags();
+    EXPECT_TRUE(failed.railsFailed);
+    EXPECT_NEAR(static_cast<double>(failed.failTick),
+                static_cast<double>(holdup),
+                static_cast<double>(tickUs));
+    EXPECT_EQ(failed.minJoules, 0.0);
+}
+
+TEST(PowerRailSag, PartialSagScalesTheEffectiveDrain)
+{
+    // At 60 % supply the PSU bridges only 40 % of the load, so the
+    // survivable duration stretches by 1/0.4.
+    const PsuModel psu = PsuModel::atx();
+    const double watts = 18.9;
+    const Tick holdup = psu.holdupTime(watts);
+    const Tick stretched = holdup * 5 / 2;
+
+    PowerRail rail(psu, watts);
+    rail.addSag(0, stretched - tickMs, 0.6);
+    EXPECT_FALSE(rail.evaluateSags().railsFailed);
+
+    PowerRail deeper(psu, watts);
+    deeper.addSag(0, stretched + tickMs, 0.6);
+    EXPECT_TRUE(deeper.evaluateSags().railsFailed);
+}
+
+TEST(PowerRailSag, TwoSagsInOneWindowShareTheReserve)
+{
+    // Two back-to-back half-hold-up blackouts with a gap too short
+    // to recharge: the second runs the shared reserve dry. The same
+    // pair spaced far apart survives on the recharge between them.
+    const PsuModel psu = PsuModel::atx();  // 25 W recharge
+    const double watts = 18.9;
+    const Tick holdup = psu.holdupTime(watts);
+    const Tick sag = (holdup * 2) / 3;
+
+    PowerRail tight(psu, watts);
+    tight.addSag(0, sag, 0.0);
+    tight.addSag(sag + tickUs, sag, 0.0);
+    const fault::SagOutcome crashed = tight.evaluateSags();
+    EXPECT_TRUE(crashed.railsFailed);
+    // It dies inside the *second* sag.
+    EXPECT_GT(crashed.failTick, sag + tickUs);
+
+    PowerRail spaced(psu, watts);
+    spaced.addSag(0, sag, 0.0);
+    spaced.addSag(sag + tickSec, sag, 0.0);
+    const fault::SagOutcome ok = spaced.evaluateSags();
+    EXPECT_FALSE(ok.railsFailed);
+    EXPECT_EQ(ok.recoveredAt, sag + tickSec + sag);
+}
+
 TEST(FaultInjectorTest, DisarmsOnDestruction)
 {
     BackingStore store;
