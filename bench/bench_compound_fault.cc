@@ -10,7 +10,11 @@
  * converges onto the durable EP-cut or a cold boot, never a third
  * outcome. Emits BENCH_compound.json.
  *
- *   bench_compound_fault [--trials N] [--seed S] [--out FILE]
+ *   bench_compound_fault [--trials N] [--seed S] [--threads N|-j N]
+ *                        [--out FILE]
+ *
+ * --threads 0 (the default) uses every host thread; the campaign
+ * digest is identical at any thread count.
  */
 
 #include <cstdio>
@@ -20,6 +24,7 @@
 
 #include "bench_common.hh"
 #include "fault/compound.hh"
+#include "sim/parallel.hh"
 #include "stats/table.hh"
 
 using namespace lightpc;
@@ -31,7 +36,8 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--trials N] [--seed S] [--out FILE]\n",
+                 "usage: %s [--trials N] [--seed S]"
+                 " [--threads N|-j N] [--out FILE]\n",
                  argv0);
     return 2;
 }
@@ -43,6 +49,7 @@ main(int argc, char **argv)
 {
     std::uint64_t trials = 500;
     std::uint64_t seed = 2026;
+    unsigned threads = 0;
     std::string out = "BENCH_compound.json";
 
     for (int i = 1; i < argc; ++i) {
@@ -56,6 +63,9 @@ main(int argc, char **argv)
             trials = std::strtoull(value(), nullptr, 10);
         else if (arg == "--seed")
             seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--threads" || arg == "-j")
+            threads = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
         else if (arg == "--out")
             out = value();
         else
@@ -63,6 +73,7 @@ main(int argc, char **argv)
     }
     if (trials == 0)
         return usage(argv[0]);
+    threads = sim::resolveThreads(threads);
 
     bench::banner("Compound failures",
                   "nested cuts, brownouts, storms, supervised recovery");
@@ -72,6 +83,7 @@ main(int argc, char **argv)
     fault::CompoundConfig config;
     config.trials = trials;
     config.seed = seed;
+    config.threads = threads;
     const fault::CompoundResult r = fault::runCompoundCampaign(config);
 
     stats::Table table({"psu", "trials", "resumes", "cold", "degraded",
@@ -145,11 +157,18 @@ main(int argc, char **argv)
     bench::check(r.maxCutEpochs >= 3,
                  "a single store survived >= 3 durability epochs");
 
-    // Determinism anchor: the same seed must reproduce the same
-    // campaign bit-for-bit.
+    // Determinism anchors: the same seed must reproduce the same
+    // campaign bit-for-bit, and a single-threaded rerun must match
+    // the parallel one exactly (the reduction is canonical-order).
     const fault::CompoundResult again = fault::runCompoundCampaign(config);
     bench::check(again.digest == r.digest,
                  "campaign is deterministic under its seed");
+    fault::CompoundConfig seq_config = config;
+    seq_config.threads = 1;
+    const fault::CompoundResult seq =
+        fault::runCompoundCampaign(seq_config);
+    bench::check(seq.digest == r.digest,
+                 "parallel digest equals sequential digest");
 
     std::FILE *f = std::fopen(out.c_str(), "w");
     if (!f) {
@@ -161,6 +180,7 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(r.trials));
     std::fprintf(f, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"psu\": \"%s\",\n", r.psu.c_str());
     std::fprintf(f, "  \"scenarios\": {\"stop_cut\": %llu,"
                     " \"go_cut\": %llu, \"brownout\": %llu,"

@@ -12,6 +12,12 @@
  *
  *   bench_service_availability [--cuts N] [--seed S] [--out FILE]
  *       [--runfor-ms MS] [--arrivals PER_SEC] [--clients N]
+ *       [--threads N|-j N]
+ *
+ * The four modes (plus the SnG determinism repeat) run as one suite
+ * fanned across host threads (--threads 0, the default, uses them
+ * all); each run owns its platform and the suite's results are
+ * identical to running the modes sequentially, digests included.
  *
  * Anchors (exit nonzero on failure):
  *  - zero invariant violations in every mode: no acked-then-lost
@@ -32,6 +38,7 @@
 
 #include "bench_common.hh"
 #include "net/service_plane.hh"
+#include "sim/parallel.hh"
 #include "stats/table.hh"
 
 using namespace lightpc;
@@ -45,7 +52,7 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--cuts N] [--seed S] [--out FILE]"
                  " [--runfor-ms MS] [--arrivals PER_SEC]"
-                 " [--clients N]\n",
+                 " [--clients N] [--threads N|-j N]\n",
                  argv0);
     return 2;
 }
@@ -78,6 +85,7 @@ main(int argc, char **argv)
     std::uint64_t runforMs = 8000;
     double arrivals = 4000.0;
     std::uint32_t clients = 2000;
+    unsigned threads = 0;
     std::string out = "BENCH_service.json";
 
     for (int i = 1; i < argc; ++i) {
@@ -101,11 +109,15 @@ main(int argc, char **argv)
         else if (arg == "--clients")
             clients = static_cast<std::uint32_t>(
                 std::strtoull(value(), nullptr, 10));
+        else if (arg == "--threads" || arg == "-j")
+            threads = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
         else
             return usage(argv[0]);
     }
     if (cuts == 0 || runforMs == 0 || arrivals <= 0.0 || clients == 0)
         return usage(argv[0]);
+    threads = sim::resolveThreads(threads);
 
     bench::banner("Service availability",
                   "client-visible downtime of a persistent KV service"
@@ -133,18 +145,25 @@ main(int argc, char **argv)
         net::PersistMode::ACheckPc,
     };
 
-    std::vector<net::ServiceResult> results;
+    // One suite: the four modes plus the SnG determinism repeat,
+    // fanned across the trial pool.
+    std::vector<net::ServiceConfig> suite;
     for (const net::PersistMode mode : modes) {
-        std::cout << "running " << net::persistModeName(mode)
+        std::cout << "queueing " << net::persistModeName(mode)
                   << "...\n";
-        results.push_back(net::runService(configFor(mode)));
+        suite.push_back(configFor(mode));
     }
-
-    std::cout << "re-running "
+    std::cout << "queueing "
               << net::persistModeName(net::PersistMode::SnG)
-              << " (determinism)...\n\n";
-    const net::ServiceResult sngRepeat =
-        net::runService(configFor(net::PersistMode::SnG));
+              << " again (determinism)...\n";
+    suite.push_back(configFor(net::PersistMode::SnG));
+
+    std::cout << "running the suite on " << threads
+              << " thread(s)...\n\n";
+    std::vector<net::ServiceResult> results =
+        net::runServiceSuite(suite, threads);
+    const net::ServiceResult sngRepeat = results.back();
+    results.pop_back();
     const net::ServiceResult &sng = results[0];
 
     stats::Table table({"mode", "completed", "failed", "goodput/s",
@@ -245,6 +264,7 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(runforMs));
     std::fprintf(f, "  \"arrivals_per_sec\": %.1f,\n", arrivals);
     std::fprintf(f, "  \"clients\": %u,\n", clients);
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"deterministic\": %s,\n",
                  sng.digest == sngRepeat.digest ? "true" : "false");
     std::fprintf(f, "  \"modes\": [\n");

@@ -9,10 +9,13 @@
  * (and untorn), otherwise it comes up cold — never a third outcome.
  * Emits BENCH_fault.json with per-phase cut-coverage histograms.
  *
- *   fault_campaign_main [--cuts N] [--seed S] [--out FILE]
+ *   fault_campaign_main [--cuts N] [--seed S] [--threads N|-j N]
+ *                       [--out FILE]
  *
  * --cuts is per mode and PSU; the default 100 yields 200 seeded cut
- * ticks per persistence mode.
+ * ticks per persistence mode. --threads 0 (the default) uses every
+ * host thread; the results — digests included — are identical at any
+ * thread count.
  */
 
 #include <cstdio>
@@ -24,6 +27,7 @@
 #include "bench_common.hh"
 #include "fault/campaign.hh"
 #include "power/psu.hh"
+#include "sim/parallel.hh"
 #include "stats/table.hh"
 
 using namespace lightpc;
@@ -34,7 +38,9 @@ namespace
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr, "usage: %s [--cuts N] [--seed S] [--out FILE]\n",
+    std::fprintf(stderr,
+                 "usage: %s [--cuts N] [--seed S] [--threads N|-j N]"
+                 " [--out FILE]\n",
                  argv0);
     return 2;
 }
@@ -46,6 +52,7 @@ main(int argc, char **argv)
 {
     std::uint64_t cuts = 100;
     std::uint64_t seed = 1;
+    unsigned threads = 0;
     std::string out = "BENCH_fault.json";
 
     for (int i = 1; i < argc; ++i) {
@@ -59,6 +66,9 @@ main(int argc, char **argv)
             cuts = std::strtoull(value(), nullptr, 10);
         else if (arg == "--seed")
             seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--threads" || arg == "-j")
+            threads = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
         else if (arg == "--out")
             out = value();
         else
@@ -66,6 +76,7 @@ main(int argc, char **argv)
     }
     if (cuts == 0)
         return usage(argv[0]);
+    threads = sim::resolveThreads(threads);
 
     bench::banner("Fault campaign",
                   "seeded power cuts vs the durability invariant");
@@ -89,6 +100,7 @@ main(int argc, char **argv)
             config.cuts = cuts;
             config.seed = seed;
             config.psu = psu;
+            config.threads = threads;
             results.push_back(run(config));
         }
     }
@@ -160,6 +172,7 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(cuts));
     std::fprintf(f, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(seed));
+    std::fprintf(f, "  \"threads\": %u,\n", threads);
     std::fprintf(f, "  \"total_violations\": %llu,\n",
                  static_cast<unsigned long long>(violations));
     std::fprintf(f, "  \"campaigns\": [\n");
@@ -178,6 +191,8 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(r.droppedWrites),
                      static_cast<unsigned long long>(r.tornWrites),
                      static_cast<unsigned long long>(r.violations));
+        std::fprintf(f, "     \"digest\": \"0x%016llx\",\n",
+                     static_cast<unsigned long long>(r.digest));
         std::fprintf(f, "     \"phase_cuts\": {");
         bool first = true;
         for (std::size_t p = 0;

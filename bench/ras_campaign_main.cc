@@ -11,10 +11,13 @@
  * correction, a retirement, or a contained machine check. Emits
  * BENCH_ras.json.
  *
- *   ras_campaign_main [--seeds N] [--ops N] [--seed S] [--out FILE]
+ *   ras_campaign_main [--seeds N] [--ops N] [--seed S]
+ *                     [--threads N|-j N] [--out FILE]
  *
  * --seeds is per (ber, wear, policy) cell; the default 32 yields
- * 4 x 2 x 2 x 32 = 512 seeded trials.
+ * 4 x 2 x 2 x 32 = 512 seeded trials. --threads 0 (the default)
+ * uses every host thread; results and digest are identical at any
+ * thread count.
  */
 
 #include <cstdio>
@@ -24,6 +27,7 @@
 
 #include "bench_common.hh"
 #include "fault/ras_campaign.hh"
+#include "sim/parallel.hh"
 #include "stats/table.hh"
 
 using namespace lightpc;
@@ -36,7 +40,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--seeds N] [--ops N] [--seed S]"
-                 " [--out FILE]\n",
+                 " [--threads N|-j N] [--out FILE]\n",
                  argv0);
     return 2;
 }
@@ -70,6 +74,9 @@ main(int argc, char **argv)
             config.opsPerTrial = std::strtoull(value(), nullptr, 10);
         else if (arg == "--seed")
             config.seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--threads" || arg == "-j")
+            config.threads = static_cast<unsigned>(
+                std::strtoul(value(), nullptr, 10));
         else if (arg == "--out")
             out = value();
         else
@@ -77,6 +84,7 @@ main(int argc, char **argv)
     }
     if (config.seedsPerCell == 0 || config.opsPerTrial == 0)
         return usage(argv[0]);
+    config.threads = sim::resolveThreads(config.threads);
 
     bench::banner("RAS campaign",
                   "seeded media faults vs the zero-SDC invariant");
@@ -166,6 +174,9 @@ main(int argc, char **argv)
     std::fprintf(f, "{\n  \"bench\": \"ras_campaign\",\n");
     std::fprintf(f, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(config.seed));
+    std::fprintf(f, "  \"threads\": %u,\n", config.threads);
+    std::fprintf(f, "  \"digest\": \"0x%016llx\",\n",
+                 static_cast<unsigned long long>(r.digest));
     std::fprintf(f, "  \"trials\": %llu,\n",
                  static_cast<unsigned long long>(r.trials));
     std::fprintf(f, "  \"ops_per_trial\": %llu,\n",

@@ -14,6 +14,11 @@
  *    perturbs both sides equally, and reports medians, and
  *  - fans repetitions out over a std::thread pool (-j N).
  *
+ * Also emits a campaign_scaling section: the SnG power-cut campaign
+ * run at 1/2/4 worker threads through sim::ParallelExecutor, with
+ * trials/sec per point and a digest-equality check proving the
+ * parallel reduction is bit-identical to the sequential one.
+ *
  * Not registered with ctest; scripts/sweep.py and scripts/run_all.sh
  * invoke it.
  */
@@ -30,8 +35,10 @@
 #include <thread>
 #include <vector>
 
+#include "fault/campaign.hh"
 #include "sim/event_queue.hh"
 #include "sim/legacy_event_queue.hh"
+#include "sim/parallel.hh"
 
 namespace
 {
@@ -217,7 +224,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [-j N] [--events N] [--reps N] "
-                 "[--out FILE]\n",
+                 "[--campaign-cuts N] [--out FILE]\n",
                  argv0);
     return 2;
 }
@@ -230,6 +237,7 @@ main(int argc, char **argv)
     unsigned threads = 1;
     std::uint64_t events = 2'000'000;
     unsigned reps = 5;
+    std::uint64_t campaignCuts = 64;
     std::string out = "BENCH_kernel.json";
 
     for (int i = 1; i < argc; ++i) {
@@ -246,6 +254,8 @@ main(int argc, char **argv)
             events = std::strtoull(value(), nullptr, 10);
         else if (arg == "--reps")
             reps = static_cast<unsigned>(std::atoi(value()));
+        else if (arg == "--campaign-cuts")
+            campaignCuts = std::strtoull(value(), nullptr, 10);
         else if (arg == "--out")
             out = value();
         else
@@ -269,6 +279,49 @@ main(int argc, char **argv)
                 tasks.push_back(Task{w, legacy, events, {}});
 
     runTasks(tasks, threads);
+
+    // --- campaign scaling: trials/sec vs worker threads -----------
+    //
+    // The honest perf claim for the parallel campaign engine: the
+    // same seeded SnG cut campaign, at 1/2/4 pool workers, with the
+    // digest required to be bit-identical at every point. trials/sec
+    // only climbs when the host actually has cores to give
+    // (host_threads records that), which is why the numbers are
+    // measured, never assumed.
+    struct ScalePoint
+    {
+        unsigned threads;
+        double seconds;
+        double trialsPerSec;
+        std::uint64_t digest;
+    };
+    std::vector<ScalePoint> scaling;
+    bool digestsEqual = true;
+    if (campaignCuts > 0) {
+        for (const unsigned th : {1u, 2u, 4u}) {
+            lightpc::fault::CampaignConfig ccfg;
+            ccfg.cuts = campaignCuts;
+            ccfg.seed = 1;
+            ccfg.threads = th;
+            const auto c0 = std::chrono::steady_clock::now();
+            const lightpc::fault::CampaignResult r =
+                lightpc::fault::runSngCampaign(ccfg);
+            const auto c1 = std::chrono::steady_clock::now();
+            const double sec =
+                std::chrono::duration<double>(c1 - c0).count();
+            scaling.push_back(
+                {th, sec,
+                 static_cast<double>(campaignCuts) / sec, r.digest});
+            if (r.digest != scaling.front().digest)
+                digestsEqual = false;
+        }
+        if (!digestsEqual) {
+            std::fprintf(stderr,
+                         "FATAL: campaign digest diverged across"
+                         " thread counts\n");
+            return 1;
+        }
+    }
 
     std::vector<ConfigResult> configs;
     for (const Workload w : workloads) {
@@ -310,6 +363,33 @@ main(int argc, char **argv)
                      i + 1 < configs.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    if (!scaling.empty()) {
+        std::fprintf(f, "  \"campaign_scaling\": {\n");
+        std::fprintf(f, "    \"campaign\": \"fault_sng\",\n");
+        std::fprintf(f, "    \"trials\": %llu,\n",
+                     static_cast<unsigned long long>(campaignCuts));
+        std::fprintf(f, "    \"host_threads\": %u,\n",
+                     lightpc::sim::hardwareThreads());
+        std::fprintf(f, "    \"digest\": \"0x%016llx\",\n",
+                     static_cast<unsigned long long>(
+                         scaling.front().digest));
+        std::fprintf(f, "    \"digests_equal\": %s,\n",
+                     digestsEqual ? "true" : "false");
+        std::fprintf(f, "    \"points\": [\n");
+        for (std::size_t i = 0; i < scaling.size(); ++i) {
+            const ScalePoint &sp = scaling[i];
+            std::fprintf(f,
+                         "      {\"threads\": %u,"
+                         " \"seconds\": %.3f,"
+                         " \"trials_per_sec\": %.1f,"
+                         " \"speedup_vs_1\": %.2f}%s\n",
+                         sp.threads, sp.seconds, sp.trialsPerSec,
+                         sp.trialsPerSec
+                             / scaling.front().trialsPerSec,
+                         i + 1 < scaling.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]\n  },\n");
+    }
     std::fprintf(f, "  \"speedup\": {");
     bool first = true;
     for (const Workload w : workloads) {
@@ -332,6 +412,11 @@ main(int argc, char **argv)
                     c.legacy ? "legacy" : "pooled",
                     workloadName(c.workload), c.nsPerEvent,
                     1e9 / c.nsPerEvent, c.allocsPerEvent);
+    for (const ScalePoint &sp : scaling)
+        std::printf("campaign fault_sng -j%-2u %8.1f trials/s "
+                    "(%.2fx vs -j1, digest ok)\n",
+                    sp.threads, sp.trialsPerSec,
+                    sp.trialsPerSec / scaling.front().trialsPerSec);
     std::printf("wrote %s\n", out.c_str());
     return 0;
 }

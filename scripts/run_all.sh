@@ -8,8 +8,9 @@
 # repository ships with (test_output.txt / bench_output.txt).
 #
 # Usage: scripts/run_all.sh [-j N]
-#   -j N   parallelism for the build, the test run, and the kernel
-#          sweep driver.
+#   -j N   parallelism for the build, the test run, the kernel sweep
+#          driver, and the campaign benches (--threads N; results are
+#          digest-identical at any thread count).
 #
 # pipefail matters: every stage tees into a transcript, and without
 # it a failing ctest/bench exit status would be masked by tee's.
@@ -36,7 +37,16 @@ for b in build/bench/*; do
     # The sweep driver runs below with its own arguments.
     [ "$(basename "$b")" = sweep_main ] && continue
     echo "### $(basename "$b")" | tee -a bench_output.txt
-    "$b" 2>&1 | tee -a bench_output.txt
+    # The campaign benches fan seeded trials across a worker pool;
+    # their merged results (digests included) are identical at any
+    # thread count, so -j only changes wall-clock.
+    case "$(basename "$b")" in
+    fault_campaign_main | ras_campaign_main | bench_compound_fault | \
+        bench_service_availability)
+        "$b" --threads "$jobs" 2>&1 | tee -a bench_output.txt ;;
+    *)
+        "$b" 2>&1 | tee -a bench_output.txt ;;
+    esac
     echo | tee -a bench_output.txt
 done
 

@@ -1,6 +1,7 @@
 #include "fault/campaign.hh"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
 
 #include "fault/fault_injector.hh"
@@ -12,6 +13,8 @@
 #include "persist/checkpoint.hh"
 #include "power/power_model.hh"
 #include "psm/psm.hh"
+#include "sim/digest.hh"
+#include "sim/parallel.hh"
 #include "sim/rng.hh"
 
 namespace lightpc::fault
@@ -30,6 +33,24 @@ cutPhaseName(CutPhase phase)
       case CutPhase::Count: break;
     }
     return "?";
+}
+
+void
+CampaignResult::merge(const CampaignResult &other)
+{
+    cuts += other.cuts;
+    for (std::size_t p = 0; p < phaseCuts.size(); ++p)
+        phaseCuts[p] += other.phaseCuts[p];
+    resumes += other.resumes;
+    coldBoots += other.coldBoots;
+    droppedWrites += other.droppedWrites;
+    tornWrites += other.tornWrites;
+    violations += other.violations;
+    for (const std::string &note : other.violationNotes) {
+        if (violationNotes.size() >= 8)
+            break;
+        violationNotes.push_back(note);
+    }
 }
 
 namespace
@@ -110,6 +131,10 @@ cutFromEnergyFraction(const CampaignConfig &config,
 /**
  * Campaign RNG seed: user seed + mode salt + PSU name, so the two
  * PSUs probe different cut ticks instead of replaying each other.
+ * Trial i draws from the independent stream
+ * Rng(Rng::streamSeed(campaignSeed(...), i)) — a pure function of
+ * (config, i), which is what lets the trial pool run seeds in any
+ * order and still reproduce the sequential campaign bit-for-bit.
  */
 std::uint64_t
 campaignSeed(const CampaignConfig &config, std::uint64_t salt)
@@ -131,16 +156,45 @@ sweepFraction(std::uint64_t i, std::uint64_t cuts, Rng &rng)
               / static_cast<double>(std::max<std::uint64_t>(cuts, 1));
 }
 
+/**
+ * The deterministic reduction driver every mode shares: fan
+ * config.cuts isolated trials across the pool, merge the per-trial
+ * results in ascending seed order, stamp mode/PSU, and digest the
+ * merged counters. @p trial must be a pure function of its index —
+ * it is invoked concurrently from multiple workers.
+ */
+CampaignResult
+runSeededTrials(const CampaignConfig &config, const char *mode,
+                const std::function<CampaignResult(std::uint64_t)>
+                    &trial)
+{
+    sim::ParallelExecutor pool(config.threads);
+    CampaignResult result = pool.reduce<CampaignResult>(
+        config.cuts, CampaignResult{}, trial,
+        [](CampaignResult &acc, const CampaignResult &partial) {
+            acc.merge(partial);
+        });
+    result.mode = mode;
+    result.psu = config.psu.spec().name;
+
+    sim::Fnv64 digest;
+    digest.mix(result.cuts);
+    for (const std::uint64_t c : result.phaseCuts)
+        digest.mix(c);
+    digest.mix(result.resumes);
+    digest.mix(result.coldBoots);
+    digest.mix(result.droppedWrites);
+    digest.mix(result.tornWrites);
+    digest.mix(result.violations);
+    result.digest = digest.h;
+    return result;
+}
+
 } // namespace
 
 CampaignResult
 runSngCampaign(const CampaignConfig &config)
 {
-    CampaignResult result;
-    result.mode = "SnG";
-    result.psu = config.psu.spec().name;
-    Rng rng(campaignSeed(config, 0x536e47ULL));
-
     const power::PowerModel power_model;
 
     // Dry run: phase boundaries (construction is deterministic, so
@@ -170,7 +224,14 @@ runSngCampaign(const CampaignConfig &config)
     const Tick window_end =
         dry.offlineDone + (dry.offlineDone - dry.start) / 4;
 
-    for (std::uint64_t i = 0; i < config.cuts; ++i) {
+    const std::uint64_t seed = campaignSeed(config, 0x536e47ULL);
+
+    return runSeededTrials(config, "SnG", [&config, profile,
+                                           window_end, seed](
+                                              std::uint64_t i) {
+        CampaignResult result;
+        Rng rng(Rng::streamSeed(seed, i));
+
         const Tick cut = cutFromEnergyFraction(
             config, profile, 0, window_end,
             sweepFraction(i, config.cuts, rng));
@@ -245,8 +306,8 @@ runSngCampaign(const CampaignConfig &config)
             ++result.coldBoots;
         }
         ++result.cuts;
-    }
-    return result;
+        return result;
+    });
 }
 
 namespace
@@ -269,11 +330,6 @@ constexpr std::uint64_t sysPcDumpBytes = 8 << 20;
 CampaignResult
 runSysPcCampaign(const CampaignConfig &config)
 {
-    CampaignResult result;
-    result.mode = "SysPC";
-    result.psu = config.psu.spec().name;
-    Rng rng(campaignSeed(config, 0x537973ULL));
-
     const power::PowerModel power_model;
 
     // Dry run (with a base image) for the dump/commit windows used
@@ -296,8 +352,16 @@ runSysPcCampaign(const CampaignConfig &config)
 
     // Hibernate runs every core flat out until the rails die.
     const double dump_watts = phaseWatts(power_model, cores, 0, dimms);
+    const std::uint64_t seed = campaignSeed(config, 0x537973ULL);
 
-    for (std::uint64_t i = 0; i < config.cuts; ++i) {
+    return runSeededTrials(config, "SysPC", [&config, dry_ac,
+                                             dry_body_done,
+                                             dry_commit_at,
+                                             dump_watts, seed](
+                                                std::uint64_t i) {
+        CampaignResult result;
+        Rng rng(Rng::streamSeed(seed, i));
+
         // Every 8th trial aims inside the commit record's own write
         // — a window far too narrow for the energy sweep to hit.
         const bool force_commit_window = i % 8 == 7
@@ -367,18 +431,13 @@ runSysPcCampaign(const CampaignConfig &config)
         }
         got != 0 ? ++result.resumes : ++result.coldBoots;
         ++result.cuts;
-    }
-    return result;
+        return result;
+    });
 }
 
 CampaignResult
 runSCheckPcCampaign(const CampaignConfig &config)
 {
-    CampaignResult result;
-    result.mode = "S-CheckPC";
-    result.psu = config.psu.spec().name;
-    Rng rng(campaignSeed(config, 0x5343506bULL));
-
     const power::PowerModel power_model;
     constexpr std::uint64_t vm_bytes = 6 << 20;
     constexpr Tick period = 50 * tickMs;
@@ -399,8 +458,15 @@ runSCheckPcCampaign(const CampaignConfig &config)
     }
 
     const double dump_watts = phaseWatts(power_model, cores, 0, dimms);
+    const Tick dry_window = dry_commit_at - dry_start;
+    const std::uint64_t seed = campaignSeed(config, 0x5343506bULL);
 
-    for (std::uint64_t i = 0; i < config.cuts; ++i) {
+    return runSeededTrials(config, "S-CheckPC", [&config, dry_window,
+                                                 dump_watts, seed](
+                                                    std::uint64_t i) {
+        CampaignResult result;
+        Rng rng(Rng::streamSeed(seed, i));
+
         const bool have_history = rng.chance(0.7);
 
         ImageRig rig;
@@ -418,9 +484,8 @@ runSCheckPcCampaign(const CampaignConfig &config)
 
         // The cut races the dump that is running when AC drops.
         PowerRail profile(config.psu, dump_watts);
-        const Tick window = dry_commit_at - dry_start;
         const Tick cut = cutFromEnergyFraction(
-            config, profile, t, t + window + window / 4,
+            config, profile, t, t + dry_window + dry_window / 4,
             sweepFraction(i, config.cuts, rng));
 
         injector.armCut(cut, rng.next());
@@ -458,18 +523,13 @@ runSCheckPcCampaign(const CampaignConfig &config)
         }
         got != 0 ? ++result.resumes : ++result.coldBoots;
         ++result.cuts;
-    }
-    return result;
+        return result;
+    });
 }
 
 CampaignResult
 runACheckPcCampaign(const CampaignConfig &config)
 {
-    CampaignResult result;
-    result.mode = "A-CheckPC";
-    result.psu = config.psu.spec().name;
-    Rng rng(campaignSeed(config, 0x414350ULL));
-
     // Per-function checkpoints: a run of small committed dumps, each
     // body + fence + ledger record, sized like the decorator's
     // stack/heap captures (4-32 KB).
@@ -486,7 +546,6 @@ runACheckPcCampaign(const CampaignConfig &config)
     };
 
     // Dry run for the per-checkpoint body/commit windows.
-    std::vector<Tick> dry_body_done(checkpoints + 1, 0);
     std::vector<Tick> dry_commit_at(checkpoints + 1, 0);
     {
         ImageRig rig;
@@ -497,18 +556,25 @@ runACheckPcCampaign(const CampaignConfig &config)
             t = persist::writeBodyPattern(rig.pmem, t, slotAddr(k),
                                           bodyBytes(k), k);
             t = rig.pmem.fence(t);
-            dry_body_done[k] = t;
             t = ledger.commit(t, k, k & 1, bodyBytes(k), k);
             dry_commit_at[k] = ledger.lastCommitAt();
         }
     }
 
-    for (std::uint64_t i = 0; i < config.cuts; ++i) {
+    const Tick dry_total = dry_commit_at[checkpoints];
+    const std::uint64_t seed = campaignSeed(config, 0x414350ULL);
+
+    return runSeededTrials(config, "A-CheckPC", [bodyBytes, slotAddr,
+                                                 ledger_base,
+                                                 dry_total, seed](
+                                                    std::uint64_t i) {
+        CampaignResult result;
+        Rng rng(Rng::streamSeed(seed, i));
+
         // A-CheckPC checkpoints continuously; the cut is uniform
         // over the run (plus a post-run margin), no rail profile
         // needed to reach every window.
-        const Tick total = dry_commit_at[checkpoints];
-        const Tick cut = 1 + rng.below(total + total / 8);
+        const Tick cut = 1 + rng.below(dry_total + dry_total / 8);
 
         ImageRig rig;
         persist::CheckpointLedger ledger(rig.pmem, ledger_base);
@@ -578,8 +644,8 @@ runACheckPcCampaign(const CampaignConfig &config)
         }
         got != 0 ? ++result.resumes : ++result.coldBoots;
         ++result.cuts;
-    }
-    return result;
+        return result;
+    });
 }
 
 } // namespace lightpc::fault

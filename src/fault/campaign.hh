@@ -53,6 +53,15 @@ struct CampaignConfig
 
     /** The PSU whose stored energy gets scaled per trial. */
     power::PsuModel psu = power::PsuModel::atx();
+
+    /**
+     * Host threads fanning the trials out (0 = hardware
+     * concurrency). Every trial owns its rig and Rng stream and the
+     * per-trial results merge in canonical seed order, so the
+     * campaign aggregate — including its digest — is bit-identical
+     * at every thread count.
+     */
+    unsigned threads = 1;
 };
 
 /** Aggregated outcome of one campaign. */
@@ -82,11 +91,21 @@ struct CampaignResult
     std::uint64_t violations = 0;
     std::vector<std::string> violationNotes;
 
+    /**
+     * FNV digest over every counter above, computed after the
+     * canonical-order reduction (determinism anchor: equal at every
+     * thread count).
+     */
+    std::uint64_t digest = 0;
+
     std::uint64_t
     phaseCount(CutPhase phase) const
     {
         return phaseCuts[static_cast<std::size_t>(phase)];
     }
+
+    /** Fold another (partial) result's counters into this one. */
+    void merge(const CampaignResult &other);
 };
 
 /**

@@ -10,7 +10,9 @@
 #include "persist/checkpoint.hh"
 #include "power/power_model.hh"
 #include "psm/psm.hh"
+#include "sim/digest.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace lightpc::fault
 {
@@ -156,6 +158,42 @@ machineStateDigest(const kernel::Kernel &kern,
     return h;
 }
 
+void
+CompoundResult::merge(const CompoundResult &other)
+{
+    trials += other.trials;
+    stopCutTrials += other.stopCutTrials;
+    goCutTrials += other.goCutTrials;
+    brownoutTrials += other.brownoutTrials;
+    stormTrials += other.stormTrials;
+    for (std::size_t p = 0; p < stopPhaseCuts.size(); ++p)
+        stopPhaseCuts[p] += other.stopPhaseCuts[p];
+    for (std::size_t p = 0; p < goPhaseCuts.size(); ++p)
+        goPhaseCuts[p] += other.goPhaseCuts[p];
+    resumes += other.resumes;
+    coldBoots += other.coldBoots;
+    degradedColdBoots += other.degradedColdBoots;
+    supervisorRetries += other.supervisorRetries;
+    livelocks += other.livelocks;
+    abortedStops += other.abortedStops;
+    abortContinues += other.abortContinues;
+    baselineRetries += other.baselineRetries;
+    baselineRecoveries += other.baselineRecoveries;
+    tornResumes += other.tornResumes;
+    idempotenceChecks += other.idempotenceChecks;
+    stormCutsTotal += other.stormCutsTotal;
+    maxCutEpochs = std::max(maxCutEpochs, other.maxCutEpochs);
+    staleWritesRejected += other.staleWritesRejected;
+    droppedWrites += other.droppedWrites;
+    tornWrites += other.tornWrites;
+    violations += other.violations;
+    for (const std::string &note : other.violationNotes) {
+        if (violationNotes.size() >= 8)
+            break;
+        violationNotes.push_back(note);
+    }
+}
+
 namespace
 {
 
@@ -239,12 +277,6 @@ runCompoundCampaign(const CompoundConfig &config)
     using pecos::GoSubPhase;
     using pecos::StopSubPhase;
 
-    CompoundResult result;
-    result.psu = config.psu.spec().name;
-
-    Rng rng(config.seed ^ 0x636f6d70ULL);  // "comp"
-    CutStorm storm(config.seed * 0x9e3779b97f4a7c15ULL + 1);
-
     // Dry runs: the Stop and Go timelines (construction is
     // deterministic, so every trial replays these boundaries until a
     // cut diverges it).
@@ -265,7 +297,20 @@ runCompoundCampaign(const CompoundConfig &config)
     const double watts = busyWatts(power_model, cores, dimms);
     const Tick holdup = config.psu.holdupTime(watts);
 
-    for (std::uint64_t i = 0; i < config.trials; ++i) {
+    // Each trial's randomness is a pure function of (seed, i): an
+    // Rng stream and a CutStorm stream of its own, so trials can run
+    // on any worker in any order and still replay the sequential
+    // campaign exactly.
+    const std::uint64_t rng_seed = config.seed ^ 0x636f6d70ULL;  // "comp"
+    const std::uint64_t storm_seed =
+        config.seed * 0x9e3779b97f4a7c15ULL + 1;
+
+    auto trial = [&config, &dryStop, &dryGo, goWindow, watts, holdup,
+                  rng_seed, storm_seed](std::uint64_t i) {
+        CompoundResult result;
+        Rng rng(Rng::streamSeed(rng_seed, i));
+        CutStorm storm(Rng::streamSeed(storm_seed, i));
+
         const int scenario = static_cast<int>(i % 4);
 
         if (scenario == 0) {
@@ -659,16 +704,20 @@ runCompoundCampaign(const CompoundConfig &config)
                 result.maxCutEpochs, rig.store.cutEpoch());
         }
         ++result.trials;
-    }
+        return result;
+    };
+
+    sim::ParallelExecutor pool(config.threads);
+    CompoundResult result = pool.reduce<CompoundResult>(
+        config.trials, CompoundResult{}, trial,
+        [](CompoundResult &acc, const CompoundResult &partial) {
+            acc.merge(partial);
+        });
+    result.psu = config.psu.spec().name;
 
     // Determinism anchor over every counter.
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    auto mix = [&h](std::uint64_t v) {
-        for (int b = 0; b < 8; ++b) {
-            h ^= (v >> (8 * b)) & 0xff;
-            h *= 0x100000001b3ULL;
-        }
-    };
+    sim::Fnv64 fnv;
+    auto mix = [&fnv](std::uint64_t v) { fnv.mix(v); };
     mix(result.trials);
     mix(result.stopCutTrials);
     mix(result.goCutTrials);
@@ -695,7 +744,7 @@ runCompoundCampaign(const CompoundConfig &config)
     mix(result.droppedWrites);
     mix(result.tornWrites);
     mix(result.violations);
-    result.digest = h;
+    result.digest = fnv.h;
     return result;
 }
 

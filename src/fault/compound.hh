@@ -181,6 +181,15 @@ struct CompoundConfig
 
     /** Storm mean gap as a fraction of the measured hold-up. */
     double stormGapFraction = 0.6;
+
+    /**
+     * Host threads fanning the trials out (0 = hardware
+     * concurrency). Each trial owns its rigs, Rng stream, and storm
+     * generator — all pure functions of (seed, trial index) — and
+     * the partials merge in canonical index order, so the campaign
+     * aggregate and digest are bit-identical at every thread count.
+     */
+    unsigned threads = 1;
 };
 
 /** Aggregated compound-campaign outcome. */
@@ -245,6 +254,9 @@ struct CompoundResult
     {
         return goPhaseCuts[static_cast<std::size_t>(phase)];
     }
+
+    /** Fold another (partial) result's counters into this one. */
+    void merge(const CompoundResult &other);
 };
 
 /** Run one seeded compound campaign. */

@@ -9,6 +9,8 @@
 #include "pecos/mce.hh"
 #include "pecos/sng.hh"
 #include "psm/scrub.hh"
+#include "sim/digest.hh"
+#include "sim/parallel.hh"
 #include "sim/rng.hh"
 
 namespace lightpc::fault
@@ -96,14 +98,71 @@ struct PsmFold
     }
 };
 
+/** One trial's partial: the campaign counters it contributed plus
+ *  its share of one sweep cell, tagged with the cell's index so the
+ *  canonical-order fold can reassemble the cell list. */
+struct RasTrialPartial
+{
+    std::uint64_t cellIdx = 0;
+    RasCampaignResult agg;
+    RasCell cell;
+};
+
+void
+mergeCell(RasCell &acc, const RasCell &partial)
+{
+    acc.trials += partial.trials;
+    acc.checkedReads += partial.checkedReads;
+    acc.corrected += partial.corrected;
+    acc.symbolCorrections += partial.symbolCorrections;
+    acc.parityRewrites += partial.parityRewrites;
+    acc.uncorrectable += partial.uncorrectable;
+    acc.retired += partial.retired;
+    acc.sdc += partial.sdc;
+    acc.mceContained += partial.mceContained;
+    acc.mceColdBoots += partial.mceColdBoots;
+}
+
+void
+mergeAgg(RasCampaignResult &acc, const RasCampaignResult &partial)
+{
+    acc.trials += partial.trials;
+    acc.reads += partial.reads;
+    acc.writes += partial.writes;
+    acc.sdcEvents += partial.sdcEvents;
+    acc.checkedReads += partial.checkedReads;
+    acc.correctedReads += partial.correctedReads;
+    acc.symbolCorrections += partial.symbolCorrections;
+    acc.parityRewrites += partial.parityRewrites;
+    acc.uncorrectableReads += partial.uncorrectableReads;
+    acc.mceContained += partial.mceContained;
+    acc.mceColdBoots += partial.mceColdBoots;
+    acc.tasksKilled += partial.tasksKilled;
+    acc.kernelEscalations += partial.kernelEscalations;
+    acc.linesRetired += partial.linesRetired;
+    acc.spareExhausted += partial.spareExhausted;
+    acc.scrubbedLines += partial.scrubbedLines;
+    acc.scrubRepairs += partial.scrubRepairs;
+    acc.scrubDeferrals += partial.scrubDeferrals;
+    acc.containSurvivedSng += partial.containSurvivedSng;
+    acc.resumes += partial.resumes;
+    acc.coldBootResumes += partial.coldBootResumes;
+    acc.cutTrials += partial.cutTrials;
+    acc.droppedWrites += partial.droppedWrites;
+    acc.tornWrites += partial.tornWrites;
+    acc.violations += partial.violations;
+    for (const std::string &note : partial.violationNotes) {
+        if (acc.violationNotes.size() >= 8)
+            break;
+        acc.violationNotes.push_back(note);
+    }
+}
+
 } // namespace
 
 RasCampaignResult
 runRasCampaign(const RasCampaignConfig &config)
 {
-    RasCampaignResult result;
-    Rng sweep_rng(config.seed ^ 0x726173736e67ULL);  // "rassng"
-
     // One dry SnG stop on the trial geometry for the power-cut
     // window (construction is deterministic, so every trial's Stop
     // timeline is close to this one; the sweep jitter covers the
@@ -122,214 +181,292 @@ runRasCampaign(const RasCampaignConfig &config)
     const psm::McePolicy policies[] = {psm::McePolicy::Contain,
                                        psm::McePolicy::ResetColdBoot};
 
-    std::uint64_t trial_idx = 0;
-    for (const double ber : config.bers) {
-        for (const double wear : config.wearLevels) {
-            for (const psm::McePolicy policy : policies) {
-                RasCell cell;
-                cell.ber = ber;
-                cell.wear = wear;
-                cell.policy = policy == psm::McePolicy::Contain
-                    ? "contain" : "reset-cold-boot";
+    // Flatten the (ber x wear x policy x seed) nest into one trial
+    // index so the pool can fan the whole sweep out: cell-major in
+    // the sequential nest's order, seeds innermost.
+    const std::uint64_t n_cells = config.bers.size()
+        * config.wearLevels.size() * std::size(policies);
+    const std::uint64_t total = n_cells * config.seedsPerCell;
+    const std::uint64_t sweep_seed =
+        config.seed ^ 0x726173736e67ULL;  // "rassng"
 
-                for (std::uint64_t s = 0; s < config.seedsPerCell;
-                     ++s, ++trial_idx) {
-                    const std::uint64_t trial_seed = sweep_rng.next();
-                    Rng rng(trial_seed);
+    auto trial = [&config, &policies, dry_stop_ticks,
+                  sweep_seed](std::uint64_t trial_idx) {
+        RasTrialPartial partial;
+        RasCampaignResult &result = partial.agg;
+        RasCell &cell = partial.cell;
 
-                    // Odd seeds run the Section VIII symbol-erasure
-                    // fallback: double-erasures become counted RS
-                    // corrections instead of machine checks, so both
-                    // ECC tiers see traffic in every cell.
-                    const bool rs_fallback = s % 2 == 1;
+        const std::uint64_t s = trial_idx % config.seedsPerCell;
+        partial.cellIdx = trial_idx / config.seedsPerCell;
+        const std::uint64_t policy_idx =
+            partial.cellIdx % std::size(policies);
+        const std::uint64_t wear_idx = partial.cellIdx
+            / std::size(policies) % config.wearLevels.size();
+        const std::uint64_t ber_idx = partial.cellIdx
+            / std::size(policies) / config.wearLevels.size();
 
-                    kernel::Kernel kern(trialKernelParams());
-                    psm::Psm psm(trialPsmParams(config, ber, policy,
-                                                trial_seed,
-                                                rs_fallback));
-                    mem::BackingStore store;
-                    pecos::Sng sng(kern, psm, store, {});
-                    pecos::MceHandler mce(kern, psm);
-                    psm::ScrubParams sp;
-                    sp.linesPerStep = config.scrubLinesPerStep;
-                    psm::PatrolScrubber scrubber(psm, sp);
-                    FaultInjector injector(store);
+        const double ber = config.bers[ber_idx];
+        const double wear = config.wearLevels[wear_idx];
+        const psm::McePolicy policy = policies[policy_idx];
+        cell.ber = ber;
+        cell.wear = wear;
+        cell.policy = policy == psm::McePolicy::Contain
+            ? "contain" : "reset-cold-boot";
 
-                    // Pre-condition the media to the cell's wear
-                    // level (campaign aging, not simulated writes).
-                    const std::uint64_t wear_cycles =
-                        static_cast<std::uint64_t>(
-                            wear
-                            * static_cast<double>(
-                                psm.params()
-                                    .dimm.device.enduranceCycles));
-                    for (std::uint32_t d = 0;
-                         d < psm.params().dimms; ++d)
-                        for (std::uint32_t g = 0;
-                             g < psm.dimm(d).groupCount(); ++g)
-                            psm.dimm(d).group(g).preWear(wear_cycles);
+        const std::uint64_t trial_seed =
+            Rng::streamSeed(sweep_seed, trial_idx);
+        Rng rng(trial_seed);
 
-                    // Register the hot region's ownership: a few
-                    // user processes, each owning one slice, so
-                    // successive contained MCEs blame (and kill)
-                    // different tasks.
-                    const std::uint64_t region_bytes =
-                        config.regionLines * mem::cacheLineBytes;
-                    std::vector<std::uint32_t> victim_pids;
-                    for (const auto &proc : kern.processes()) {
-                        if (proc->pid() == 1
-                            || proc->isKernelThread())
-                            continue;
-                        victim_pids.push_back(proc->pid());
-                        if (victim_pids.size() >= config.victims)
-                            break;
-                    }
-                    const std::uint64_t slice =
-                        region_bytes
-                        / std::max<std::size_t>(victim_pids.size(),
-                                                1);
-                    for (std::size_t v = 0; v < victim_pids.size();
-                         ++v)
-                        mce.registerOwner(v * slice, slice,
-                                          victim_pids[v]);
+        // Odd seeds run the Section VIII symbol-erasure
+        // fallback: double-erasures become counted RS
+        // corrections instead of machine checks, so both
+        // ECC tiers see traffic in every cell.
+        const bool rs_fallback = s % 2 == 1;
 
-                    // --- demand phase -----------------------------
-                    PsmFold fold;
-                    bool contained_this_trial = false;
-                    bool retired_on_contain = false;
-                    Tick t = 0;
-                    for (std::uint64_t op = 0;
-                         op < config.opsPerTrial; ++op) {
-                        mem::MemRequest req;
-                        req.addr =
-                            rng.below(config.regionLines)
-                            * mem::cacheLineBytes;
-                        req.op = rng.chance(config.writeFraction)
-                            ? mem::MemOp::Write : mem::MemOp::Read;
-                        const mem::AccessResult res =
-                            psm.access(req, t);
-                        t = res.completeAt + 5 * tickNs;
-                        req.op == mem::MemOp::Read ? ++result.reads
-                                                   : ++result.writes;
+        kernel::Kernel kern(trialKernelParams());
+        psm::Psm psm(trialPsmParams(config, ber, policy,
+                                    trial_seed,
+                                    rs_fallback));
+        mem::BackingStore store;
+        pecos::Sng sng(kern, psm, store, {});
+        pecos::MceHandler mce(kern, psm);
+        psm::ScrubParams sp;
+        sp.linesPerStep = config.scrubLinesPerStep;
+        psm::PatrolScrubber scrubber(psm, sp);
+        FaultInjector injector(store);
 
-                        if (res.containment) {
-                            // Escalate: the host machine check. The
-                            // ColdBoot arm wipes the PSM stats, so
-                            // fold the epoch first.
-                            fold.fold(psm.stats(), result, cell);
-                            const pecos::MceOutcome out =
-                                mce.handle(req.addr, t);
-                            fold.prev = psm.stats();
-                            if (out.action
-                                == pecos::MceAction::Contained) {
-                                contained_this_trial = true;
-                                if (out.lineRetired)
-                                    retired_on_contain = true;
-                            }
-                        }
-                        if (config.scrubEveryOps
-                            && op % config.scrubEveryOps == 0)
-                            scrubber.step(t);
-                    }
+        // Pre-condition the media to the cell's wear
+        // level (campaign aging, not simulated writes).
+        const std::uint64_t wear_cycles =
+            static_cast<std::uint64_t>(
+                wear
+                * static_cast<double>(
+                    psm.params()
+                        .dimm.device.enduranceCycles));
+        for (std::uint32_t d = 0;
+             d < psm.params().dimms; ++d)
+            for (std::uint32_t g = 0;
+                 g < psm.dimm(d).groupCount(); ++g)
+                psm.dimm(d).group(g).preWear(wear_cycles);
 
-                    // --- SnG phase: stop, lose power, resume ------
-                    const bool cut_armed = config.powerCutEvery
-                        && trial_idx % config.powerCutEvery == 0;
-                    Tick cut = maxTick;
-                    if (cut_armed) {
-                        cut = t
-                            + rng.below(dry_stop_ticks
-                                        + dry_stop_ticks / 4 + 1);
-                        injector.armCut(cut, rng.next());
-                        ++result.cutTrials;
-                    }
-
-                    const kernel::SystemSnapshot before =
-                        kern.snapshot();
-                    const pecos::StopReport stop = sng.stop(t);
-                    result.droppedWrites += stop.writesDropped;
-                    result.tornWrites += stop.writesTorn;
-
-                    // Power loss: volatile state is gone either way
-                    // (the stop was for a shutdown); scramble so a
-                    // resume reading stale volatile copies cannot
-                    // pass the register check.
-                    kern.scramble(rng);
-                    if (cut_armed)
-                        injector.powerRestored();
-
-                    const bool expect_resume = stop.commitAt < cut;
-                    if (sng.hasCommit() != expect_resume) {
-                        std::ostringstream note;
-                        note << "ras trial " << trial_idx << " cut@"
-                             << cut << ": commit durable="
-                             << sng.hasCommit() << " expected="
-                             << expect_resume;
-                        flagViolation(result, note.str());
-                    }
-
-                    const pecos::GoReport go =
-                        sng.resume((cut_armed ? cut : stop.offlineDone)
-                                   + 100 * tickMs);
-                    if (go.coldBoot == expect_resume) {
-                        std::ostringstream note;
-                        note << "ras trial " << trial_idx
-                             << ": coldBoot=" << go.coldBoot
-                             << " but commit durable="
-                             << expect_resume;
-                        flagViolation(result, note.str());
-                    }
-
-                    if (!go.coldBoot) {
-                        // Byte-exact register + device-cookie
-                        // round-trip through OC-PMEM (scramble above
-                        // guarantees stale volatile copies cannot
-                        // pass). Task state is excluded: resume
-                        // legitimately transitions it.
-                        const kernel::SystemSnapshot after =
-                            kern.snapshot();
-                        bool regs_ok =
-                            after.entries.size()
-                                == before.entries.size()
-                            && after.deviceCookies
-                                == before.deviceCookies;
-                        for (std::size_t p = 0; regs_ok
-                             && p < after.entries.size(); ++p) {
-                            regs_ok = after.entries[p].pid
-                                    == before.entries[p].pid
-                                && after.entries[p].regs
-                                    == before.entries[p].regs;
-                        }
-                        if (!regs_ok) {
-                            std::ostringstream note;
-                            note << "ras trial " << trial_idx
-                                 << ": resumed with corrupt state";
-                            flagViolation(result, note.str());
-                        }
-                        ++result.resumes;
-                        if (policy == psm::McePolicy::Contain
-                            && contained_this_trial
-                            && retired_on_contain)
-                            ++result.containSurvivedSng;
-                    } else {
-                        ++result.coldBootResumes;
-                    }
-
-                    fold.fold(psm.stats(), result, cell);
-                    cell.mceContained += mce.stats().contained;
-                    cell.mceColdBoots += mce.stats().coldBoots;
-                    result.mceContained += mce.stats().contained;
-                    result.mceColdBoots += mce.stats().coldBoots;
-                    result.tasksKilled += mce.stats().tasksKilled;
-                    result.kernelEscalations +=
-                        mce.stats().kernelEscalations;
-                    ++cell.trials;
-                    ++result.trials;
-                }
-                result.cells.push_back(cell);
-            }
+        // Register the hot region's ownership: a few
+        // user processes, each owning one slice, so
+        // successive contained MCEs blame (and kill)
+        // different tasks.
+        const std::uint64_t region_bytes =
+            config.regionLines * mem::cacheLineBytes;
+        std::vector<std::uint32_t> victim_pids;
+        for (const auto &proc : kern.processes()) {
+            if (proc->pid() == 1
+                || proc->isKernelThread())
+                continue;
+            victim_pids.push_back(proc->pid());
+            if (victim_pids.size() >= config.victims)
+                break;
         }
+        const std::uint64_t slice =
+            region_bytes
+            / std::max<std::size_t>(victim_pids.size(),
+                                    1);
+        for (std::size_t v = 0; v < victim_pids.size();
+             ++v)
+            mce.registerOwner(v * slice, slice,
+                              victim_pids[v]);
+
+        // --- demand phase -----------------------------
+        PsmFold fold;
+        bool contained_this_trial = false;
+        bool retired_on_contain = false;
+        Tick t = 0;
+        for (std::uint64_t op = 0;
+             op < config.opsPerTrial; ++op) {
+            mem::MemRequest req;
+            req.addr =
+                rng.below(config.regionLines)
+                * mem::cacheLineBytes;
+            req.op = rng.chance(config.writeFraction)
+                ? mem::MemOp::Write : mem::MemOp::Read;
+            const mem::AccessResult res =
+                psm.access(req, t);
+            t = res.completeAt + 5 * tickNs;
+            req.op == mem::MemOp::Read ? ++result.reads
+                                       : ++result.writes;
+
+            if (res.containment) {
+                // Escalate: the host machine check. The
+                // ColdBoot arm wipes the PSM stats, so
+                // fold the epoch first.
+                fold.fold(psm.stats(), result, cell);
+                const pecos::MceOutcome out =
+                    mce.handle(req.addr, t);
+                fold.prev = psm.stats();
+                if (out.action
+                    == pecos::MceAction::Contained) {
+                    contained_this_trial = true;
+                    if (out.lineRetired)
+                        retired_on_contain = true;
+                }
+            }
+            if (config.scrubEveryOps
+                && op % config.scrubEveryOps == 0)
+                scrubber.step(t);
+        }
+
+        // --- SnG phase: stop, lose power, resume ------
+        const bool cut_armed = config.powerCutEvery
+            && trial_idx % config.powerCutEvery == 0;
+        Tick cut = maxTick;
+        if (cut_armed) {
+            cut = t
+                + rng.below(dry_stop_ticks
+                            + dry_stop_ticks / 4 + 1);
+            injector.armCut(cut, rng.next());
+            ++result.cutTrials;
+        }
+
+        const kernel::SystemSnapshot before =
+            kern.snapshot();
+        const pecos::StopReport stop = sng.stop(t);
+        result.droppedWrites += stop.writesDropped;
+        result.tornWrites += stop.writesTorn;
+
+        // Power loss: volatile state is gone either way
+        // (the stop was for a shutdown); scramble so a
+        // resume reading stale volatile copies cannot
+        // pass the register check.
+        kern.scramble(rng);
+        if (cut_armed)
+            injector.powerRestored();
+
+        const bool expect_resume = stop.commitAt < cut;
+        if (sng.hasCommit() != expect_resume) {
+            std::ostringstream note;
+            note << "ras trial " << trial_idx << " cut@"
+                 << cut << ": commit durable="
+                 << sng.hasCommit() << " expected="
+                 << expect_resume;
+            flagViolation(result, note.str());
+        }
+
+        const pecos::GoReport go =
+            sng.resume((cut_armed ? cut : stop.offlineDone)
+                       + 100 * tickMs);
+        if (go.coldBoot == expect_resume) {
+            std::ostringstream note;
+            note << "ras trial " << trial_idx
+                 << ": coldBoot=" << go.coldBoot
+                 << " but commit durable="
+                 << expect_resume;
+            flagViolation(result, note.str());
+        }
+
+        if (!go.coldBoot) {
+            // Byte-exact register + device-cookie
+            // round-trip through OC-PMEM (scramble above
+            // guarantees stale volatile copies cannot
+            // pass). Task state is excluded: resume
+            // legitimately transitions it.
+            const kernel::SystemSnapshot after =
+                kern.snapshot();
+            bool regs_ok =
+                after.entries.size()
+                    == before.entries.size()
+                && after.deviceCookies
+                    == before.deviceCookies;
+            for (std::size_t p = 0; regs_ok
+                 && p < after.entries.size(); ++p) {
+                regs_ok = after.entries[p].pid
+                        == before.entries[p].pid
+                    && after.entries[p].regs
+                        == before.entries[p].regs;
+            }
+            if (!regs_ok) {
+                std::ostringstream note;
+                note << "ras trial " << trial_idx
+                     << ": resumed with corrupt state";
+                flagViolation(result, note.str());
+            }
+            ++result.resumes;
+            if (policy == psm::McePolicy::Contain
+                && contained_this_trial
+                && retired_on_contain)
+                ++result.containSurvivedSng;
+        } else {
+            ++result.coldBootResumes;
+        }
+
+        fold.fold(psm.stats(), result, cell);
+        cell.mceContained += mce.stats().contained;
+        cell.mceColdBoots += mce.stats().coldBoots;
+        result.mceContained += mce.stats().contained;
+        result.mceColdBoots += mce.stats().coldBoots;
+        result.tasksKilled += mce.stats().tasksKilled;
+        result.kernelEscalations +=
+            mce.stats().kernelEscalations;
+        ++cell.trials;
+        ++result.trials;
+        return partial;
+    };
+
+    // Fan the trials out, then fold in ascending trial index: cell
+    // partials land cell-major, so appending on each cell boundary
+    // reconstructs the sequential sweep's cell list exactly.
+    sim::ParallelExecutor pool(config.threads);
+    const std::vector<RasTrialPartial> partials =
+        pool.map<RasTrialPartial>(total, trial);
+
+    RasCampaignResult result;
+    for (const RasTrialPartial &partial : partials) {
+        mergeAgg(result, partial.agg);
+        if (result.cells.size() <= partial.cellIdx) {
+            RasCell cell;
+            cell.ber = partial.cell.ber;
+            cell.wear = partial.cell.wear;
+            cell.policy = partial.cell.policy;
+            result.cells.push_back(cell);
+        }
+        mergeCell(result.cells[partial.cellIdx], partial.cell);
     }
+
+    sim::Fnv64 digest;
+    digest.mix(result.trials);
+    digest.mix(result.reads);
+    digest.mix(result.writes);
+    digest.mix(result.sdcEvents);
+    digest.mix(result.checkedReads);
+    digest.mix(result.correctedReads);
+    digest.mix(result.symbolCorrections);
+    digest.mix(result.parityRewrites);
+    digest.mix(result.uncorrectableReads);
+    digest.mix(result.mceContained);
+    digest.mix(result.mceColdBoots);
+    digest.mix(result.tasksKilled);
+    digest.mix(result.kernelEscalations);
+    digest.mix(result.linesRetired);
+    digest.mix(result.spareExhausted);
+    digest.mix(result.scrubbedLines);
+    digest.mix(result.scrubRepairs);
+    digest.mix(result.scrubDeferrals);
+    digest.mix(result.containSurvivedSng);
+    digest.mix(result.resumes);
+    digest.mix(result.coldBootResumes);
+    digest.mix(result.cutTrials);
+    digest.mix(result.droppedWrites);
+    digest.mix(result.tornWrites);
+    digest.mix(result.violations);
+    for (const RasCell &cell : result.cells) {
+        digest.mix(cell.trials);
+        digest.mix(cell.checkedReads);
+        digest.mix(cell.corrected);
+        digest.mix(cell.symbolCorrections);
+        digest.mix(cell.parityRewrites);
+        digest.mix(cell.uncorrectable);
+        digest.mix(cell.retired);
+        digest.mix(cell.sdc);
+        digest.mix(cell.mceContained);
+        digest.mix(cell.mceColdBoots);
+    }
+    result.digest = digest.h;
     return result;
 }
 

@@ -73,6 +73,15 @@ struct RasCampaignConfig
 
     /** User processes registered as owners of the working set. */
     std::uint32_t victims = 8;
+
+    /**
+     * Host threads fanning the trials out (0 = hardware
+     * concurrency). Trial randomness is a pure function of the
+     * flattened trial index, and per-trial partials merge in
+     * canonical index order, so the sweep aggregate — including its
+     * digest — is bit-identical at every thread count.
+     */
+    unsigned threads = 1;
 };
 
 /** Aggregates of one (ber, wear, policy) cell. */
@@ -140,6 +149,13 @@ struct RasCampaignResult
     std::vector<std::string> violationNotes;
 
     std::vector<RasCell> cells;
+
+    /**
+     * FNV digest over the counters above and every cell, computed
+     * after the canonical-order reduction (determinism anchor:
+     * equal at every thread count).
+     */
+    std::uint64_t digest = 0;
 };
 
 /** Run the full (ber x wear x policy x seed) sweep. */

@@ -11,6 +11,7 @@
 #include "platform/system.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace lightpc::net
 {
@@ -642,6 +643,16 @@ runService(const ServiceConfig &config)
               " cuts");
     Plane plane(config);
     return plane.run();
+}
+
+std::vector<ServiceResult>
+runServiceSuite(const std::vector<ServiceConfig> &configs,
+                unsigned threads)
+{
+    sim::ParallelExecutor pool(threads);
+    return pool.map<ServiceResult>(
+        configs.size(),
+        [&configs](std::uint64_t i) { return runService(configs[i]); });
 }
 
 } // namespace lightpc::net

@@ -220,6 +220,18 @@ struct ServiceResult
 /** Run one configuration to completion. */
 ServiceResult runService(const ServiceConfig &config);
 
+/**
+ * Run a suite of configurations, fanned across @p threads host
+ * threads (0 = hardware concurrency). Each run owns its whole
+ * platform and event queue, and results come back in the input's
+ * order regardless of which worker finished first — so a suite is
+ * bit-identical to running each config sequentially, digests
+ * included.
+ */
+std::vector<ServiceResult>
+runServiceSuite(const std::vector<ServiceConfig> &configs,
+                unsigned threads = 1);
+
 } // namespace lightpc::net
 
 #endif // LIGHTPC_NET_SERVICE_PLANE_HH

@@ -1,20 +1,38 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace lightpc
 {
 
 namespace
 {
-bool logQuiet = false;
+
+std::atomic<bool> logQuiet{false};
+
+/**
+ * One global sink guarded by one mutex: parallel campaign trials all
+ * report through here, and each message must land as one intact line
+ * (never interleaved mid-line with another worker's). Messages are
+ * formatted before the lock, so the critical section is a single
+ * stream insertion.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 } // namespace
 
 void
 setLogQuiet(bool quiet)
 {
-    logQuiet = quiet;
+    logQuiet.store(quiet, std::memory_order_relaxed);
 }
 
 namespace detail
@@ -23,7 +41,10 @@ namespace detail
 void
 panicImpl(const char *, int, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    {
+        const std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "panic: " + msg + "\n" << std::flush;
+    }
     std::abort();
 }
 
@@ -36,15 +57,19 @@ fatalImpl(const char *, int, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!logQuiet)
-        std::cerr << "warn: " << msg << std::endl;
+    if (logQuiet.load(std::memory_order_relaxed))
+        return;
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << "warn: " + msg + "\n" << std::flush;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!logQuiet)
-        std::cout << "info: " << msg << std::endl;
+    if (logQuiet.load(std::memory_order_relaxed))
+        return;
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::cout << "info: " + msg + "\n" << std::flush;
 }
 
 } // namespace detail

@@ -6,6 +6,11 @@
  * itself and aborts; fatal() is for user-caused conditions (bad
  * configuration) and throws so that tests can observe it; warn() and
  * inform() report without stopping.
+ *
+ * All reporting paths are thread-safe: messages are formatted on the
+ * calling thread and written to the shared sink under one mutex, so
+ * parallel campaign trials can never interleave or tear each other's
+ * log lines.
  */
 
 #ifndef LIGHTPC_SIM_LOGGING_HH

@@ -1,0 +1,169 @@
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace lightpc::sim
+{
+
+unsigned
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+unsigned
+resolveThreads(unsigned requested)
+{
+    return requested ? requested : hardwareThreads();
+}
+
+ParallelExecutor::ParallelExecutor(unsigned threads)
+    : nThreads(resolveThreads(threads))
+{}
+
+namespace
+{
+
+constexpr std::uint64_t noIndex = ~std::uint64_t(0);
+
+/**
+ * One worker's slice of the trial index space. The owner pops from
+ * the front, thieves carve off the back half; both under the shard
+ * mutex. Trials run for milliseconds, so an uncontended lock per pop
+ * is noise — what matters is that an index is claimed exactly once.
+ */
+struct Shard
+{
+    std::mutex m;
+    std::uint64_t next = 0;
+    std::uint64_t end = 0;
+};
+
+std::uint64_t
+popOwn(Shard &shard)
+{
+    const std::lock_guard<std::mutex> lock(shard.m);
+    return shard.next < shard.end ? shard.next++ : noIndex;
+}
+
+/**
+ * Steal the back half of @p victim into @p self (which must be
+ * empty). Returns true when work moved.
+ */
+bool
+stealInto(Shard &victim, Shard &self)
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    {
+        const std::lock_guard<std::mutex> lock(victim.m);
+        const std::uint64_t rem = victim.end - victim.next;
+        if (rem < 2)
+            return false;  // a lone index stays with its owner
+        const std::uint64_t take = rem / 2;
+        hi = victim.end;
+        lo = victim.end - take;
+        victim.end = lo;
+    }
+    const std::lock_guard<std::mutex> lock(self.m);
+    self.next = lo;
+    self.end = hi;
+    return true;
+}
+
+} // namespace
+
+void
+ParallelExecutor::forEach(
+    std::uint64_t count,
+    const std::function<void(std::uint64_t)> &fn) const
+{
+    if (count == 0)
+        return;
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::uint64_t>(nThreads, count));
+    if (workers <= 1) {
+        // The sequential kernel: no pool, no locks, ascending order.
+        for (std::uint64_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // Carve the index space into one contiguous slice per worker.
+    std::vector<Shard> shards(workers);
+    const std::uint64_t base = count / workers;
+    const std::uint64_t extra = count % workers;
+    std::uint64_t at = 0;
+    for (unsigned w = 0; w < workers; ++w) {
+        const std::uint64_t len = base + (w < extra ? 1 : 0);
+        shards[w].next = at;
+        shards[w].end = at + len;
+        at += len;
+    }
+
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+
+    auto worker = [&](unsigned self) {
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            std::uint64_t idx = popOwn(shards[self]);
+            if (idx == noIndex) {
+                // Steal from the fullest victim; re-sweep until a
+                // full pass finds every shard empty (work is never
+                // re-added, so that pass is the termination proof).
+                unsigned victim = workers;
+                std::uint64_t best = 0;
+                for (unsigned v = 0; v < workers; ++v) {
+                    if (v == self)
+                        continue;
+                    const std::lock_guard<std::mutex> lock(
+                        shards[v].m);
+                    const std::uint64_t rem =
+                        shards[v].end - shards[v].next;
+                    if (rem > best) {
+                        best = rem;
+                        victim = v;
+                    }
+                }
+                if (victim == workers)
+                    return;  // everything everywhere is claimed
+                if (best >= 2
+                    && stealInto(shards[victim], shards[self]))
+                    idx = popOwn(shards[self]);
+                else
+                    idx = popOwn(shards[victim]);
+                if (idx == noIndex)
+                    continue;  // lost the race; sweep again
+            }
+            try {
+                fn(idx);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w)
+        pool.emplace_back(worker, w);
+    worker(0);
+    for (std::thread &th : pool)
+        th.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace lightpc::sim

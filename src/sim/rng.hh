@@ -34,6 +34,26 @@ class Rng
         }
     }
 
+    /**
+     * Seed of the @p index-th independent stream of a campaign
+     * rooted at @p seed. Trials that each construct
+     * Rng(streamSeed(seed, i)) draw decorrelated sequences that
+     * depend only on (seed, i) — never on how many values any other
+     * trial consumed — which is what lets a thread pool run trials
+     * in any order and still reproduce the sequential campaign
+     * bit-for-bit.
+     */
+    static std::uint64_t
+    streamSeed(std::uint64_t seed, std::uint64_t index)
+    {
+        // splitmix64 finalizer over the (seed, index) pair.
+        std::uint64_t z =
+            seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -24,14 +25,18 @@
 namespace
 {
 
-std::uint64_t g_newCalls = 0;
+// Atomic because the override counts every allocation in the whole
+// test binary, including ones made on ParallelExecutor workers in
+// other test files. The allocation-free assertions below are all
+// single-threaded, so relaxed counting is exact where it matters.
+std::atomic<std::uint64_t> g_newCalls{0};
 
 } // namespace
 
 void *
 operator new(std::size_t size)
 {
-    ++g_newCalls;
+    g_newCalls.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(size))
         return p;
     throw std::bad_alloc();
@@ -40,7 +45,7 @@ operator new(std::size_t size)
 void *
 operator new[](std::size_t size)
 {
-    ++g_newCalls;
+    g_newCalls.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(size))
         return p;
     throw std::bad_alloc();

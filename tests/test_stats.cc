@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 #include "stats/histogram.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
@@ -314,6 +315,186 @@ TEST(Table, CsvOutput)
               "plain,1\n"
               "\"with,comma\",2\n"
               "\"with\"\"quote\",3\n");
+}
+
+} // namespace
+
+// --- merge algebra (the parallel-reduction contract) ---------------
+//
+// The campaign engine folds per-trial partials in canonical index
+// order, but the merge operations themselves must also be
+// order-independent and associative so that *any* grouping of
+// partials — per-worker pre-merges included — yields one answer.
+
+namespace
+{
+
+std::vector<std::vector<double>>
+randomChunks(std::uint64_t seed, std::size_t chunks)
+{
+    lightpc::Rng rng(seed);
+    std::vector<std::vector<double>> out(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t n = 1 + rng.below(40);
+        for (std::size_t i = 0; i < n; ++i)
+            out[c].push_back(rng.uniform() * 1e4 - 5e3);
+    }
+    return out;
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    for (const double x : xs)
+        s.add(x);
+    return s;
+}
+
+void
+expectSummariesEqual(const Summary &a, const Summary &b)
+{
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_DOUBLE_EQ(a.min(), b.min());
+    EXPECT_DOUBLE_EQ(a.max(), b.max());
+    EXPECT_NEAR(a.sum(), b.sum(), 1e-6 * std::abs(a.sum()) + 1e-9);
+    EXPECT_NEAR(a.mean(), b.mean(),
+                1e-9 * std::abs(a.mean()) + 1e-9);
+    EXPECT_NEAR(a.variance(), b.variance(),
+                1e-6 * a.variance() + 1e-6);
+}
+
+TEST(SummaryMerge, OrderIndependent)
+{
+    const auto chunks = randomChunks(11, 12);
+
+    Summary forward;
+    for (const auto &c : chunks)
+        forward.merge(summarize(c));
+
+    Summary backward;
+    for (auto it = chunks.rbegin(); it != chunks.rend(); ++it)
+        backward.merge(summarize(*it));
+
+    expectSummariesEqual(forward, backward);
+}
+
+TEST(SummaryMerge, AssociativeAndMatchesPooledAdd)
+{
+    const auto chunks = randomChunks(23, 9);
+
+    // ((a+b)+c)+... — the sequential fold.
+    Summary folded;
+    for (const auto &c : chunks)
+        folded.merge(summarize(c));
+
+    // Pairwise tree — the per-worker pre-merge grouping.
+    std::vector<Summary> level;
+    for (const auto &c : chunks)
+        level.push_back(summarize(c));
+    while (level.size() > 1) {
+        std::vector<Summary> next;
+        for (std::size_t i = 0; i < level.size(); i += 2) {
+            Summary s = level[i];
+            if (i + 1 < level.size())
+                s.merge(level[i + 1]);
+            next.push_back(s);
+        }
+        level = std::move(next);
+    }
+    expectSummariesEqual(folded, level[0]);
+
+    // And both match adding every sample into one summary.
+    Summary pooled;
+    for (const auto &c : chunks)
+        for (const double x : c)
+            pooled.add(x);
+    expectSummariesEqual(folded, pooled);
+}
+
+TEST(HistogramMerge, OrderIndependentAndAssociativeExactly)
+{
+    // Bucketed counts are integers: merge in any grouping must be
+    // *bit-exact*, percentiles included.
+    lightpc::Rng rng(5);
+    std::vector<Histogram> parts;
+    Histogram forward, backward, tree;
+    for (int c = 0; c < 10; ++c) {
+        Histogram h;
+        const std::size_t n = 1 + rng.below(200);
+        for (std::size_t i = 0; i < n; ++i)
+            h.add(rng.below(1 << 20));
+        parts.push_back(h);
+    }
+
+    for (const Histogram &h : parts)
+        forward.merge(h);
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+        backward.merge(*it);
+
+    // Tree grouping: (0+1) + (2+3) + ...
+    std::vector<Histogram> level = parts;
+    while (level.size() > 1) {
+        std::vector<Histogram> next;
+        for (std::size_t i = 0; i < level.size(); i += 2) {
+            Histogram h = level[i];
+            if (i + 1 < level.size())
+                h.merge(level[i + 1]);
+            next.push_back(h);
+        }
+        level = std::move(next);
+    }
+    tree = level[0];
+
+    EXPECT_EQ(forward.count(), backward.count());
+    EXPECT_EQ(forward.count(), tree.count());
+    EXPECT_DOUBLE_EQ(forward.mean(), backward.mean());
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        EXPECT_EQ(forward.percentile(q), backward.percentile(q))
+            << "q=" << q;
+        EXPECT_EQ(forward.percentile(q), tree.percentile(q))
+            << "q=" << q;
+    }
+    EXPECT_EQ(forward.min(), backward.min());
+    EXPECT_EQ(forward.max(), tree.max());
+}
+
+TEST(TimeSeriesMerge, InterleavesByTickAndKeepsOrder)
+{
+    TimeSeries a("a"), b("b");
+    a.record(0, 1.0);
+    a.record(10, 2.0);
+    a.record(20, 3.0);
+    b.record(5, 10.0);
+    b.record(10, 20.0);
+    b.record(30, 30.0);
+
+    a.merge(b);
+    ASSERT_EQ(a.samples().size(), 6u);
+    Tick prev = 0;
+    for (const auto &s : a.samples()) {
+        EXPECT_GE(s.when, prev);
+        prev = s.when;
+    }
+    // Tie at tick 10: this trace's sample first (stable merge).
+    EXPECT_DOUBLE_EQ(a.samples()[2].value, 2.0);
+    EXPECT_DOUBLE_EQ(a.samples()[3].value, 20.0);
+    // record() still works after a merge (ordering respected).
+    a.record(40, 4.0);
+    EXPECT_EQ(a.samples().size(), 7u);
+}
+
+TEST(TimeSeriesMerge, EmptySidesAreIdentity)
+{
+    TimeSeries a("a"), empty("e");
+    a.record(1, 1.0);
+    a.merge(empty);
+    ASSERT_EQ(a.samples().size(), 1u);
+
+    TimeSeries c("c");
+    c.merge(a);
+    ASSERT_EQ(c.samples().size(), 1u);
+    EXPECT_DOUBLE_EQ(c.samples()[0].value, 1.0);
 }
 
 } // namespace
