@@ -4,8 +4,9 @@
  *
  * Runs the seeded compound campaign — cut-during-Stop at every drain
  * sub-phase, cut-during-Go with the double-resume idempotence proof,
- * brownout aborts and capped-backoff baseline retries, and >= 3-cut
- * Poisson storms against a single multi-epoch backing store — and
+ * brownout aborts and capped-backoff baseline retries, >= 3-cut
+ * Poisson storms against a single multi-epoch backing store, and
+ * op-log torn-tail recovery with a two-copy byte-identity proof — and
  * asserts the extended durability invariant: every failure pattern
  * converges onto the durable EP-cut or a cold boot, never a third
  * outcome. Emits BENCH_compound.json.
@@ -64,8 +65,7 @@ main(int argc, char **argv)
         else if (arg == "--seed")
             seed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--threads" || arg == "-j")
-            threads = static_cast<unsigned>(
-                std::strtoul(value(), nullptr, 10));
+            threads = sim::parseThreadsArg(value());
         else if (arg == "--out")
             out = value();
         else
@@ -114,6 +114,10 @@ main(int argc, char **argv)
               << r.stormCutsTotal << " cuts, max epochs on one store "
               << r.maxCutEpochs << ", stale writes rejected "
               << r.staleWritesRejected << "\n";
+    std::cout << "op-log: " << r.oplogTrials << " trials, "
+              << r.oplogTornTails << " torn tails discarded, "
+              << r.oplogRecordsReplayed << " records replayed, "
+              << r.oplogReplayChecks << " byte-identity proofs\n";
     for (const std::string &note : r.violationNotes)
         std::cout << "  VIOLATION " << note << "\n";
 
@@ -157,6 +161,16 @@ main(int argc, char **argv)
     bench::check(r.maxCutEpochs >= 3,
                  "a single store survived >= 3 durability epochs");
 
+    bench::check(r.oplogTrials > 0
+                     && r.oplogReplayChecks == r.oplogTrials,
+                 "every op-log trial ran the two-copy byte-identity"
+                 " replay proof");
+    bench::check(r.oplogTornTails > 0,
+                 "op-log cuts produced torn tails that recovery"
+                 " discarded");
+    bench::check(r.oplogRecordsReplayed > 0,
+                 "op-log recoveries replayed committed records");
+
     // Determinism anchors: the same seed must reproduce the same
     // campaign bit-for-bit, and a single-threaded rerun must match
     // the parallel one exactly (the reduction is canonical-order).
@@ -184,11 +198,12 @@ main(int argc, char **argv)
     std::fprintf(f, "  \"psu\": \"%s\",\n", r.psu.c_str());
     std::fprintf(f, "  \"scenarios\": {\"stop_cut\": %llu,"
                     " \"go_cut\": %llu, \"brownout\": %llu,"
-                    " \"storm\": %llu},\n",
+                    " \"storm\": %llu, \"oplog\": %llu},\n",
                  static_cast<unsigned long long>(r.stopCutTrials),
                  static_cast<unsigned long long>(r.goCutTrials),
                  static_cast<unsigned long long>(r.brownoutTrials),
-                 static_cast<unsigned long long>(r.stormTrials));
+                 static_cast<unsigned long long>(r.stormTrials),
+                 static_cast<unsigned long long>(r.oplogTrials));
     std::fprintf(f, "  \"stop_phase_cuts\": {");
     for (std::size_t p = 1; p < r.stopPhaseCuts.size(); ++p)
         std::fprintf(f, "%s\"%s\": %llu", p == 1 ? "" : ", ",
@@ -225,6 +240,13 @@ main(int argc, char **argv)
                     "  \"idempotence_checks\": %llu,\n",
                  static_cast<unsigned long long>(r.tornResumes),
                  static_cast<unsigned long long>(r.idempotenceChecks));
+    std::fprintf(f, "  \"oplog_torn_tails\": %llu,\n"
+                    "  \"oplog_replay_checks\": %llu,\n"
+                    "  \"oplog_records_replayed\": %llu,\n",
+                 static_cast<unsigned long long>(r.oplogTornTails),
+                 static_cast<unsigned long long>(r.oplogReplayChecks),
+                 static_cast<unsigned long long>(
+                     r.oplogRecordsReplayed));
     std::fprintf(f, "  \"storm_cuts\": %llu,\n"
                     "  \"max_cut_epochs\": %llu,\n"
                     "  \"stale_writes_rejected\": %llu,\n",

@@ -4,17 +4,19 @@
  * system persistence argument, recast as a client-visible benchmark).
  *
  * An open-loop client fleet drives a persistent KV service through
- * seeded power cuts under four persistence modes — LightPC-SnG,
- * SysPC, S-CheckPC, A-CheckPC. All modes share the same transactional
- * object pool, so acked-write durability must hold everywhere (an
- * invariant the fleet's ledger audits); what separates them is the
- * client-visible downtime per outage and the latency tail.
+ * seeded power cuts under five persistence modes — LightPC-SnG,
+ * SnG-OpLog (the persistent op-log fast path with group-commit
+ * acks), SysPC, S-CheckPC, A-CheckPC. All modes share the same
+ * transactional object pool, so acked-write durability must hold
+ * everywhere (an invariant the fleet's ledger audits); what separates
+ * them is the client-visible downtime per outage and the latency
+ * tail.
  *
  *   bench_service_availability [--cuts N] [--seed S] [--out FILE]
  *       [--runfor-ms MS] [--arrivals PER_SEC] [--clients N]
  *       [--threads N|-j N]
  *
- * The four modes (plus the SnG determinism repeat) run as one suite
+ * The five modes (plus the SnG determinism repeat) run as one suite
  * fanned across host threads (--threads 0, the default, uses them
  * all); each run owns its platform and the suite's results are
  * identical to running the modes sequentially, digests included.
@@ -25,6 +27,9 @@
  *  - SnG commits its EP-cut inside the hold-up on every cut (no cold
  *    boots) and its per-cut attributable downtime is below every
  *    checkpoint baseline's best outage;
+ *  - SnG-OpLog holds the same no-cold-boot/downtime anchors while
+ *    its acked writes ride the log (appends, group commits, drains
+ *    and replays all nonzero, acked => durable audited);
  *  - the whole run is deterministic under a fixed seed (SnG is run
  *    twice and the digests must match).
  */
@@ -110,8 +115,7 @@ main(int argc, char **argv)
             clients = static_cast<std::uint32_t>(
                 std::strtoull(value(), nullptr, 10));
         else if (arg == "--threads" || arg == "-j")
-            threads = static_cast<unsigned>(
-                std::strtoul(value(), nullptr, 10));
+            threads = sim::parseThreadsArg(value());
         else
             return usage(argv[0]);
     }
@@ -140,12 +144,13 @@ main(int argc, char **argv)
 
     const net::PersistMode modes[] = {
         net::PersistMode::SnG,
+        net::PersistMode::OpLog,
         net::PersistMode::SysPc,
         net::PersistMode::SCheckPc,
         net::PersistMode::ACheckPc,
     };
 
-    // One suite: the four modes plus the SnG determinism repeat,
+    // One suite: the five modes plus the SnG determinism repeat,
     // fanned across the trial pool.
     std::vector<net::ServiceConfig> suite;
     for (const net::PersistMode mode : modes) {
@@ -165,6 +170,7 @@ main(int argc, char **argv)
     const net::ServiceResult sngRepeat = results.back();
     results.pop_back();
     const net::ServiceResult &sng = results[0];
+    const net::ServiceResult &oplog = results[1];
 
     stats::Table table({"mode", "completed", "failed", "goodput/s",
                         "p99 ms", "p999 ms", "worst outage ms",
@@ -227,13 +233,30 @@ main(int argc, char **argv)
     bench::check(sng.ringPreservedFrames >= cuts,
                  "SnG: queued frames rode the DCB through every"
                  " power cycle");
-    for (std::size_t i = 1; i < results.size(); ++i) {
+    bench::check(oplog.coldBoots == 0,
+                 "SnG-OpLog: EP-cut committed inside the hold-up on"
+                 " every cut");
+    bench::check(oplog.logAppends > 0 && oplog.logCommits > 0
+                     && oplog.logDrainApplied > 0,
+                 "SnG-OpLog: PUTs rode the log (appends, group"
+                 " commits, drains all nonzero)");
+    bench::check(oplog.logAppends
+                     >= oplog.logDrainApplied + oplog.logReplayApplied,
+                 "SnG-OpLog: records applied never exceed records"
+                 " appended");
+    for (std::size_t i = 2; i < results.size(); ++i) {
         const net::ServiceResult &base = results[i];
         bench::check(sng.worstAttributable < bestAttributable(base),
                      "SnG worst attributable downtime below "
                          + base.modeName + "'s best outage");
+        bench::check(oplog.worstAttributable < bestAttributable(base),
+                     "SnG-OpLog worst attributable downtime below "
+                         + base.modeName + "'s best outage");
         bench::check(sng.p999Us < base.p999Us,
                      "SnG p999 latency below " + base.modeName
+                         + "'s");
+        bench::check(oplog.p999Us < base.p999Us,
+                     "SnG-OpLog p999 latency below " + base.modeName
                          + "'s");
         bench::check(base.coldBoots == cuts,
                      base.modeName + ": every outage cost a cold"
@@ -308,6 +331,26 @@ main(int argc, char **argv)
                      static_cast<unsigned long long>(
                          r.ringFramesLost),
                      msOf(r.stopTicksTotal), msOf(r.goTicksTotal));
+        std::fprintf(f,
+                     "     \"log_appends\": %llu,"
+                     " \"log_commits\": %llu,"
+                     " \"log_drain_applied\": %llu,"
+                     " \"log_replay_applied\": %llu,"
+                     " \"log_stall_drains\": %llu,\n",
+                     static_cast<unsigned long long>(r.logAppends),
+                     static_cast<unsigned long long>(r.logCommits),
+                     static_cast<unsigned long long>(
+                         r.logDrainApplied),
+                     static_cast<unsigned long long>(
+                         r.logReplayApplied),
+                     static_cast<unsigned long long>(
+                         r.logStallDrains));
+        std::fprintf(f,
+                     "     \"dedup_compactions\": %llu,"
+                     " \"dedup_evicted\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         r.dedupCompactions),
+                     static_cast<unsigned long long>(r.dedupEvicted));
         std::fprintf(f,
                      "     \"lost_acked_puts\": %llu,"
                      " \"duplicate_applied\": %llu,"

@@ -2,8 +2,9 @@
  * @file
  * Power-cut fault-injection campaign driver.
  *
- * Sweeps seeded power-cut ticks across every persistence mode (SnG
- * and the three checkpoint baselines) on both measured PSUs, runs
+ * Sweeps seeded power-cut ticks across every persistence mode (SnG,
+ * the three checkpoint baselines, and the SnG-OpLog KV fast path) on
+ * both measured PSUs, runs
  * recovery after each cut, and asserts the durability invariant: the
  * machine resumes iff the mechanism's commit record beat the rails
  * (and untorn), otherwise it comes up cold — never a third outcome.
@@ -67,8 +68,7 @@ main(int argc, char **argv)
         else if (arg == "--seed")
             seed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--threads" || arg == "-j")
-            threads = static_cast<unsigned>(
-                std::strtoul(value(), nullptr, 10));
+            threads = sim::parseThreadsArg(value());
         else if (arg == "--out")
             out = value();
         else
@@ -91,6 +91,7 @@ main(int argc, char **argv)
         fault::runSysPcCampaign,
         fault::runSCheckPcCampaign,
         fault::runACheckPcCampaign,
+        fault::runOpLogCampaign,
     };
 
     std::vector<fault::CampaignResult> results;
@@ -155,6 +156,14 @@ main(int argc, char **argv)
                              && r.phaseCount(CutPhase::EpCut) > 0,
                          r.mode + "/" + r.psu + ": cuts landed in all"
                          " three Stop phases");
+        } else if (r.mode == "SnG-OpLog") {
+            using fault::CutPhase;
+            bench::check(r.phaseCount(CutPhase::MidDump) > 0
+                             && r.phaseCount(CutPhase::CommitWindow)
+                                    > 0,
+                         r.mode + "/" + r.psu + ": cuts landed both"
+                         " mid-append and inside a group commit's"
+                         " tail store");
         } else {
             bench::check(
                 r.phaseCount(fault::CutPhase::MidDump) > 0,

@@ -75,8 +75,7 @@ main(int argc, char **argv)
         else if (arg == "--seed")
             config.seed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--threads" || arg == "-j")
-            config.threads = static_cast<unsigned>(
-                std::strtoul(value(), nullptr, 10));
+            config.threads = sim::parseThreadsArg(value());
         else if (arg == "--out")
             out = value();
         else

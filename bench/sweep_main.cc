@@ -249,7 +249,7 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "-j")
-            threads = static_cast<unsigned>(std::atoi(value()));
+            threads = lightpc::sim::parseThreadsArg(value());
         else if (arg == "--events")
             events = std::strtoull(value(), nullptr, 10);
         else if (arg == "--reps")

@@ -25,6 +25,16 @@ while getopts "j:" opt; do
     esac
 done
 
+# -j must be a strictly positive integer; zero, negatives, and junk
+# would otherwise reach cmake/ctest (which reject them) or wrap into
+# absurd worker counts. Fall back to one worker — results are
+# digest-identical at any thread count, so this only costs wall-clock.
+if ! [[ "$jobs" =~ ^[1-9][0-9]*$ ]]; then
+    echo "warning: invalid -j '$jobs' (expected a positive integer);" \
+         "falling back to 1 worker" >&2
+    jobs=1
+fi
+
 cmake -B build -G Ninja
 cmake --build build -j "$jobs"
 

@@ -124,6 +124,17 @@ CampaignResult runSCheckPcCampaign(const CampaignConfig &config);
 /** A-CheckPC: cuts across a run of per-function checkpoints. */
 CampaignResult runACheckPcCampaign(const CampaignConfig &config);
 
+/**
+ * SnG-OpLog: cuts across a KvService PUT stream on the op-log write
+ * path — mid-append, inside a group commit's tail store, and after
+ * the final commit. Invariant: recovery + full drain always lands on
+ * an exact prefix of the append sequence, at least every record
+ * covered by a commit that beat the rails and never a record whose
+ * append started after them, with the key table byte-exactly equal to
+ * that prefix's oracle (versions, last writer, value seeds).
+ */
+CampaignResult runOpLogCampaign(const CampaignConfig &config);
+
 } // namespace lightpc::fault
 
 #endif // LIGHTPC_FAULT_CAMPAIGN_HH

@@ -7,6 +7,7 @@
 #include "fault/fault_injector.hh"
 #include "fault/power_rail.hh"
 #include "mem/timed_mem.hh"
+#include "net/kv_service.hh"
 #include "persist/checkpoint.hh"
 #include "power/power_model.hh"
 #include "psm/psm.hh"
@@ -166,6 +167,7 @@ CompoundResult::merge(const CompoundResult &other)
     goCutTrials += other.goCutTrials;
     brownoutTrials += other.brownoutTrials;
     stormTrials += other.stormTrials;
+    oplogTrials += other.oplogTrials;
     for (std::size_t p = 0; p < stopPhaseCuts.size(); ++p)
         stopPhaseCuts[p] += other.stopPhaseCuts[p];
     for (std::size_t p = 0; p < goPhaseCuts.size(); ++p)
@@ -181,6 +183,9 @@ CompoundResult::merge(const CompoundResult &other)
     baselineRecoveries += other.baselineRecoveries;
     tornResumes += other.tornResumes;
     idempotenceChecks += other.idempotenceChecks;
+    oplogTornTails += other.oplogTornTails;
+    oplogReplayChecks += other.oplogReplayChecks;
+    oplogRecordsReplayed += other.oplogRecordsReplayed;
     stormCutsTotal += other.stormCutsTotal;
     maxCutEpochs = std::max(maxCutEpochs, other.maxCutEpochs);
     staleWritesRejected += other.staleWritesRejected;
@@ -311,7 +316,7 @@ runCompoundCampaign(const CompoundConfig &config)
         Rng rng(Rng::streamSeed(rng_seed, i));
         CutStorm storm(Rng::streamSeed(storm_seed, i));
 
-        const int scenario = static_cast<int>(i % 4);
+        const int scenario = static_cast<int>(i % 5);
 
         if (scenario == 0) {
             // ---- Cut-during-Stop, one drain sub-phase per trial —
@@ -330,7 +335,7 @@ runCompoundCampaign(const CompoundConfig &config)
                 {dryStop.commitAt + 1,
                  dryStop.commitAt + dryStop.offlineDone / 8},
             };
-            const Window &w = windows[(i / 4) % 7];
+            const Window &w = windows[(i / 5) % 7];
             const Tick cut = storm.uniformIn(w.lo, w.hi);
 
             SngRig rig;
@@ -413,7 +418,7 @@ runCompoundCampaign(const CompoundConfig &config)
                 {dryGo.thawDone, dryGo.done + 1},
                 {dryGo.done + 1, dryGo.done + 1 + goWindow / 8},
             };
-            const Window &w = windows[(i / 4) % 6];
+            const Window &w = windows[(i / 5) % 6];
             const Tick cut = storm.uniformIn(w.lo, w.hi);
             rig.store.armPowerCut(cut, rng.next());
             const pecos::GoReport go1 = rig.sng.resume(resume_at);
@@ -504,7 +509,7 @@ runCompoundCampaign(const CompoundConfig &config)
                 } else {
                     ++result.coldBoots;
                 }
-            } else if (i % 8 == 2) {
+            } else if ((i / 5) % 2 == 0) {
                 // Shallow sag, SnG: the Stop ran to completion on
                 // capacitor reserve, then AC recovered — abort in
                 // place, no reboot, and keep running.
@@ -606,7 +611,7 @@ runCompoundCampaign(const CompoundConfig &config)
                     }
                 }
             }
-        } else {
+        } else if (scenario == 3) {
             // ---- Poisson cut storm against ONE store: every cut
             // opens a new durability epoch; bytes dropped by an
             // earlier cut must never resurface under a later one.
@@ -702,6 +707,131 @@ runCompoundCampaign(const CompoundConfig &config)
             }
             result.maxCutEpochs = std::max<std::uint64_t>(
                 result.maxCutEpochs, rig.store.cutEpoch());
+        } else {
+            // ---- Op-log torn tail: a KvService on the op-log write
+            // path, with a deliberately tiny (wrapping) log, takes a
+            // cut in the middle of a seeded PUT stream. Recovery of
+            // the resulting image must be *deterministic*: two
+            // independent services recovering two copies of the same
+            // durable bytes end byte-identical, and the replayed
+            // state passes the version-sum audit.
+            ++result.oplogTrials;
+
+            net::KvParams kp;
+            kp.writePath = net::WritePath::OpLog;
+            kp.keyCapacity = 64;
+            kp.dedupCapacity = 256;
+            kp.oplog.capacity = 16 * net::OpLog::recordBytes;
+
+            ImageRig rig;
+            net::KvService kv(rig.store, rig.pmem, kp);
+
+            constexpr std::uint64_t n_puts = 48;
+            const std::uint64_t cut_after = 8 + rng.below(n_puts - 16);
+            Tick t = 0;
+            std::uint64_t req_id = 1;
+            bool cut_armed = false;
+            for (std::uint64_t p = 0; p < n_puts; ++p) {
+                if (p == cut_after) {
+                    // Land the cut inside this PUT's append window
+                    // (a few µs of parse + probes + the line store).
+                    rig.store.armPowerCut(
+                        t + storm.uniformIn(tickUs, 8 * tickUs),
+                        rng.next());
+                    cut_armed = true;
+                }
+                net::RpcRequest req;
+                req.reqId = req_id++;
+                req.client = static_cast<std::uint32_t>(p % 5);
+                req.op = workload::KvOp::Put;
+                req.key = 1 + rng.below(8);
+                req.valueSeed = rng.next();
+                req.deadline = maxTick;
+                bool deferred = false;
+                (void)kv.execute(t, req, &deferred);
+                if (p % 4 == 3)
+                    kv.logCommit(t);
+                if (p % 8 == 7)
+                    (void)kv.logDrain(t, 4);
+            }
+            if (cut_armed) {
+                result.droppedWrites +=
+                    rig.store.cutStats().droppedWrites;
+                result.tornWrites += rig.store.cutStats().tornWrites;
+                rig.store.disarmPowerCut();
+            }
+
+            // Two copies of the durable image, recovered separately.
+            struct ReplayOutcome
+            {
+                net::KvStats kv;
+                std::uint64_t scanStops = 0;
+            };
+            auto recoverCopy = [&kp](const mem::BackingStore &from,
+                                     mem::BackingStore &copy) {
+                copy.copyContentsFrom(from);
+                psm::Psm psm;
+                PsmMemPort port(psm);
+                mem::TimedMem pmem(port, &copy);
+                net::KvService svc(copy, pmem, kp);
+                Tick rt = 1 * tickSec;
+                svc.recover(rt);
+                svc.logDrainAll(rt);
+                ReplayOutcome out;
+                out.kv = svc.stats();
+                if (svc.opLog())
+                    out.scanStops = svc.opLog()->stats().checksumStops
+                        + svc.opLog()->stats().seqStops;
+                return out;
+            };
+            mem::BackingStore c1;
+            mem::BackingStore c2;
+            const ReplayOutcome r1 = recoverCopy(rig.store, c1);
+            const ReplayOutcome r2 = recoverCopy(rig.store, c2);
+
+            ++result.oplogReplayChecks;
+            result.oplogRecordsReplayed +=
+                r1.kv.logReplayApplied + r1.kv.logReplaySkipped;
+            if (r1.scanStops > 0)
+                ++result.oplogTornTails;
+            if (r1.scanStops != r2.scanStops
+                || r1.kv.logReplayApplied != r2.kv.logReplayApplied) {
+                std::ostringstream note;
+                note << "oplog trial " << i << ": the two recovery "
+                        "scans disagreed";
+                flagViolation(result, note.str());
+            }
+            if (!c1.equals(c2)) {
+                std::ostringstream note;
+                note << "oplog trial " << i << ": two recoveries of "
+                        "the same image diverged";
+                flagViolation(result, note.str());
+            }
+
+            // Version-sum audit on one recovered copy: every applied
+            // PUT bumped exactly one key's version by one.
+            {
+                psm::Psm psm;
+                PsmMemPort port(psm);
+                mem::TimedMem pmem(port, &c1);
+                net::KvService audit(c1, pmem, kp);
+                std::uint64_t version_sum = 0;
+                for (std::uint64_t key = 1; key <= 8; ++key) {
+                    const auto state = audit.lookup(key);
+                    if (state)
+                        version_sum += state->version;
+                }
+                if (version_sum != audit.appliedCount()
+                    || audit.appliedCount()
+                           != audit.appliedIds().size()
+                               + audit.compactedCount()) {
+                    std::ostringstream note;
+                    note << "oplog trial " << i << ": version sum "
+                         << version_sum << " != applied count "
+                         << audit.appliedCount();
+                    flagViolation(result, note.str());
+                }
+            }
         }
         ++result.trials;
         return result;
@@ -723,6 +853,7 @@ runCompoundCampaign(const CompoundConfig &config)
     mix(result.goCutTrials);
     mix(result.brownoutTrials);
     mix(result.stormTrials);
+    mix(result.oplogTrials);
     for (const std::uint64_t c : result.stopPhaseCuts)
         mix(c);
     for (const std::uint64_t c : result.goPhaseCuts)
@@ -738,6 +869,9 @@ runCompoundCampaign(const CompoundConfig &config)
     mix(result.baselineRecoveries);
     mix(result.tornResumes);
     mix(result.idempotenceChecks);
+    mix(result.oplogTornTails);
+    mix(result.oplogReplayChecks);
+    mix(result.oplogRecordsReplayed);
     mix(result.stormCutsTotal);
     mix(result.maxCutEpochs);
     mix(result.staleWritesRejected);

@@ -19,18 +19,23 @@
  *    reset *is* a power cut at the deadline tick), retries torn
  *    resumes with capped exponential backoff, and escalates to a
  *    degraded cold boot after K failed attempts.
- *  - runCompoundCampaign(): seeded trials across four scenario
+ *  - runCompoundCampaign(): seeded trials across five scenario
  *    classes — cut-during-Stop at every drain sub-phase,
  *    cut-during-Go with a double-resume idempotence proof,
  *    brownout-abort-and-continue (plus baseline capped-backoff
- *    retries), and >= 3-cut Poisson storms against a single backing
- *    store (multi-cut-epoch durability).
+ *    retries), >= 3-cut Poisson storms against a single backing
+ *    store (multi-cut-epoch durability), and op-log torn-tail
+ *    recovery: a KvService on the op-log write path takes a cut
+ *    mid-stream on a deliberately tiny (wrapping) log, and two
+ *    independent recoveries of the same durable image must replay to
+ *    byte-identical stores.
  *
  * The invariant is PR 2's, extended through recovery: at every cut
  * instant — including cuts into Stop's drain and Go's replay — the
  * machine either converges onto the durable EP-cut or cold-boots,
- * never a third outcome; and re-running a torn resume from the same
- * durable image is byte-identical to running it once.
+ * never a third outcome; and re-running a torn resume (or an op-log
+ * replay) from the same durable image is byte-identical to running
+ * it once.
  */
 
 #ifndef LIGHTPC_FAULT_COMPOUND_HH
@@ -203,6 +208,7 @@ struct CompoundResult
     std::uint64_t goCutTrials = 0;
     std::uint64_t brownoutTrials = 0;
     std::uint64_t stormTrials = 0;
+    std::uint64_t oplogTrials = 0;
 
     /** Cuts per Stop drain sub-phase (indexed by StopSubPhase). */
     std::array<std::uint64_t, 8> stopPhaseCuts{};
@@ -226,6 +232,11 @@ struct CompoundResult
     // Go-path idempotence.
     std::uint64_t tornResumes = 0;
     std::uint64_t idempotenceChecks = 0;
+
+    // Op-log torn-tail recovery.
+    std::uint64_t oplogTornTails = 0;     ///< scans stopped by a tear
+    std::uint64_t oplogReplayChecks = 0;  ///< byte-identity proofs run
+    std::uint64_t oplogRecordsReplayed = 0;
 
     // Multi-epoch durability.
     std::uint64_t stormCutsTotal = 0;

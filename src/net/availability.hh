@@ -78,10 +78,17 @@ class AvailabilityRecorder
             if (served_at > o.eventAt) {
                 o.firstSuccessAfter = now;
                 o.closed = true;
-            } else if (now > o.lastSuccessBefore) {
+            } else if (served_at < o.eventAt
+                       && now > o.lastSuccessBefore) {
                 // A straggler served before the event is still a
                 // client-visible success: it narrows the gap even
-                // though it cannot close it.
+                // though it cannot close it. Strictly before: an ack
+                // stamped exactly at the event tick (e.g. a batch
+                // flushed as the rails failed) proves nothing about
+                // either side of the cut, and it may ride a preserved
+                // ring and deliver long after restoration — letting
+                // it narrow would push lastSuccessBefore to that late
+                // delivery and under-count the whole outage.
                 o.lastSuccessBefore = now;
             }
         }

@@ -52,6 +52,29 @@ struct FleetParams
     workload::ServiceMix mix;
 
     std::uint64_t seed = 1;
+
+    /**
+     * Worst-case span from a request's first send to its last
+     * possible retry send: every per-attempt timeout at its jitter
+     * ceiling, summed (mirrors ClientFleet::timeoutFor). A server
+     * that remembers a request ID for at least this long — plus
+     * wire/deadline margins, which the caller adds — can never
+     * mistake a conforming client's retry for a new request.
+     */
+    Tick
+    maxRetrySpan() const
+    {
+        Tick span = 0;
+        Tick wait = clientTimeout;
+        for (std::uint32_t attempt = 1; attempt < maxAttempts;
+             ++attempt) {
+            span += (wait > backoffCap ? backoffCap : wait)
+                + retryJitter;
+            if (wait < backoffCap)
+                wait *= 2;
+        }
+        return span;
+    }
 };
 
 /** Client-side counters. */

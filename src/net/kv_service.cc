@@ -28,10 +28,15 @@ KvService::KvService(mem::BackingStore &store_in, mem::TimedMem &timed_in,
         fatal("KvService capacities must be powers of two");
     if (_params.queueCapacity == 0)
         fatal("KvService queue capacity must be nonzero");
+    if (_params.dedupRetention == 0)
+        fatal("KvService dedup retention must be nonzero");
     queue.reserve(_params.queueCapacity);
     _pool.emplace(store, _params.poolBase, _params.poolSize);
     Tick t = 0;
     openRoot(t);
+    if (opLogEnabled())
+        openLog(t);
+    rebuildDedupLive();
 }
 
 std::uint64_t
@@ -39,7 +44,7 @@ KvService::rootBytes() const
 {
     return sizeof(RootHeader)
         + std::uint64_t(_params.keyCapacity) * sizeof(KvSlot)
-        + std::uint64_t(_params.dedupCapacity) * sizeof(std::uint64_t);
+        + std::uint64_t(_params.dedupCapacity) * sizeof(DedupEntry);
 }
 
 void
@@ -63,6 +68,19 @@ KvService::openRoot(Tick &t)
     clock(t);
     _pool->writeObject(root, 0, &hdr, sizeof(hdr));
     t = timed.writeSpan(t, rootAddr, sizeof(hdr));
+}
+
+void
+KvService::openLog(Tick &t)
+{
+    OpLogParams lp = _params.oplog;
+    if (lp.base == 0)
+        lp.base = (_params.poolBase + _params.poolSize + 63)
+            & ~mem::Addr(63);
+    _params.oplog = lp;
+    _log.emplace(store, timed, lp);
+    if (!_log->attach(t))
+        _log->format(t);
 }
 
 void
@@ -90,15 +108,15 @@ KvService::readSlot(std::uint32_t idx, KvSlot &out) const
                       &out, sizeof(out));
 }
 
-std::uint64_t
+KvService::DedupEntry
 KvService::dedupAt(std::uint32_t idx) const
 {
-    std::uint64_t id = 0;
+    DedupEntry entry;
     _pool->readObject(root,
                       dedupOffset()
-                          + std::uint64_t(idx) * sizeof(std::uint64_t),
-                      &id, sizeof(id));
-    return id;
+                          + std::uint64_t(idx) * sizeof(DedupEntry),
+                      &entry, sizeof(entry));
+    return entry;
 }
 
 std::uint32_t
@@ -130,18 +148,28 @@ KvService::probeDedup(std::uint64_t req_id, bool &found) const
     std::uint32_t idx =
         static_cast<std::uint32_t>(hashOf(req_id)) & mask;
     for (std::uint32_t i = 0; i < _params.dedupCapacity; ++i) {
-        const std::uint64_t id = dedupAt(idx);
-        if (id == req_id) {
+        const DedupEntry entry = dedupAt(idx);
+        if (entry.id == req_id) {
             found = true;
             return idx;
         }
-        if (id == 0) {
+        if (entry.id == 0) {
             found = false;
             return idx;
         }
         idx = (idx + 1) & mask;
     }
     fatal("KvService dedup set full (dedupCapacity too small)");
+}
+
+void
+KvService::rebuildDedupLive()
+{
+    dedupLive = 0;
+    for (std::uint32_t i = 0; i < _params.dedupCapacity; ++i)
+        if (dedupAt(i).id != 0)
+            ++dedupLive;
+    compactionHoldoff = 0;
 }
 
 bool
@@ -187,9 +215,11 @@ KvService::chargeCheckpoint(Tick &t)
 }
 
 RpcResponse
-KvService::execute(Tick &t, const RpcRequest &req)
+KvService::execute(Tick &t, const RpcRequest &req, bool *deferred)
 {
     ++_stats.executed;
+    if (deferred)
+        *deferred = false;
     t += _params.parseCost;
     clock(t);
 
@@ -205,9 +235,15 @@ KvService::execute(Tick &t, const RpcRequest &req)
     }
 
     switch (req.op) {
-    case workload::KvOp::Get: resp = executeGet(t, req); break;
-    case workload::KvOp::Put: resp = executePut(t, req); break;
-    case workload::KvOp::Scan: resp = executeScan(t, req); break;
+    case workload::KvOp::Get:
+        resp = executeGet(t, req, deferred);
+        break;
+    case workload::KvOp::Put:
+        resp = executePut(t, req, deferred);
+        break;
+    case workload::KvOp::Scan:
+        resp = executeScan(t, req);
+        break;
     }
 
     // A-CheckPC: synchronous checkpoint at the handler's function
@@ -218,12 +254,32 @@ KvService::execute(Tick &t, const RpcRequest &req)
 }
 
 RpcResponse
-KvService::executeGet(Tick &t, const RpcRequest &req)
+KvService::executeGet(Tick &t, const RpcRequest &req, bool *deferred)
 {
     ++_stats.gets;
     RpcResponse resp;
     resp.reqId = req.reqId;
     resp.client = req.client;
+
+    if (_log) {
+        // Read-your-writes through the undrained log: the newest
+        // record for the key wins over the (stale) pool slot. An ack
+        // that exposed an uncommitted value must wait for the commit
+        // that makes it durable, or a crash could un-happen a read.
+        const auto it = newestByKey.find(req.key);
+        if (it != newestByKey.end()) {
+            const PendingPut &p = it->second;
+            t = timed.readSpan(t, _log->slotAddr((p.seq - 1)
+                                                 * OpLog::recordBytes),
+                               OpLog::recordBytes);
+            if (deferred && !_log->committedThrough(p.seq))
+                *deferred = true;
+            resp.status = RpcStatus::Ok;
+            resp.version = p.version;
+            resp.valueSeed = p.valueSeed;
+            return resp;
+        }
+    }
 
     (void)_pool->direct(t, root);  // swizzle cost per object access
     bool found = false;
@@ -244,41 +300,25 @@ KvService::executeGet(Tick &t, const RpcRequest &req)
     return resp;
 }
 
-RpcResponse
-KvService::executePut(Tick &t, const RpcRequest &req)
+void
+KvService::applyPut(Tick &t, std::uint64_t req_id, std::uint64_t key,
+                    std::uint64_t value_seed, std::uint64_t version,
+                    KvSlot &slot_out)
 {
-    ++_stats.puts;
-    RpcResponse resp;
-    resp.reqId = req.reqId;
-    resp.client = req.client;
-
-    // Idempotence: a retry of an applied PUT is acknowledged from
-    // the dedup set without touching the key table.
-    bool applied = false;
-    const std::uint32_t dedup_idx = probeDedup(req.reqId, applied);
-    t = timed.readSpan(t,
-                       rootAddr + dedupOffset()
-                           + std::uint64_t(dedup_idx)
-                                 * sizeof(std::uint64_t),
-                       sizeof(std::uint64_t));
     bool key_found = false;
-    const std::uint32_t slot_idx = probeKey(req.key, key_found);
+    const std::uint32_t slot_idx = probeKey(key, key_found);
     const std::uint64_t slot_off =
         keyTableOffset() + std::uint64_t(slot_idx) * sizeof(KvSlot);
-    t = timed.readSpan(t, rootAddr + slot_off, sizeof(KvSlot));
-
-    if (applied) {
-        ++_stats.idempotentHits;
-        KvSlot slot;
-        readSlot(slot_idx, slot);
-        resp.status = RpcStatus::Ok;
-        resp.version = slot.version;
-        resp.valueSeed = slot.valueSeed;
-        return resp;
-    }
-
     KvSlot slot;
     readSlot(slot_idx, slot);
+
+    bool applied = false;
+    const std::uint32_t dedup_idx = probeDedup(req_id, applied);
+    if (applied)
+        fatal("applyPut on an already-applied request ID");
+    const std::uint64_t dedup_off =
+        dedupOffset() + std::uint64_t(dedup_idx) * sizeof(DedupEntry);
+    const std::uint64_t count_off = offsetof(RootHeader, appliedCount);
 
     RootHeader hdr;
     _pool->readObject(root, 0, &hdr, sizeof(hdr));
@@ -287,31 +327,27 @@ KvService::executePut(Tick &t, const RpcRequest &req)
     // together or not at all. The write clock advances with t at
     // every stage, so an armed power cut drops a suffix of these
     // writes and recovery rolls the survivors back.
-    const std::uint64_t dedup_off =
-        dedupOffset() + std::uint64_t(dedup_idx) * sizeof(std::uint64_t);
-    const std::uint64_t count_off = offsetof(RootHeader, appliedCount);
-
     clock(t);
     _pool->txBegin(t);
     clock(t);
     _pool->txAddRange(t, root, slot_off, sizeof(KvSlot));
     clock(t);
-    _pool->txAddRange(t, root, dedup_off, sizeof(std::uint64_t));
+    _pool->txAddRange(t, root, dedup_off, sizeof(DedupEntry));
     clock(t);
     _pool->txAddRange(t, root, count_off, sizeof(std::uint64_t));
 
-    slot.key = req.key;
-    slot.version += 1;
-    slot.lastReqId = req.reqId;
-    slot.valueSeed = req.valueSeed;
+    slot.key = key;
+    slot.version = version;
+    slot.lastReqId = req_id;
+    slot.valueSeed = value_seed;
     clock(t);
     _pool->writeObject(root, slot_off, &slot, sizeof(slot));
     t = timed.writeSpan(t, rootAddr + slot_off, sizeof(slot));
 
+    const DedupEntry entry{req_id, t};
     clock(t);
-    _pool->writeObject(root, dedup_off, &req.reqId,
-                       sizeof(req.reqId));
-    t = timed.writeSpan(t, rootAddr + dedup_off, sizeof(req.reqId));
+    _pool->writeObject(root, dedup_off, &entry, sizeof(entry));
+    t = timed.writeSpan(t, rootAddr + dedup_off, sizeof(entry));
 
     hdr.appliedCount += 1;
     clock(t);
@@ -325,9 +361,157 @@ KvService::executePut(Tick &t, const RpcRequest &req)
     t = timed.fence(t);
 
     ++_stats.putsApplied;
+    ++dedupLive;
+    slot_out = slot;
+    maybeCompactDedup(t);
+}
+
+RpcResponse
+KvService::executePut(Tick &t, const RpcRequest &req, bool *deferred)
+{
+    if (opLogEnabled())
+        return executePutOpLog(t, req, deferred);
+
+    ++_stats.puts;
+    RpcResponse resp;
+    resp.reqId = req.reqId;
+    resp.client = req.client;
+
+    // Idempotence: a retry of an applied PUT is acknowledged from
+    // the dedup set without touching the key table.
+    bool applied = false;
+    const std::uint32_t dedup_idx = probeDedup(req.reqId, applied);
+    t = timed.readSpan(t,
+                       rootAddr + dedupOffset()
+                           + std::uint64_t(dedup_idx)
+                                 * sizeof(DedupEntry),
+                       sizeof(DedupEntry));
+    bool key_found = false;
+    const std::uint32_t slot_idx = probeKey(req.key, key_found);
+    const std::uint64_t slot_off =
+        keyTableOffset() + std::uint64_t(slot_idx) * sizeof(KvSlot);
+    t = timed.readSpan(t, rootAddr + slot_off, sizeof(KvSlot));
+
+    KvSlot slot;
+    readSlot(slot_idx, slot);
+
+    if (applied) {
+        ++_stats.idempotentHits;
+        resp.status = RpcStatus::Ok;
+        resp.version = slot.version;
+        resp.valueSeed = slot.valueSeed;
+        return resp;
+    }
+
+    applyPut(t, req.reqId, req.key, req.valueSeed, slot.version + 1,
+             slot);
     resp.status = RpcStatus::Ok;
     resp.version = slot.version;
     resp.valueSeed = slot.valueSeed;
+    return resp;
+}
+
+RpcResponse
+KvService::executePutOpLog(Tick &t, const RpcRequest &req,
+                           bool *deferred)
+{
+    ++_stats.puts;
+    RpcResponse resp;
+    resp.reqId = req.reqId;
+    resp.client = req.client;
+
+    // Retry of a record still sitting in the log: acknowledge from
+    // the pending index; the ack is deferred iff the record's group
+    // commit has not happened yet.
+    const auto pit = pendingByReq.find(req.reqId);
+    if (pit != pendingByReq.end()) {
+        ++_stats.idempotentHits;
+        t = timed.readSpan(t,
+                           _log->slotAddr((pit->second.seq - 1)
+                                          * OpLog::recordBytes),
+                           OpLog::recordBytes);
+        if (deferred && !_log->committedThrough(pit->second.seq))
+            *deferred = true;
+        resp.status = RpcStatus::Ok;
+        resp.version = pit->second.version;
+        resp.valueSeed = pit->second.valueSeed;
+        return resp;
+    }
+
+    // Retry of a record already drained into the pool.
+    bool applied = false;
+    const std::uint32_t dedup_idx = probeDedup(req.reqId, applied);
+    t = timed.readSpan(t,
+                       rootAddr + dedupOffset()
+                           + std::uint64_t(dedup_idx)
+                                 * sizeof(DedupEntry),
+                       sizeof(DedupEntry));
+    if (applied) {
+        ++_stats.idempotentHits;
+        bool key_found = false;
+        const std::uint32_t slot_idx = probeKey(req.key, key_found);
+        t = timed.readSpan(t,
+                           rootAddr + keyTableOffset()
+                               + std::uint64_t(slot_idx)
+                                     * sizeof(KvSlot),
+                           sizeof(KvSlot));
+        KvSlot slot;
+        readSlot(slot_idx, slot);
+        resp.status = RpcStatus::Ok;
+        resp.version = slot.version;
+        resp.valueSeed = slot.valueSeed;
+        return resp;
+    }
+
+    // The version is fixed at append time so replay can install it
+    // absolutely; it chains through undrained records for the key.
+    std::uint64_t version = 0;
+    const auto kit = newestByKey.find(req.key);
+    if (kit != newestByKey.end()) {
+        version = kit->second.version + 1;
+    } else {
+        bool key_found = false;
+        const std::uint32_t slot_idx = probeKey(req.key, key_found);
+        t = timed.readSpan(t,
+                           rootAddr + keyTableOffset()
+                               + std::uint64_t(slot_idx)
+                                     * sizeof(KvSlot),
+                           sizeof(KvSlot));
+        KvSlot slot;
+        readSlot(slot_idx, slot);
+        version = slot.version + 1;
+    }
+
+    if (_log->wouldBlock()) {
+        // Ring full against the *persisted* head: take the slow path
+        // once — commit, drain the whole backlog, persist the head —
+        // then append. This is the stall the group-commit cadence is
+        // tuned to avoid.
+        ++_stats.logStallDrains;
+        logCommit(t);
+        while (logDrain(t, 64) != 0) {
+        }
+    }
+
+    OpRecord rec;
+    rec.reqId = req.reqId;
+    rec.key = req.key;
+    rec.valueSeed = req.valueSeed;
+    rec.version = version;
+    rec.client = req.client;
+    rec.appendedAt = t;
+    const std::uint64_t seq = _log->append(t, rec);
+    ++_stats.logAppends;
+
+    const PendingPut pending{req.key, version, req.valueSeed, seq};
+    pendingByReq.emplace(req.reqId, pending);
+    newestByKey[req.key] = pending;
+
+    if (deferred)
+        *deferred = true;
+    resp.status = RpcStatus::Ok;
+    resp.version = version;
+    resp.valueSeed = req.valueSeed;
     return resp;
 }
 
@@ -360,6 +544,165 @@ KvService::executeScan(Tick &t, const RpcRequest &req)
     return resp;
 }
 
+// --- op-log control ---------------------------------------------------
+
+std::uint64_t
+KvService::logUncommittedRecords() const
+{
+    return _log ? _log->uncommittedRecords() : 0;
+}
+
+std::uint64_t
+KvService::logBacklogRecords() const
+{
+    return _log ? _log->backlogRecords() : 0;
+}
+
+void
+KvService::logCommit(Tick &t)
+{
+    if (!_log || _log->uncommittedRecords() == 0)
+        return;
+    _log->commit(t);
+    ++_stats.logCommits;
+}
+
+std::uint64_t
+KvService::logDrain(Tick &t, std::uint64_t max_records)
+{
+    if (!_log)
+        return 0;
+    std::uint64_t processed = 0;
+    while (processed < max_records && _log->backlogRecords() > 0) {
+        const OpRecord rec = _log->readHead(t);
+        bool applied = false;
+        const std::uint32_t dedup_idx = probeDedup(rec.reqId, applied);
+        t = timed.readSpan(t,
+                           rootAddr + dedupOffset()
+                               + std::uint64_t(dedup_idx)
+                                     * sizeof(DedupEntry),
+                           sizeof(DedupEntry));
+        if (!applied) {
+            KvSlot slot;
+            applyPut(t, rec.reqId, rec.key, rec.valueSeed, rec.version,
+                     slot);
+            ++_stats.logDrainApplied;
+        }
+        _log->pop();
+        forgetPending(rec);
+        ++processed;
+    }
+    if (processed != 0)
+        _log->persistHead(t);
+    return processed;
+}
+
+void
+KvService::logDrainAll(Tick &t)
+{
+    if (!_log)
+        return;
+    logCommit(t);
+    while (logDrain(t, 64) != 0) {
+    }
+}
+
+void
+KvService::forgetPending(const OpRecord &rec)
+{
+    const auto it = pendingByReq.find(rec.reqId);
+    if (it == pendingByReq.end() || it->second.seq != rec.seq)
+        return;
+    const auto kit = newestByKey.find(rec.key);
+    if (kit != newestByKey.end() && kit->second.seq == rec.seq)
+        newestByKey.erase(kit);
+    pendingByReq.erase(it);
+}
+
+void
+KvService::maybeCompactDedup(Tick &t)
+{
+    const std::uint64_t threshold =
+        std::uint64_t(_params.dedupCapacity) * 3 / 4;
+    if (dedupLive < threshold || dedupLive < compactionHoldoff)
+        return;
+
+    RootHeader hdr;
+    _pool->readObject(root, 0, &hdr, sizeof(hdr));
+    const Tick floor = std::max<Tick>(
+        hdr.dedupFloor,
+        t > _params.dedupRetention ? t - _params.dedupRetention : 0);
+
+    std::vector<DedupEntry> survivors;
+    survivors.reserve(dedupLive);
+    std::uint64_t evicted = 0;
+    for (std::uint32_t i = 0; i < _params.dedupCapacity; ++i) {
+        const DedupEntry entry = dedupAt(i);
+        if (entry.id == 0)
+            continue;
+        if (entry.appliedAt >= floor)
+            survivors.push_back(entry);
+        else
+            ++evicted;
+    }
+    if (evicted == 0) {
+        // Everything is still inside the retry horizon. Hold off
+        // until the table has grown materially so a hot service does
+        // not rescan the region on every PUT.
+        compactionHoldoff = dedupLive + _params.dedupCapacity / 16;
+        return;
+    }
+    compactionHoldoff = 0;
+
+    // One undo-logged transaction over the dedup region + header:
+    // a crash mid-compaction rolls the whole region back, so no ID
+    // is ever half-forgotten.
+    const std::uint64_t region =
+        std::uint64_t(_params.dedupCapacity) * sizeof(DedupEntry);
+    clock(t);
+    _pool->txBegin(t);
+    clock(t);
+    _pool->txAddRange(t, root, dedupOffset(), region);
+    clock(t);
+    _pool->txAddRange(t, root, 0, sizeof(RootHeader));
+
+    std::vector<unsigned char> zeros(4096, 0);
+    for (std::uint64_t off = 0; off < region; off += zeros.size()) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(zeros.size(), region - off);
+        clock(t);
+        _pool->writeObject(root, dedupOffset() + off, zeros.data(), n);
+    }
+    t = timed.writeSpan(t, rootAddr + dedupOffset(), region);
+
+    for (const DedupEntry &entry : survivors) {
+        bool found = false;
+        const std::uint32_t idx = probeDedup(entry.id, found);
+        clock(t);
+        _pool->writeObject(root,
+                           dedupOffset()
+                               + std::uint64_t(idx)
+                                     * sizeof(DedupEntry),
+                           &entry, sizeof(entry));
+    }
+    t = timed.writeSpan(t, rootAddr + dedupOffset(),
+                        survivors.size() * sizeof(DedupEntry));
+
+    hdr.compactedCount += evicted;
+    hdr.dedupFloor = floor;
+    clock(t);
+    _pool->writeObject(root, 0, &hdr, sizeof(hdr));
+    t = timed.writeSpan(t, rootAddr, sizeof(hdr));
+
+    clock(t);
+    _pool->txCommit(t);
+    t = timed.fence(t);
+
+    dedupLive -= evicted;
+    ++_stats.dedupCompactions;
+    _stats.dedupEvicted += evicted;
+}
+
 void
 KvService::recover(Tick &t)
 {
@@ -373,6 +716,34 @@ KvService::recover(Tick &t)
     // reopen cost (header checks, allocator map rebuild).
     t += 200 * tickUs;
     openRoot(t);
+    rebuildDedupLive();
+
+    if (!opLogEnabled())
+        return;
+
+    // Op-log replay: scan from the durable head, stop at the torn
+    // tail, apply the valid run idempotently through the dedup set.
+    pendingByReq.clear();
+    newestByKey.clear();
+    if (!_log->attach(t))
+        fatal("KvService recovery found no op-log header");
+    const OpLogRecovery scan = _log->recover(t);
+    if (!scan.tailCovered)
+        fatal("op-log recovery: committed tail not covered by valid "
+              "records (persist ordering broken)");
+    for (const OpRecord &rec : scan.records) {
+        bool applied = false;
+        probeDedup(rec.reqId, applied);
+        if (applied) {
+            ++_stats.logReplaySkipped;
+            continue;
+        }
+        KvSlot slot;
+        applyPut(t, rec.reqId, rec.key, rec.valueSeed, rec.version,
+                 slot);
+        ++_stats.logReplayApplied;
+    }
+    _log->resetAfterReplay(t);
 }
 
 std::optional<KvKeyState>
@@ -393,9 +764,9 @@ KvService::appliedIds() const
 {
     std::vector<std::uint64_t> out;
     for (std::uint32_t i = 0; i < _params.dedupCapacity; ++i) {
-        const std::uint64_t id = dedupAt(i);
-        if (id != 0)
-            out.push_back(id);
+        const DedupEntry entry = dedupAt(i);
+        if (entry.id != 0)
+            out.push_back(entry.id);
     }
     return out;
 }
@@ -406,6 +777,22 @@ KvService::appliedCount() const
     RootHeader hdr;
     _pool->readObject(root, 0, &hdr, sizeof(hdr));
     return hdr.appliedCount;
+}
+
+std::uint64_t
+KvService::compactedCount() const
+{
+    RootHeader hdr;
+    _pool->readObject(root, 0, &hdr, sizeof(hdr));
+    return hdr.compactedCount;
+}
+
+Tick
+KvService::dedupFloor() const
+{
+    RootHeader hdr;
+    _pool->readObject(root, 0, &hdr, sizeof(hdr));
+    return hdr.dedupFloor;
 }
 
 } // namespace lightpc::net

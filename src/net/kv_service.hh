@@ -4,18 +4,33 @@
  *
  * Data plane: an open-addressed key table plus a persistent request-
  * ID dedup set, both inside one root object of a PMDK-style
- * ObjectPool on OC-PMEM. Every PUT runs as an undo-logged transaction
- * that updates the key slot, the dedup entry, and the applied
- * counter together; the pool's write-ahead log plus the backing
- * store's durability cursor give exact crash semantics:
+ * ObjectPool on OC-PMEM, with two selectable write paths:
  *
- *  - the service advances the store's write clock at every stage, so
- *    a power cut mid-PUT drops a *suffix* of the transaction's
- *    writes; recovery (pool reopen) rolls the survivors back;
- *  - the acknowledgement is only sent after commit truncation, so an
- *    acked PUT is durable by construction;
- *  - a retry of an already-applied PUT hits the dedup set and is
- *    acknowledged without re-applying (idempotence).
+ *  - WritePath::Undo (default): every PUT runs as an undo-logged
+ *    transaction that updates the key slot, the dedup entry, and the
+ *    applied counter together; the acknowledgement is only sent after
+ *    commit truncation, so an acked PUT is durable by construction.
+ *  - WritePath::OpLog: the Persimmon-style fast path. A PUT appends
+ *    one 64-byte record to a persistent circular op log (net::OpLog)
+ *    and its ack is *deferred* until the next group commit (one
+ *    8-byte tail persist + fence covering the whole batch); a
+ *    background drain applies committed records to the pool through
+ *    the same undo-logged transaction and advances the log head.
+ *    Acked => committed => durable still holds; crash recovery scans
+ *    the log from the durable head, discards the torn tail by
+ *    checksum/sequence, and replays idempotently through the dedup
+ *    set.
+ *
+ * Either way the store's write clock advances at every stage, so a
+ * power cut mid-operation drops a *suffix* of the writes and recovery
+ * (pool reopen + log replay) restores exactly the committed state.
+ *
+ * The dedup set is *bounded*: entries carry their apply tick, and
+ * when the table fills past 3/4 a compaction transaction evicts
+ * entries older than the retention horizon — set from the client
+ * fleet's worst-case retry span, so an ID is only forgotten once no
+ * conforming client can still retry it. The persisted dedupFloor and
+ * compactedCount keep the audit exact across compactions.
  *
  * Control plane: a bounded admission queue with backpressure
  * (Rejected when full) and per-request absolute deadlines
@@ -27,16 +42,25 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "mem/backing_store.hh"
 #include "mem/timed_mem.hh"
+#include "net/op_log.hh"
 #include "net/rpc.hh"
 #include "persist/object_pool.hh"
 #include "sim/ticks.hh"
 
 namespace lightpc::net
 {
+
+/** How PUTs reach the pool. */
+enum class WritePath
+{
+    Undo,   ///< synchronous undo-logged transaction per PUT
+    OpLog,  ///< append + group commit, background drain applies
+};
 
 /** Service sizing and per-operation costs. */
 struct KvParams
@@ -50,6 +74,20 @@ struct KvParams
 
     /** Persistent dedup-set slots (power of two). */
     std::uint32_t dedupCapacity = 1 << 15;
+
+    /**
+     * Dedup retention horizon: entries applied longer ago than this
+     * may be evicted by compaction. Must exceed the worst-case span
+     * over which a conforming client can still retry a request ID
+     * (FleetParams::maxRetrySpan() plus wire margins).
+     */
+    Tick dedupRetention = 4 * tickSec;
+
+    /** PUT write path. */
+    WritePath writePath = WritePath::Undo;
+
+    /** Op-log placement/size (base 0 = right after the pool). */
+    OpLogParams oplog;
 
     /** Admission-queue bound (backpressure past this). */
     std::uint32_t queueCapacity = 512;
@@ -88,6 +126,18 @@ struct KvStats
     std::uint64_t queueDropped = 0;    ///< admitted but lost to cold boot
     std::uint64_t recoveries = 0;
     std::uint32_t maxQueueDepth = 0;
+
+    // Op-log write path.
+    std::uint64_t logAppends = 0;
+    std::uint64_t logCommits = 0;        ///< group commits issued
+    std::uint64_t logDrainApplied = 0;   ///< records applied by drain
+    std::uint64_t logReplayApplied = 0;  ///< recovery replays applied
+    std::uint64_t logReplaySkipped = 0;  ///< replays deduped away
+    std::uint64_t logStallDrains = 0;    ///< appends that hit a full ring
+
+    // Dedup compaction.
+    std::uint64_t dedupCompactions = 0;
+    std::uint64_t dedupEvicted = 0;
 };
 
 /** Key-table state exposed for oracle checks. */
@@ -142,14 +192,53 @@ class KvService
      * (parse, probes, transaction, flushes); the store's write clock
      * tracks @p t stage by stage, so an armed power cut interacts
      * with the transaction exactly as the rails would.
+     *
+     * @p deferred (when non-null) is set true iff the response must
+     * NOT be released until the next logCommit() completes — op-log
+     * PUT appends and GETs that observed an uncommitted pending
+     * value. The caller owns that group-commit barrier.
      */
-    RpcResponse execute(Tick &t, const RpcRequest &req);
+    RpcResponse execute(Tick &t, const RpcRequest &req,
+                        bool *deferred = nullptr);
 
     /**
      * Crash recovery: reopen the pool over the same region (rolling
-     * back any uncommitted transaction) and re-anchor the root.
+     * back any uncommitted transaction), re-anchor the root, and —
+     * on the op-log path — scan the log from the durable head,
+     * discard the torn tail, and replay the valid run idempotently.
      */
     void recover(Tick &t);
+
+    // --- op-log control (plane-driven group commit / drain) -------
+
+    bool opLogEnabled() const
+    {
+        return _params.writePath == WritePath::OpLog;
+    }
+
+    /** Appended records not yet covered by a group commit. */
+    std::uint64_t logUncommittedRecords() const;
+
+    /** Committed records not yet applied to the pool. */
+    std::uint64_t logBacklogRecords() const;
+
+    /**
+     * Group commit: persist the log tail over every appended record
+     * and fence. After this returns, acks for the batch may release.
+     */
+    void logCommit(Tick &t);
+
+    /**
+     * Background drain step: apply up to @p max_records committed
+     * records to the pool (skipping already-applied ones) and persist
+     * the advanced head. @return records processed.
+     */
+    std::uint64_t logDrain(Tick &t, std::uint64_t max_records);
+
+    /** Commit everything appended, then drain the whole backlog. */
+    void logDrainAll(Tick &t);
+
+    const OpLog *opLog() const { return _log ? &*_log : nullptr; }
 
     // --- oracle accessors (functional reads, no timing) -----------
 
@@ -162,6 +251,18 @@ class KvService
     /** The persistent applied-PUT counter. */
     std::uint64_t appliedCount() const;
 
+    /** IDs evicted from the dedup set by compaction (persisted). */
+    std::uint64_t compactedCount() const;
+
+    /**
+     * Persisted retention floor: every dedup entry applied at or
+     * after this tick is guaranteed still present.
+     */
+    Tick dedupFloor() const;
+
+    /** Occupied dedup slots (volatile mirror, audited in tests). */
+    std::uint64_t dedupLiveCount() const { return dedupLive; }
+
     const persist::ObjectPool &pool() const { return *_pool; }
 
   private:
@@ -173,17 +274,35 @@ class KvService
         std::uint64_t valueSeed = 0;
     };
 
+    /** Dedup slot: the ID plus its apply tick (compaction input). */
+    struct DedupEntry
+    {
+        std::uint64_t id = 0;  ///< 0 = empty
+        std::uint64_t appliedAt = 0;
+    };
+
     struct RootHeader
     {
         std::uint64_t magic = 0;
         std::uint32_t keyCapacity = 0;
         std::uint32_t dedupCapacity = 0;
         std::uint64_t appliedCount = 0;
-        std::uint64_t pad[5] = {};
+        std::uint64_t compactedCount = 0;
+        std::uint64_t dedupFloor = 0;
+        std::uint64_t pad[3] = {};
     };
 
     static constexpr std::uint64_t rootMagic =
-        0x4b565f524f4f5431ULL;  // "KV_ROOT1"
+        0x4b565f524f4f5432ULL;  // "KV_ROOT2"
+
+    /** Volatile record of a PUT sitting in the op log, undrained. */
+    struct PendingPut
+    {
+        std::uint64_t key = 0;
+        std::uint64_t version = 0;
+        std::uint64_t valueSeed = 0;
+        std::uint64_t seq = 0;  ///< log sequence number
+    };
 
     std::uint64_t rootBytes() const;
     std::uint64_t keyTableOffset() const { return sizeof(RootHeader); }
@@ -195,6 +314,7 @@ class KvService
     }
 
     void openRoot(Tick &t);
+    void openLog(Tick &t);
 
     /** Advance the store's write clock to @p t (stage boundary). */
     void clock(Tick t);
@@ -209,21 +329,60 @@ class KvService
     std::uint32_t probeDedup(std::uint64_t req_id, bool &found) const;
 
     void readSlot(std::uint32_t idx, KvSlot &out) const;
-    std::uint64_t dedupAt(std::uint32_t idx) const;
+    DedupEntry dedupAt(std::uint32_t idx) const;
 
-    RpcResponse executeGet(Tick &t, const RpcRequest &req);
-    RpcResponse executePut(Tick &t, const RpcRequest &req);
+    /** Recount occupied dedup slots (ctor / recovery). */
+    void rebuildDedupLive();
+
+    RpcResponse executeGet(Tick &t, const RpcRequest &req,
+                           bool *deferred);
+    RpcResponse executePut(Tick &t, const RpcRequest &req,
+                           bool *deferred);
+    RpcResponse executePutOpLog(Tick &t, const RpcRequest &req,
+                                bool *deferred);
     RpcResponse executeScan(Tick &t, const RpcRequest &req);
     void chargeCheckpoint(Tick &t);
+
+    /**
+     * The shared apply transaction: key slot + dedup entry + applied
+     * counter move together or not at all. @p version is the
+     * absolute version to install (the undo path passes current+1,
+     * the op-log drain passes the version fixed at append).
+     */
+    void applyPut(Tick &t, std::uint64_t req_id, std::uint64_t key,
+                  std::uint64_t value_seed, std::uint64_t version,
+                  KvSlot &slot_out);
+
+    /** Drop a drained/applied record from the pending-put maps. */
+    void forgetPending(const OpRecord &rec);
+
+    /**
+     * Evict dedup entries older than the retention horizon once the
+     * table passes 3/4 occupancy (one undo-logged transaction over
+     * the dedup region + header).
+     */
+    void maybeCompactDedup(Tick &t);
 
     mem::BackingStore &store;
     mem::TimedMem &timed;
     KvParams _params;
     KvStats _stats;
     std::optional<persist::ObjectPool> _pool;
+    std::optional<OpLog> _log;
     persist::ObjectId root;
     mem::Addr rootAddr = 0;  ///< pool-physical address of the root
     std::vector<RpcRequest> queue;  ///< volatile admission queue
+
+    /** Op-log pending index: reqId -> its undrained record. */
+    std::unordered_map<std::uint64_t, PendingPut> pendingByReq;
+
+    /** Newest undrained record per key (read-your-writes, chaining). */
+    std::unordered_map<std::uint64_t, PendingPut> newestByKey;
+
+    std::uint64_t dedupLive = 0;  ///< occupied dedup slots (mirror)
+
+    /** Suppress compaction retries while nothing is evictable. */
+    std::uint64_t compactionHoldoff = 0;
 };
 
 } // namespace lightpc::net

@@ -24,6 +24,7 @@ persistModeName(PersistMode mode)
     case PersistMode::SysPc: return "SysPC";
     case PersistMode::SCheckPc: return "S-CheckPC";
     case PersistMode::ACheckPc: return "A-CheckPC";
+    case PersistMode::OpLog: return "SnG-OpLog";
     }
     return "?";
 }
@@ -67,8 +68,33 @@ kvParamsFor(const ServiceConfig &cfg)
     KvParams kp = cfg.kv;
     if (cfg.mode == PersistMode::ACheckPc)
         kp.checkpointBytesPerOp = cfg.acheckBytesPerOp;
+    if (cfg.mode == PersistMode::OpLog)
+        kp.writePath = WritePath::OpLog;
+    // Dedup retention: an ID may only be compacted away once no
+    // conforming client can still retry it — the fleet's worst-case
+    // retry span, plus the server-side deadline a queued retry can
+    // still execute under, wire delays, and one full outage.
+    kp.dedupRetention = cfg.fleet.maxRetrySpan() + cfg.requestDeadline
+        + 2 * cfg.wireLatency + cfg.offDwell + cfg.holdup;
     return kp;
 }
+
+/**
+ * Fixed-latency port for the scratch-copy durability audit: the
+ * audit replays recovery against a *copy* of the PMEM store, and
+ * must not perturb the live PSM pipeline's timing state.
+ */
+struct OraclePort : mem::MemoryPort
+{
+    mem::AccessResult
+    access(const mem::MemRequest &, Tick when) override
+    {
+        mem::AccessResult r;
+        r.completeAt = when + 50 * tickNs;
+        r.mediaFreeAt = r.completeAt;
+        return r;
+    }
+};
 
 FleetParams
 fleetParamsFor(const ServiceConfig &cfg)
@@ -117,6 +143,12 @@ struct Plane
 
     RpcResponse pendingResp{};
     bool havePendingResp = false;
+    bool pendingDeferred = false;
+
+    /** OpLog mode: acks waiting on the next group commit. */
+    std::vector<RpcResponse> deferredAcks;
+    bool commitScheduled = false;
+    bool drainScheduled = false;
 
     ServiceResult res;
 
@@ -223,7 +255,8 @@ struct Plane
         }
         serverBusy = true;
         Tick t = now;
-        pendingResp = kv.execute(t, head);
+        pendingDeferred = false;
+        pendingResp = kv.execute(t, head, &pendingDeferred);
         havePendingResp = true;
         const std::uint64_t e = epoch;
         eq.schedule(t, [this, e] {
@@ -238,11 +271,100 @@ struct Plane
     {
         serverBusy = false;
         if (havePendingResp) {
-            nic.txPush(pendingResp);
+            if (pendingDeferred) {
+                // The ack waits for the group commit that makes its
+                // record durable; commitFire() releases it.
+                deferredAcks.push_back(pendingResp);
+                maybeScheduleCommit();
+            } else {
+                nic.txPush(pendingResp);
+            }
             havePendingResp = false;
+            pendingDeferred = false;
         }
         kickTx();
         kickService();
+    }
+
+    // --- op-log group commit / background drain -------------------
+
+    void
+    maybeScheduleCommit()
+    {
+        if (cfg.mode != PersistMode::OpLog)
+            return;
+        if (kv.logUncommittedRecords() >= cfg.oplogCommitRecords) {
+            commitFire();
+            return;
+        }
+        if (commitScheduled)
+            return;
+        commitScheduled = true;
+        const std::uint64_t e = epoch;
+        eq.scheduleIn(cfg.oplogCommitInterval, [this, e] {
+            commitScheduled = false;
+            if (e == epoch)
+                commitFire();
+        });
+    }
+
+    void
+    commitFire()
+    {
+        if (!canServe())
+            return;
+        Tick t = eq.now();
+        kv.logCommit(t);
+        if (!deferredAcks.empty()) {
+            // Release the batch's acks once the tail persist has
+            // completed. servedAt is the release tick — strictly
+            // after the records' durability point, so the outage
+            // close predicate stays sound. (shared_ptr keeps the
+            // closure inside the queue's inline-storage bound.)
+            auto batch = std::make_shared<std::vector<RpcResponse>>(
+                std::move(deferredAcks));
+            deferredAcks.clear();
+            const std::uint64_t e = epoch;
+            eq.schedule(t, [this, e, batch] {
+                if (e != epoch)
+                    return;
+                const Tick now = eq.now();
+                for (RpcResponse resp : *batch) {
+                    resp.servedAt = now;
+                    nic.txPush(resp);
+                }
+                kickTx();
+            });
+        }
+        scheduleDrain();
+    }
+
+    void
+    scheduleDrain()
+    {
+        if (cfg.mode != PersistMode::OpLog || drainScheduled
+            || kv.logBacklogRecords() == 0)
+            return;
+        drainScheduled = true;
+        const std::uint64_t e = epoch;
+        eq.scheduleIn(cfg.oplogDrainInterval, [this, e] {
+            drainScheduled = false;
+            if (e == epoch)
+                drainFire();
+        });
+    }
+
+    void
+    drainFire()
+    {
+        if (!canServe())
+            return;
+        // The drain runs on a spare core: it charges the memory
+        // system through its own timeline without blocking the
+        // serving path.
+        Tick t = eq.now();
+        kv.logDrain(t, cfg.oplogDrainBatch);
+        scheduleDrain();
     }
 
     void
@@ -354,6 +476,37 @@ struct Plane
             o.coldBoot = stop.commitFailed;
             break;
         }
+        case PersistMode::OpLog: {
+            // Emergency group commit inside the hold-up: the cut is
+            // armed a full hold-up out and the tail persist takes
+            // microseconds, so every appended record becomes durable.
+            // The batch's acks flush to the TX ring stamped at the
+            // event tick — they ride the DCB and can narrow the
+            // outage but never close it (strictly-after predicate);
+            // on a cold boot the ring is lost and clients retry into
+            // the dedup set instead.
+            Tick t = now;
+            kv.logCommit(t);
+            if (serverBusy && havePendingResp) {
+                if (pendingDeferred)
+                    deferredAcks.push_back(pendingResp);
+                else
+                    nic.txPush(pendingResp);
+                havePendingResp = false;
+                pendingDeferred = false;
+            }
+            for (RpcResponse resp : deferredAcks) {
+                resp.servedAt = now;
+                nic.txPush(resp);
+            }
+            deferredAcks.clear();
+            serverBusy = false;
+            const auto stop = sys.sng().stop(now, cfg.holdup);
+            res.stopTicksTotal += stop.totalTicks();
+            res.contextImagesSaved += stop.contextImagesSaved;
+            o.coldBoot = stop.commitFailed;
+            break;
+        }
         case PersistMode::SysPc: {
             // Hibernate dump against a 16 ms hold-up: the image takes
             // seconds, so the commit record lands past the cut and
@@ -402,6 +555,7 @@ struct Plane
         res.ringFramesLost += nic.rxOccupancy() + nic.txOccupancy();
         nic.resetVolatile();
         kv.dropQueue();
+        deferredAcks.clear();
         Tick t = from;
         kv.recover(t);
         return t;
@@ -418,6 +572,7 @@ struct Plane
 
         switch (cfg.mode) {
         case PersistMode::SnG:
+        case PersistMode::OpLog:
             if (!o.coldBoot && sys.sng().hasCommit()) {
                 // The rails ate the volatile side; Go must rebuild
                 // it from the DCB images alone.
@@ -454,6 +609,11 @@ struct Plane
         serviceUp = true;
         kickService();
         kickTx();
+        // A warm resume can come back with committed-but-undrained
+        // records (and uncommitted appends the emergency flush
+        // covered); restart the commit/drain cadence.
+        maybeScheduleCommit();
+        scheduleDrain();
         // Audit acked-write durability right after every recovery.
         verifyInvariants();
     }
@@ -472,7 +632,29 @@ struct Plane
     void
     verifyInvariants()
     {
-        const auto ids = kv.appliedIds();
+        if (cfg.mode == PersistMode::OpLog) {
+            // Audit what a crash *right now* would recover to: copy
+            // the PMEM store, reopen the pool and replay the op log
+            // over the copy, and check the ledger against that. A
+            // fixed-latency port keeps the audit off the live PSM
+            // pipeline's timing state.
+            OraclePort port;
+            mem::BackingStore scratch;
+            scratch.copyContentsFrom(sys.pmemStore());
+            mem::TimedMem stm(port, &scratch);
+            KvService audit(scratch, stm, kvParamsFor(cfg));
+            Tick t = 0;
+            audit.recover(t);
+            auditDurable(audit);
+        } else {
+            auditDurable(kv);
+        }
+    }
+
+    void
+    auditDurable(const KvService &svc)
+    {
+        const auto ids = svc.appliedIds();
         std::unordered_set<std::uint64_t> applied(ids.begin(),
                                                   ids.end());
         std::uint64_t duplicates = 0;
@@ -480,22 +662,28 @@ struct Plane
             duplicates += ids.size() - applied.size();
             violation("duplicate request ID in persistent dedup set");
         }
-        if (kv.appliedCount() != ids.size()) {
+        if (svc.appliedCount() != ids.size() + svc.compactedCount()) {
             ++duplicates;
-            violation("applied counter disagrees with dedup set size");
+            violation("applied counter disagrees with dedup set size "
+                      "+ compacted count");
         }
         for (const std::uint64_t id : ids) {
             if (fleet.putKeyOf(id) == 0)
                 violation("dedup set holds an unknown request ID");
         }
 
+        // An acked PUT's ID may legally be gone only once compaction's
+        // retention floor has passed it (no conforming client can
+        // still retry); its version must survive regardless.
+        const Tick floor = svc.dedupFloor();
+        const Tick ackSlack =
+            cfg.offDwell + cfg.holdup + cfg.requestDeadline;
         std::uint64_t lost = 0;
         for (const AckedPut &put : fleet.ackedPuts()) {
-            if (!applied.count(put.reqId)) {
+            if (!applied.count(put.reqId)
+                && !(floor != 0 && put.ackedAt < floor + ackSlack))
                 ++lost;
-                continue;
-            }
-            const auto state = kv.lookup(put.key);
+            const auto state = svc.lookup(put.key);
             if (!state || state->version < put.version)
                 violation("acked PUT's key version regressed");
         }
@@ -506,10 +694,10 @@ struct Plane
         std::uint64_t versionSum = 0;
         const std::uint64_t key_space = fleet.params().mix.keySpace;
         for (std::uint64_t key = 1; key <= key_space; ++key) {
-            if (const auto state = kv.lookup(key))
+            if (const auto state = svc.lookup(key))
                 versionSum += state->version;
         }
-        if (versionSum != kv.appliedCount()) {
+        if (versionSum != svc.appliedCount()) {
             ++duplicates;
             violation("key version sum != applied PUT count "
                       "(double apply)");
@@ -541,6 +729,13 @@ struct Plane
         res.deadlineExceeded = ks.deadlineExceeded;
         res.queueDropped = ks.queueDropped;
         res.recoveries = ks.recoveries;
+        res.logAppends = ks.logAppends;
+        res.logCommits = ks.logCommits;
+        res.logDrainApplied = ks.logDrainApplied;
+        res.logReplayApplied = ks.logReplayApplied;
+        res.logStallDrains = ks.logStallDrains;
+        res.dedupCompactions = ks.dedupCompactions;
+        res.dedupEvicted = ks.dedupEvicted;
 
         const NicStats &ns = nic.stats();
         res.framesRx = ns.framesRx;
@@ -596,6 +791,9 @@ struct Plane
         d.mix(res.framesTx);
         d.mix(res.ringPreservedFrames);
         d.mix(res.stormFollowUpCuts);
+        d.mix(res.logAppends);
+        d.mix(res.logCommits);
+        d.mix(res.dedupEvicted);
         d.mix(lat.percentile(0.99));
         d.mix(recorder.lastSuccessAt());
         for (const ServiceOutage &o : res.outages)

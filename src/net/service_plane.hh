@@ -21,6 +21,12 @@
  *                 (stop-the-world), plus a cold reboot on power loss.
  *  - ACheckPc   — per-request synchronous checkpoint copies, plus a
  *                 cold reboot on power loss.
+ *  - OpLog      — SnG power machinery plus a Persimmon-style
+ *                 persistent op log: PUTs append one record and ack
+ *                 on group commit (batched tail persist), a
+ *                 background drain applies committed records to the
+ *                 pool, and recovery replays the log from the
+ *                 durable head (torn tail discarded by checksum).
  *
  * All modes share the same transactional pool, so *durability* of
  * acknowledged writes holds everywhere (that is an invariant, checked
@@ -51,6 +57,7 @@ enum class PersistMode
     SysPc,     ///< full-system image at power-down
     SCheckPc,  ///< periodic system-level checkpoint (BLCR-style)
     ACheckPc,  ///< per-request application-level checkpoint
+    OpLog,     ///< SnG + persistent op-log write path (group commit)
 };
 
 /** Display name. */
@@ -116,6 +123,19 @@ struct ServiceConfig
     /** A-CheckPC: synchronous checkpoint bytes per request. */
     std::uint64_t acheckBytesPerOp = 18000;
 
+    /**
+     * OpLog mode: group-commit cadence. A commit fires when either
+     * this many records are waiting or the interval elapses since
+     * the first deferred ack of the batch — amortizing the tail
+     * persist + fence across the batch while bounding ack latency.
+     */
+    Tick oplogCommitInterval = 25 * tickUs;
+    std::uint32_t oplogCommitRecords = 16;
+
+    /** OpLog mode: background drain cadence and batch size. */
+    Tick oplogDrainInterval = 150 * tickUs;
+    std::uint32_t oplogDrainBatch = 32;
+
     /** Kernel population behind the service. */
     std::uint32_t userProcesses = 24;
     std::uint32_t kernelThreads = 16;
@@ -162,6 +182,17 @@ struct ServiceResult
     std::uint64_t deadlineExceeded = 0;
     std::uint64_t queueDropped = 0;
     std::uint64_t recoveries = 0;
+
+    // Op-log write path (OpLog mode; zero elsewhere).
+    std::uint64_t logAppends = 0;
+    std::uint64_t logCommits = 0;
+    std::uint64_t logDrainApplied = 0;
+    std::uint64_t logReplayApplied = 0;
+    std::uint64_t logStallDrains = 0;
+
+    // Dedup-table compaction (any mode).
+    std::uint64_t dedupCompactions = 0;
+    std::uint64_t dedupEvicted = 0;
 
     // NIC.
     std::uint64_t framesRx = 0;

@@ -1,7 +1,11 @@
 #include "sim/parallel.hh"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -19,6 +23,29 @@ unsigned
 resolveThreads(unsigned requested)
 {
     return requested ? requested : hardwareThreads();
+}
+
+unsigned
+parseThreadsArg(const char *text)
+{
+    long value = 0;
+    bool parsed = false;
+    if (text && *text != '\0') {
+        errno = 0;
+        char *end = nullptr;
+        value = std::strtol(text, &end, 10);
+        parsed = end != text && *end == '\0' && errno != ERANGE;
+    }
+    if (!parsed || value <= 0
+        || value > static_cast<long>(
+               std::numeric_limits<int>::max())) {
+        std::fprintf(stderr,
+                     "warning: invalid thread count '%s' (expected a "
+                     "positive integer); falling back to 1 worker\n",
+                     text ? text : "");
+        return 1;
+    }
+    return static_cast<unsigned>(value);
 }
 
 ParallelExecutor::ParallelExecutor(unsigned threads)

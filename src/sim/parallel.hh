@@ -50,6 +50,17 @@ unsigned hardwareThreads();
 unsigned resolveThreads(unsigned requested);
 
 /**
+ * Parse a --threads / -j command-line value. Accepts strictly
+ * positive decimal integers only. Anything else — zero, a negative
+ * number (which a raw strtoul would wrap into a four-billion-worker
+ * fleet), non-numeric text, trailing junk, or overflow — prints a
+ * clear warning to stderr and returns the safe fallback of one
+ * worker. Campaign results are digest-identical at any thread count,
+ * so the fallback changes wall clock only, never output.
+ */
+unsigned parseThreadsArg(const char *text);
+
+/**
  * Fans independent trial indices across host threads.
  */
 class ParallelExecutor

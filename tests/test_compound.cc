@@ -318,11 +318,18 @@ TEST(CompoundCampaign, SmallRunHoldsEveryInvariant)
     EXPECT_EQ(r.violations, 0u);
     EXPECT_EQ(r.trials, cfg.trials);
     EXPECT_EQ(r.stopCutTrials + r.goCutTrials + r.brownoutTrials
-                  + r.stormTrials,
+                  + r.stormTrials + r.oplogTrials,
               cfg.trials);
     EXPECT_GT(r.tornResumes, 0u);
     EXPECT_EQ(r.idempotenceChecks, r.goCutTrials);
     EXPECT_GE(r.maxCutEpochs, 3u);
+
+    // The fifth rotation ran: every op-log trial proved both copies
+    // replay byte-identical, and at least one scan hit a torn tail.
+    EXPECT_GT(r.oplogTrials, 0u);
+    EXPECT_EQ(r.oplogReplayChecks, r.oplogTrials);
+    EXPECT_GT(r.oplogRecordsReplayed, 0u);
+    EXPECT_GT(r.oplogTornTails, 0u);
 
     // Determinism: the same seed reproduces the same digest.
     const fault::CompoundResult again = fault::runCompoundCampaign(cfg);

@@ -204,9 +204,10 @@ TEST_P(ServiceFuzz, TrafficAndPowerCutsHoldInvariants)
 
     net::ServiceConfig cfg;
     const net::PersistMode modes[] = {
-        net::PersistMode::SnG, net::PersistMode::SysPc,
-        net::PersistMode::SCheckPc, net::PersistMode::ACheckPc};
-    cfg.mode = modes[rng.below(4)];
+        net::PersistMode::SnG, net::PersistMode::OpLog,
+        net::PersistMode::SysPc, net::PersistMode::SCheckPc,
+        net::PersistMode::ACheckPc};
+    cfg.mode = modes[rng.below(5)];
     cfg.runFor = (300 + rng.below(400)) * tickMs;
     cfg.drainGrace = 2500 * tickMs;
     cfg.cuts = 1 + static_cast<std::uint32_t>(rng.below(2));
@@ -229,8 +230,10 @@ TEST_P(ServiceFuzz, TrafficAndPowerCutsHoldInvariants)
     EXPECT_LE(r.maxRxOccupancy, cfg.nic.ringEntries);
     EXPECT_LE(r.maxTxOccupancy, cfg.nic.ringEntries);
 
-    // SnG never cold-boots; every baseline outage costs one.
-    if (cfg.mode == net::PersistMode::SnG)
+    // SnG (either write path) never cold-boots; every baseline
+    // outage costs one.
+    if (cfg.mode == net::PersistMode::SnG
+        || cfg.mode == net::PersistMode::OpLog)
         EXPECT_EQ(r.coldBoots, 0u);
     else
         EXPECT_EQ(r.coldBoots, r.outages.size()) << r.modeName;
@@ -256,11 +259,12 @@ TEST_P(ServiceStormFuzz, StormSchedulesHoldInvariantsInEveryMode)
 {
     const std::uint64_t seed = GetParam();
     const net::PersistMode modes[] = {
-        net::PersistMode::SnG, net::PersistMode::SysPc,
-        net::PersistMode::SCheckPc, net::PersistMode::ACheckPc};
+        net::PersistMode::SnG, net::PersistMode::OpLog,
+        net::PersistMode::SysPc, net::PersistMode::SCheckPc,
+        net::PersistMode::ACheckPc};
 
-    for (std::size_t m = 0; m < 4; ++m) {
-        Rng rng(seed * 4 + m);
+    for (std::size_t m = 0; m < 5; ++m) {
+        Rng rng(seed * 5 + m);
 
         net::ServiceConfig cfg;
         cfg.mode = modes[m];
@@ -273,7 +277,7 @@ TEST_P(ServiceStormFuzz, StormSchedulesHoldInvariantsInEveryMode)
         cfg.offDwell = 50 * tickMs;
         cfg.fleet.clients = 150;
         cfg.fleet.arrivalsPerSec = 1000.0;
-        cfg.seed = seed * 4 + m;
+        cfg.seed = seed * 5 + m;
 
         const net::ServiceResult r = net::runService(cfg);
 
@@ -303,7 +307,8 @@ TEST_P(ServiceStormFuzz, StormSchedulesHoldInvariantsInEveryMode)
         // per outage, with the durability audit run at each
         // service-up.
         ASSERT_FALSE(r.outages.empty()) << r.modeName;
-        if (cfg.mode == net::PersistMode::SnG) {
+        if (cfg.mode == net::PersistMode::SnG
+            || cfg.mode == net::PersistMode::OpLog) {
             EXPECT_EQ(r.coldBoots, 0u);
             for (const net::ServiceOutage &o : r.outages)
                 EXPECT_NE(o.firstSuccessAfter, maxTick)

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "net/service_plane.hh"
 
 #include "kernel/device.hh"
@@ -358,6 +360,538 @@ TEST(KvService, ScanIsDeterministic)
     EXPECT_EQ(rig.kv.stats().scans, 2u);
 }
 
+// --- OpLog ---------------------------------------------------------
+
+struct LogRig
+{
+    explicit LogRig(std::uint64_t capacity = 4096)
+        : timed(port, &store)
+    {
+        OpLogParams params;
+        params.base = std::uint64_t(1) << 20;
+        params.capacity = capacity;
+        log.emplace(store, timed, params);
+        Tick t = 0;
+        log->format(t);
+    }
+
+    FixedPort port;
+    mem::BackingStore store;
+    mem::TimedMem timed;
+    std::optional<OpLog> log;
+};
+
+OpRecord
+logRecord(std::uint64_t req_id, std::uint64_t key,
+          std::uint64_t value_seed, std::uint64_t version)
+{
+    OpRecord rec;
+    rec.reqId = req_id;
+    rec.key = key;
+    rec.valueSeed = value_seed;
+    rec.version = version;
+    rec.client = static_cast<std::uint32_t>(req_id % 17);
+    return rec;
+}
+
+TEST(OpLog, AppendCommitDrainRoundTrip)
+{
+    LogRig rig;
+    Tick t = 0;
+
+    EXPECT_EQ(rig.log->append(t, logRecord(1, 10, 100, 1)), 1u);
+    EXPECT_EQ(rig.log->append(t, logRecord(2, 20, 200, 1)), 2u);
+    EXPECT_EQ(rig.log->append(t, logRecord(3, 30, 300, 1)), 3u);
+    EXPECT_EQ(rig.log->uncommittedRecords(), 3u);
+    EXPECT_EQ(rig.log->backlogRecords(), 0u);
+    EXPECT_FALSE(rig.log->committedThrough(1));
+
+    rig.log->commit(t);
+    EXPECT_EQ(rig.log->uncommittedRecords(), 0u);
+    EXPECT_EQ(rig.log->backlogRecords(), 3u);
+    EXPECT_TRUE(rig.log->committedThrough(3));
+
+    OpRecord head = rig.log->readHead(t);
+    EXPECT_EQ(head.seq, 1u);
+    EXPECT_EQ(head.reqId, 1u);
+    EXPECT_EQ(head.checksum, OpLog::checksumOf(head));
+    rig.log->pop();
+    head = rig.log->readHead(t);
+    EXPECT_EQ(head.seq, 2u);
+    rig.log->pop();
+    rig.log->persistHead(t);
+    EXPECT_EQ(rig.log->headVirt(), 2 * OpLog::recordBytes);
+    EXPECT_EQ(rig.log->persistedHeadVirt(), 2 * OpLog::recordBytes);
+
+    EXPECT_EQ(rig.log->stats().appends, 3u);
+    EXPECT_EQ(rig.log->stats().commits, 1u);
+    EXPECT_EQ(rig.log->stats().pops, 2u);
+    EXPECT_EQ(rig.log->stats().headPersists, 1u);
+
+    // A fresh attach over the same region sees the durable cursors.
+    OpLog other(rig.store, rig.timed, rig.log->params());
+    ASSERT_TRUE(other.attach(t));
+    EXPECT_EQ(other.headVirt(), 2 * OpLog::recordBytes);
+    EXPECT_EQ(other.tailVirt(), 3 * OpLog::recordBytes);
+    EXPECT_EQ(other.backlogRecords(), 1u);
+}
+
+TEST(OpLog, WouldBlockUntilEvictionHeadIsDurable)
+{
+    LogRig rig(2 * OpLog::recordBytes);
+    Tick t = 0;
+
+    rig.log->append(t, logRecord(1, 1, 10, 1));
+    rig.log->append(t, logRecord(2, 2, 20, 1));
+    EXPECT_TRUE(rig.log->wouldBlock());
+
+    // Draining alone is not enough: the slot may only be rewritten
+    // once the head persist covering its eviction has completed.
+    rig.log->commit(t);
+    (void)rig.log->readHead(t);
+    rig.log->pop();
+    (void)rig.log->readHead(t);
+    rig.log->pop();
+    EXPECT_TRUE(rig.log->wouldBlock());
+
+    rig.log->persistHead(t);
+    EXPECT_FALSE(rig.log->wouldBlock());
+
+    // The reused slot gets a lap-disambiguating sequence number.
+    EXPECT_EQ(rig.log->append(t, logRecord(3, 3, 30, 1)), 3u);
+    rig.log->commit(t);
+    const OpRecord rec = rig.log->readHead(t);
+    EXPECT_EQ(rec.seq, 3u);
+    EXPECT_EQ(rec.reqId, 3u);
+}
+
+TEST(OpLog, RecoveryReplaysDurableUncommittedSuffix)
+{
+    LogRig rig;
+    Tick t = 0;
+    rig.log->append(t, logRecord(1, 10, 100, 1));
+    rig.log->commit(t);
+    rig.log->append(t, logRecord(2, 20, 200, 1));
+    // No commit: record 2 is durable (no cut fired) but its ack was
+    // never released. Recovery replays it anyway — idempotent, and
+    // strictly more state than the client was promised.
+
+    OpLog other(rig.store, rig.timed, rig.log->params());
+    ASSERT_TRUE(other.attach(t));
+    const OpLogRecovery scan = other.recover(t);
+    EXPECT_EQ(scan.headVirt, 0u);
+    EXPECT_EQ(scan.tailVirt, OpLog::recordBytes);
+    EXPECT_EQ(scan.scanEndVirt, 2 * OpLog::recordBytes);
+    EXPECT_TRUE(scan.tailCovered);
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[0].reqId, 1u);
+    EXPECT_EQ(scan.records[1].reqId, 2u);
+    EXPECT_EQ(other.tailVirt(), 2 * OpLog::recordBytes);
+
+    other.resetAfterReplay(t);
+    EXPECT_EQ(other.backlogRecords(), 0u);
+    EXPECT_EQ(other.headVirt(), other.tailVirt());
+}
+
+TEST(OpLog, RecoveryDiscardsRecordDroppedAtTheCut)
+{
+    LogRig rig;
+    Tick t = 0;
+    rig.log->append(t, logRecord(1, 10, 100, 1));
+    rig.log->commit(t);
+
+    // The rails die exactly as the second append's line store begins:
+    // the whole line is dropped and the slot still reads as zeros.
+    rig.store.armPowerCut(t, 0xfeed);
+    rig.log->append(t, logRecord(2, 20, 200, 1));
+    rig.store.disarmPowerCut();
+
+    OpLog other(rig.store, rig.timed, rig.log->params());
+    ASSERT_TRUE(other.attach(t));
+    const OpLogRecovery scan = other.recover(t);
+    EXPECT_TRUE(scan.tailCovered);
+    EXPECT_EQ(scan.scanEndVirt, OpLog::recordBytes);
+    ASSERT_EQ(scan.records.size(), 1u);
+    EXPECT_EQ(scan.records[0].reqId, 1u);
+    EXPECT_EQ(other.stats().checksumStops, 1u);
+}
+
+// --- KvService op-log write path -----------------------------------
+
+KvParams
+oplogParams()
+{
+    KvParams params;
+    params.writePath = WritePath::OpLog;
+    return params;
+}
+
+TEST(KvServiceOpLog, PutAckDefersUntilGroupCommit)
+{
+    KvRig rig(oplogParams());
+    Tick t = 0;
+
+    bool deferred = false;
+    auto put = rig.kv.execute(t, makeReq(1, workload::KvOp::Put, 42, 777),
+                              &deferred);
+    EXPECT_EQ(put.status, RpcStatus::Ok);
+    EXPECT_EQ(put.version, 1u);
+    EXPECT_TRUE(deferred);
+    EXPECT_EQ(rig.kv.logUncommittedRecords(), 1u);
+    EXPECT_EQ(rig.kv.appliedCount(), 0u);
+    EXPECT_FALSE(rig.kv.lookup(42).has_value());
+
+    // Read-your-writes: the GET observes the pending record, but it
+    // must defer with it — its result is not durable yet either.
+    bool get_deferred = false;
+    auto get = rig.kv.execute(t, makeReq(2, workload::KvOp::Get, 42),
+                              &get_deferred);
+    EXPECT_EQ(get.status, RpcStatus::Ok);
+    EXPECT_EQ(get.version, 1u);
+    EXPECT_EQ(get.valueSeed, 777u);
+    EXPECT_TRUE(get_deferred);
+
+    rig.kv.logCommit(t);
+    EXPECT_EQ(rig.kv.logUncommittedRecords(), 0u);
+    EXPECT_EQ(rig.kv.logBacklogRecords(), 1u);
+    get_deferred = false;
+    get = rig.kv.execute(t, makeReq(3, workload::KvOp::Get, 42),
+                         &get_deferred);
+    EXPECT_EQ(get.version, 1u);
+    EXPECT_FALSE(get_deferred);
+
+    EXPECT_EQ(rig.kv.logDrain(t, 64), 1u);
+    EXPECT_EQ(rig.kv.appliedCount(), 1u);
+    ASSERT_TRUE(rig.kv.lookup(42).has_value());
+    EXPECT_EQ(rig.kv.lookup(42)->version, 1u);
+    EXPECT_EQ(rig.kv.lookup(42)->valueSeed, 777u);
+    EXPECT_EQ(rig.kv.stats().logAppends, 1u);
+    EXPECT_EQ(rig.kv.stats().logCommits, 1u);
+    EXPECT_EQ(rig.kv.stats().logDrainApplied, 1u);
+}
+
+TEST(KvServiceOpLog, PendingRetryIsIdempotent)
+{
+    KvRig rig(oplogParams());
+    Tick t = 0;
+    const auto req = makeReq(9, workload::KvOp::Put, 5, 123);
+
+    bool deferred = false;
+    auto first = rig.kv.execute(t, req, &deferred);
+    EXPECT_EQ(first.version, 1u);
+    EXPECT_TRUE(deferred);
+
+    // Retry while the record sits uncommitted in the log: no second
+    // append, and the ack defers on the same group commit.
+    auto retry = req;
+    retry.attempt = 2;
+    bool retry_deferred = false;
+    auto second = rig.kv.execute(t, retry, &retry_deferred);
+    EXPECT_EQ(second.status, RpcStatus::Ok);
+    EXPECT_EQ(second.version, 1u);
+    EXPECT_TRUE(retry_deferred);
+    EXPECT_EQ(rig.kv.stats().idempotentHits, 1u);
+    EXPECT_EQ(rig.kv.stats().logAppends, 1u);
+
+    // After drain the retry answers from the persistent dedup set.
+    rig.kv.logDrainAll(t);
+    retry.attempt = 3;
+    retry_deferred = true;
+    auto third = rig.kv.execute(t, retry, &retry_deferred);
+    EXPECT_EQ(third.version, 1u);
+    EXPECT_FALSE(retry_deferred);
+    EXPECT_EQ(rig.kv.stats().idempotentHits, 2u);
+    EXPECT_EQ(rig.kv.appliedCount(), 1u);
+}
+
+TEST(KvServiceOpLog, VersionChainsThroughPendingRecords)
+{
+    KvRig rig(oplogParams());
+    Tick t = 0;
+    bool deferred = false;
+
+    auto p1 = rig.kv.execute(t, makeReq(1, workload::KvOp::Put, 5, 100),
+                             &deferred);
+    EXPECT_EQ(p1.version, 1u);
+    auto p2 = rig.kv.execute(t, makeReq(2, workload::KvOp::Put, 5, 101),
+                             &deferred);
+    EXPECT_EQ(p2.version, 2u);
+
+    auto get = rig.kv.execute(t, makeReq(3, workload::KvOp::Get, 5),
+                              &deferred);
+    EXPECT_EQ(get.version, 2u);
+    EXPECT_EQ(get.valueSeed, 101u);
+
+    rig.kv.logDrainAll(t);
+    ASSERT_TRUE(rig.kv.lookup(5).has_value());
+    EXPECT_EQ(rig.kv.lookup(5)->version, 2u);
+    EXPECT_EQ(rig.kv.lookup(5)->valueSeed, 101u);
+    EXPECT_EQ(rig.kv.lookup(5)->lastReqId, 2u);
+    EXPECT_EQ(rig.kv.appliedCount(), 2u);
+}
+
+TEST(KvServiceOpLog, FullRingStallDrainsInline)
+{
+    KvParams params = oplogParams();
+    params.oplog.capacity = 4 * OpLog::recordBytes;
+    KvRig rig(params);
+    Tick t = 0;
+
+    for (std::uint64_t k = 1; k <= 6; ++k) {
+        bool deferred = false;
+        auto resp = rig.kv.execute(
+            t, makeReq(k, workload::KvOp::Put, k, 1000 + k), &deferred);
+        EXPECT_EQ(resp.status, RpcStatus::Ok);
+        EXPECT_EQ(resp.version, 1u);
+    }
+    EXPECT_GE(rig.kv.stats().logStallDrains, 1u);
+    EXPECT_EQ(rig.kv.stats().logAppends, 6u);
+
+    rig.kv.logDrainAll(t);
+    EXPECT_EQ(rig.kv.appliedCount(), 6u);
+    for (std::uint64_t k = 1; k <= 6; ++k) {
+        ASSERT_TRUE(rig.kv.lookup(k).has_value());
+        EXPECT_EQ(rig.kv.lookup(k)->version, 1u);
+        EXPECT_EQ(rig.kv.lookup(k)->valueSeed, 1000 + k);
+    }
+}
+
+TEST(KvServiceOpLog, CommittedRecordsSurviveACrashUncommittedVanish)
+{
+    KvRig rig(oplogParams());
+    Tick t = 0;
+    bool deferred = false;
+
+    auto acked = rig.kv.execute(
+        t, makeReq(1, workload::KvOp::Put, 11, 500), &deferred);
+    ASSERT_EQ(acked.status, RpcStatus::Ok);
+    rig.kv.logCommit(t);  // group commit: the ack may now release
+
+    // Power dies before the second PUT's append: its line store is
+    // dropped whole, and its ack never released (still deferred).
+    rig.store.armPowerCut(t, 0xbeef);
+    (void)rig.kv.execute(t, makeReq(2, workload::KvOp::Put, 22, 501),
+                         &deferred);
+    EXPECT_TRUE(deferred);
+    rig.store.disarmPowerCut();
+
+    Tick rt = t;
+    rig.kv.recover(rt);
+    EXPECT_EQ(rig.kv.stats().recoveries, 1u);
+    EXPECT_EQ(rig.kv.stats().logReplayApplied, 1u);
+
+    // The committed PUT was never drained, so only replay can have
+    // restored it; the dropped one left no trace.
+    ASSERT_TRUE(rig.kv.lookup(11).has_value());
+    EXPECT_EQ(rig.kv.lookup(11)->version, 1u);
+    EXPECT_EQ(rig.kv.lookup(11)->valueSeed, 500u);
+    EXPECT_FALSE(rig.kv.lookup(22).has_value());
+    EXPECT_EQ(rig.kv.appliedCount(), 1u);
+    const auto ids = rig.kv.appliedIds();
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(ids[0], 1u);
+    EXPECT_EQ(rig.kv.logBacklogRecords(), 0u);
+    EXPECT_EQ(rig.kv.logUncommittedRecords(), 0u);
+
+    bool get_deferred = true;
+    auto get = rig.kv.execute(rt, makeReq(3, workload::KvOp::Get, 22),
+                              &get_deferred);
+    EXPECT_EQ(get.status, RpcStatus::NotFound);
+    EXPECT_FALSE(get_deferred);
+}
+
+TEST(KvServiceOpLog, CrashAnywhereInsideDrainAppliesExactlyOnce)
+{
+    // Probe one clean timeline to learn the drain window, then sweep
+    // power cuts across it. Wherever the cut lands — inside the apply
+    // transaction, between its commit and the head persist, or past
+    // the whole drain — the committed record must recover to exactly
+    // one application.
+    Tick drain_start = 0;
+    Tick drain_end = 0;
+    {
+        KvRig probe(oplogParams());
+        Tick t = 0;
+        bool deferred = false;
+        (void)probe.kv.execute(
+            t, makeReq(1, workload::KvOp::Put, 11, 500), &deferred);
+        probe.kv.logCommit(t);
+        drain_start = t;
+        (void)probe.kv.logDrain(t, 4);
+        drain_end = t;
+    }
+    ASSERT_GT(drain_end, drain_start);
+
+    const int trials = 48;
+    int saw_replay = 0;
+    int saw_skip_or_drained = 0;
+    for (int i = 0; i < trials; ++i) {
+        const Tick cut = drain_start
+            + (drain_end - drain_start) * Tick(i) / Tick(trials - 1);
+        KvRig rig(oplogParams());
+        Tick t = 0;
+        bool deferred = false;
+        (void)rig.kv.execute(
+            t, makeReq(1, workload::KvOp::Put, 11, 500), &deferred);
+        rig.kv.logCommit(t);
+        rig.store.armPowerCut(cut, 0x50 + std::uint64_t(i));
+        (void)rig.kv.logDrain(t, 4);
+        rig.store.disarmPowerCut();
+
+        Tick rt = t;
+        rig.kv.recover(rt);
+        ASSERT_TRUE(rig.kv.lookup(11).has_value()) << "cut=" << cut;
+        EXPECT_EQ(rig.kv.lookup(11)->version, 1u) << "cut=" << cut;
+        EXPECT_EQ(rig.kv.lookup(11)->valueSeed, 500u);
+        EXPECT_EQ(rig.kv.appliedCount(), 1u) << "cut=" << cut;
+        ASSERT_EQ(rig.kv.appliedIds().size(), 1u) << "cut=" << cut;
+
+        if (rig.kv.stats().logReplayApplied > 0)
+            ++saw_replay;
+        else
+            ++saw_skip_or_drained;
+    }
+    // The sweep covered both fates: cuts that rolled the apply back
+    // (replay restores it) and cuts the apply survived (replay skips
+    // it, or the head persist landed too and the scan finds nothing).
+    EXPECT_GT(saw_replay, 0);
+    EXPECT_GT(saw_skip_or_drained, 0);
+}
+
+TEST(KvServiceOpLog, TornAppendRecoversToAppliedOnceOrAbsent)
+{
+    // Satellite: the torn-tail property. Locate the append's line
+    // store on a clean timeline, then land a cut *inside* that store
+    // under many torn-prefix seeds. Whatever byte prefix of the
+    // record lands, recovery must converge to "applied exactly once"
+    // (the full line made it) or "absent" (checksum discards the
+    // prefix) — a GET may never observe a torn in-between.
+    Tick append_at = 0;
+    {
+        KvRig probe(oplogParams());
+        Tick t = 0;
+        bool deferred = false;
+        (void)probe.kv.execute(
+            t, makeReq(1, workload::KvOp::Put, 77, 900), &deferred);
+        ASSERT_NE(probe.kv.opLog(), nullptr);
+        OpRecord rec;
+        probe.timed.readValue(t, probe.kv.opLog()->slotAddr(0), rec);
+        ASSERT_EQ(rec.reqId, 1u);
+        append_at = rec.appendedAt;
+    }
+
+    std::set<std::uint64_t> torn_prefixes;
+    int saw_applied = 0;
+    int saw_absent = 0;
+    for (std::uint64_t seed = 0; seed < 96; ++seed) {
+        KvRig rig(oplogParams());
+        Tick t = 0;
+        bool deferred = false;
+        rig.store.armPowerCut(append_at + 20 * tickNs, seed);
+        (void)rig.kv.execute(
+            t, makeReq(1, workload::KvOp::Put, 77, 900), &deferred);
+        EXPECT_TRUE(deferred);  // the ack never released
+        EXPECT_EQ(rig.store.cutStats().tornWrites, 1u);
+        torn_prefixes.insert(rig.store.cutStats().lastTornBytes);
+        rig.store.disarmPowerCut();
+
+        Tick rt = t;
+        rig.kv.recover(rt);
+        const auto state = rig.kv.lookup(77);
+        if (state.has_value()) {
+            // The full record landed: applied exactly once.
+            ++saw_applied;
+            EXPECT_EQ(state->version, 1u);
+            EXPECT_EQ(state->valueSeed, 900u);
+            EXPECT_EQ(rig.kv.appliedCount(), 1u);
+            ASSERT_EQ(rig.kv.appliedIds().size(), 1u);
+            EXPECT_EQ(rig.kv.appliedIds()[0], 1u);
+        } else {
+            // A shorter prefix failed the checksum: no trace at all.
+            ++saw_absent;
+            EXPECT_EQ(rig.kv.appliedCount(), 0u);
+            EXPECT_TRUE(rig.kv.appliedIds().empty());
+            bool get_deferred = false;
+            auto get = rig.kv.execute(
+                rt, makeReq(2, workload::KvOp::Get, 77), &get_deferred);
+            EXPECT_EQ(get.status, RpcStatus::NotFound);
+        }
+
+        // Either way the client's retry converges to exactly one
+        // application of the PUT.
+        auto retry = makeReq(1, workload::KvOp::Put, 77, 900);
+        retry.attempt = 2;
+        bool retry_deferred = false;
+        (void)rig.kv.execute(rt, retry, &retry_deferred);
+        rig.kv.logDrainAll(rt);
+        ASSERT_TRUE(rig.kv.lookup(77).has_value());
+        EXPECT_EQ(rig.kv.lookup(77)->version, 1u);
+        EXPECT_EQ(rig.kv.appliedCount(), 1u);
+    }
+
+    // The seed sweep exercised a broad spread of byte offsets across
+    // the 64-byte record, including both recovery outcomes.
+    EXPECT_GE(torn_prefixes.size(), 24u);
+    EXPECT_GT(saw_absent, 0);
+}
+
+// --- dedup-table compaction ----------------------------------------
+
+TEST(KvService, DedupCompactionPreservesRetryHorizon)
+{
+    KvParams params;
+    params.dedupCapacity = 64;
+    params.dedupRetention = 1 * tickSec;
+    KvRig rig(params);
+    Tick t = 0;
+
+    // Fill to just under the 3/4 threshold early in time...
+    for (std::uint64_t i = 1; i <= 40; ++i)
+        (void)rig.kv.execute(
+            t, makeReq(i, workload::KvOp::Put, i, 100 + i));
+    EXPECT_EQ(rig.kv.stats().dedupCompactions, 0u);
+
+    // ...then cross it much later: the early IDs are past retention
+    // and compaction evicts exactly those.
+    t = 2 * tickSec;
+    for (std::uint64_t i = 101; i <= 112; ++i)
+        (void)rig.kv.execute(
+            t, makeReq(i, workload::KvOp::Put, i, 500 + i));
+    EXPECT_GE(rig.kv.stats().dedupCompactions, 1u);
+    EXPECT_EQ(rig.kv.compactedCount(), 40u);
+    EXPECT_GE(rig.kv.dedupFloor(), 1 * tickSec);
+
+    // The audit identity survives eviction, exactly.
+    EXPECT_EQ(rig.kv.appliedCount(),
+              rig.kv.appliedIds().size() + rig.kv.compactedCount());
+    EXPECT_EQ(rig.kv.dedupLiveCount(), rig.kv.appliedIds().size());
+
+    // A late retry of an ID inside the retention horizon still hits
+    // the dedup set — compaction never forgot it.
+    auto retry = makeReq(105, workload::KvOp::Put, 105, 605);
+    retry.attempt = 2;
+    const std::uint64_t applied_before = rig.kv.appliedCount();
+    auto resp = rig.kv.execute(t, retry);
+    EXPECT_EQ(resp.status, RpcStatus::Ok);
+    EXPECT_EQ(resp.version, 1u);
+    EXPECT_EQ(rig.kv.stats().idempotentHits, 1u);
+    EXPECT_EQ(rig.kv.appliedCount(), applied_before);
+
+    // Crash recovery re-reads floor and compacted count from the
+    // persistent header; the retry stays idempotent afterwards.
+    const Tick floor = rig.kv.dedupFloor();
+    Tick rt = t;
+    rig.kv.recover(rt);
+    EXPECT_EQ(rig.kv.compactedCount(), 40u);
+    EXPECT_EQ(rig.kv.dedupFloor(), floor);
+    retry.attempt = 3;
+    resp = rig.kv.execute(rt, retry);
+    EXPECT_EQ(resp.version, 1u);
+    EXPECT_EQ(rig.kv.appliedCount(), applied_before);
+    EXPECT_EQ(rig.kv.appliedCount(),
+              rig.kv.appliedIds().size() + rig.kv.compactedCount());
+}
+
 // --- ClientFleet ---------------------------------------------------
 
 TEST(ClientFleet, BackoffDoublesAndCaps)
@@ -436,6 +970,30 @@ TEST(ClientFleet, AckOutcomesDriveTheLedger)
     EXPECT_EQ(fleet.ackedPuts().size(), 1u);
 }
 
+TEST(ClientFleet, MaxRetrySpanDominatesEveryBackoffSchedule)
+{
+    // Jitter-free schedule: the span is exact.
+    FleetParams exact;
+    exact.clientTimeout = 10 * tickMs;
+    exact.backoffCap = 40 * tickMs;
+    exact.retryJitter = 0;
+    exact.maxAttempts = 5;
+    EXPECT_EQ(exact.maxRetrySpan(), (10 + 20 + 40 + 40) * tickMs);
+
+    // With jitter, every draw is strictly below the per-attempt
+    // ceiling the span assumes, so the realized schedule can never
+    // exceed it — this is what makes the dedup retention horizon
+    // derived from maxRetrySpan() safe.
+    FleetParams params;
+    ClientFleet fleet(params);
+    Tick realized = 0;
+    for (std::uint32_t attempt = 1; attempt < params.maxAttempts;
+         ++attempt)
+        realized += fleet.timeoutFor(attempt);
+    EXPECT_LE(realized, params.maxRetrySpan());
+    EXPECT_GT(params.maxRetrySpan(), 0u);
+}
+
 // --- AvailabilityRecorder ------------------------------------------
 
 TEST(Availability, StragglerAckDoesNotCloseAnOutage)
@@ -456,6 +1014,65 @@ TEST(Availability, StragglerAckDoesNotCloseAnOutage)
     EXPECT_TRUE(rec.outageRecords()[0].closed);
     EXPECT_EQ(rec.outageRecords()[0].firstSuccessAfter, 5000u);
     EXPECT_EQ(rec.outageRecords()[0].lastSuccessBefore, 210u);
+}
+
+TEST(Availability, AckServedAtEventTickNeitherClosesNorNarrows)
+{
+    AvailabilityRecorder rec(10 * tickMs);
+    rec.onSuccess(100, 50, 90);
+    rec.outageBegin(200);
+
+    // An ack stamped *exactly* at the power event — e.g. a batch
+    // flushed as the rails failed — rides the preserved ring and
+    // delivers long after restoration. It proves nothing about
+    // either side of the cut: treating it as recovery would close
+    // the outage, and treating it as a straggler would slide
+    // lastSuccessBefore out to its late delivery. It must do neither.
+    rec.onSuccess(900, 800, 200);
+    ASSERT_EQ(rec.outageRecords().size(), 1u);
+    EXPECT_FALSE(rec.outageRecords()[0].closed);
+    EXPECT_EQ(rec.outageRecords()[0].lastSuccessBefore, 100u);
+
+    rec.onSuccess(1000, 950, 990);
+    EXPECT_TRUE(rec.outageRecords()[0].closed);
+    EXPECT_EQ(rec.outageRecords()[0].downtime(), Tick(1000 - 100));
+}
+
+TEST(Availability, ImmediateRecoveryClosesWithoutUnderflow)
+{
+    AvailabilityRecorder rec(10 * tickMs);
+    rec.onSuccess(199, 100, 198);
+    rec.outageBegin(200);
+
+    // Served one tick past the event and delivered at once: the
+    // outage closes immediately and the (near zero-length) downtime
+    // stays well-defined and non-negative.
+    rec.onSuccess(201, 150, 201);
+    ASSERT_EQ(rec.outageRecords().size(), 1u);
+    EXPECT_TRUE(rec.outageRecords()[0].closed);
+    EXPECT_EQ(rec.outageRecords()[0].firstSuccessAfter, 201u);
+    EXPECT_EQ(rec.outageRecords()[0].downtime(), 2u);
+}
+
+TEST(Availability, StragglerNarrowsThenRealRecoveryCloses)
+{
+    AvailabilityRecorder rec(10 * tickMs);
+    rec.onSuccess(100, 50, 90);
+    rec.outageBegin(200);
+
+    // A pre-event serve delivered after the cut narrows the gap...
+    rec.onSuccess(210, 120, 150);
+    EXPECT_EQ(rec.outageRecords()[0].lastSuccessBefore, 210u);
+
+    // ...the real recovery closes it...
+    rec.onSuccess(260, 230, 250);
+    EXPECT_TRUE(rec.outageRecords()[0].closed);
+    EXPECT_EQ(rec.outageRecords()[0].downtime(), Tick(260 - 210));
+
+    // ...and an even later straggler can no longer touch it.
+    rec.onSuccess(400, 130, 190);
+    EXPECT_EQ(rec.outageRecords()[0].lastSuccessBefore, 210u);
+    EXPECT_EQ(rec.outageRecords()[0].firstSuccessAfter, 260u);
 }
 
 // --- runService end to end -----------------------------------------
@@ -530,6 +1147,59 @@ TEST(ServicePlane, DeterministicUnderFixedSeed)
         EXPECT_EQ(a.outages[i].downtime, b.outages[i].downtime);
 
     const ServiceResult c = runService(tinyConfig(PersistMode::SnG, 18));
+    EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(ServicePlane, OpLogSmokeHoldsInvariants)
+{
+    const ServiceConfig cfg = tinyConfig(PersistMode::OpLog, 11);
+    const ServiceResult r = runService(cfg);
+
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_EQ(r.lostAckedPuts, 0u);
+    EXPECT_EQ(r.duplicateApplied, 0u);
+    EXPECT_GT(r.completed, 0u);
+    EXPECT_GT(r.ackedPuts, 0u);
+
+    // The op-log write path actually carried the PUTs: group commits
+    // batched the appends, and the drain (plus any post-cut replay)
+    // never applied more than was appended.
+    EXPECT_GT(r.logAppends, 0u);
+    EXPECT_GT(r.logCommits, 0u);
+    EXPECT_LT(r.logCommits, r.logAppends);
+    EXPECT_GT(r.logDrainApplied, 0u);
+    EXPECT_GE(r.logAppends, r.logDrainApplied + r.logReplayApplied);
+
+    // SnG power machinery underneath: warm resume, rings preserved.
+    ASSERT_EQ(r.outages.size(), 1u);
+    EXPECT_LT(r.outages[0].downtime, maxTick);
+    EXPECT_FALSE(r.outages[0].coldBoot);
+    EXPECT_EQ(r.coldBoots, 0u);
+    EXPECT_EQ(r.contextImagesSaved, 1u);
+    EXPECT_EQ(r.contextImagesRestored, 1u);
+    EXPECT_EQ(r.ringFramesLost, 0u);
+
+    EXPECT_LE(r.maxQueueDepth, cfg.kv.queueCapacity);
+    EXPECT_LE(r.maxRxOccupancy, cfg.nic.ringEntries);
+    EXPECT_LE(r.maxTxOccupancy, cfg.nic.ringEntries);
+}
+
+TEST(ServicePlane, OpLogDeterministicUnderFixedSeed)
+{
+    const ServiceResult a =
+        runService(tinyConfig(PersistMode::OpLog, 17));
+    const ServiceResult b =
+        runService(tinyConfig(PersistMode::OpLog, 17));
+    EXPECT_EQ(a.digest, b.digest);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.logAppends, b.logAppends);
+    EXPECT_EQ(a.logCommits, b.logCommits);
+    ASSERT_EQ(a.outages.size(), b.outages.size());
+    for (std::size_t i = 0; i < a.outages.size(); ++i)
+        EXPECT_EQ(a.outages[i].downtime, b.outages[i].downtime);
+
+    const ServiceResult c =
+        runService(tinyConfig(PersistMode::OpLog, 18));
     EXPECT_NE(a.digest, c.digest);
 }
 
