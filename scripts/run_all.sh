@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Build everything, run the full test suite, regenerate every paper
 # figure, and refresh BENCH_kernel.json, BENCH_service.json,
-# BENCH_fault.json, BENCH_ras.json and BENCH_compound.json (the bench
-# loop below runs bench_service_availability, fault_campaign_main,
-# ras_campaign_main and bench_compound_fault with their default
+# BENCH_fault.json, BENCH_ras.json, BENCH_compound.json and
+# BENCH_cluster.json (the bench loop below runs
+# bench_service_availability, fault_campaign_main,
+# ras_campaign_main, bench_compound_fault and bench_cluster with their default
 # full-size arguments from the repo root), teeing the transcripts the
 # repository ships with (test_output.txt / bench_output.txt).
 #
@@ -52,7 +53,7 @@ for b in build/bench/*; do
     # thread count, so -j only changes wall-clock.
     case "$(basename "$b")" in
     fault_campaign_main | ras_campaign_main | bench_compound_fault | \
-        bench_service_availability)
+        bench_service_availability | bench_cluster)
         "$b" --threads "$jobs" 2>&1 | tee -a bench_output.txt ;;
     *)
         "$b" 2>&1 | tee -a bench_output.txt ;;

@@ -1,0 +1,2144 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "mem/timed_mem.hh"
+#include "net/availability.hh"
+#include "persist/checkpoint.hh"
+#include "platform/system.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace lightpc::cluster
+{
+
+namespace
+{
+
+/** FNV-1a over 64-bit words. */
+struct Digest
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 0x100000001b3ULL;
+        }
+    }
+};
+
+constexpr std::uint32_t invalidReplica = ~std::uint32_t(0);
+
+/** Re-propose at most this many records per heartbeat to a laggard. */
+constexpr std::uint64_t retransmitWindow = 32;
+
+/** A follower further behind than this is out of the write quorum. */
+constexpr std::uint64_t syncedLagRecords = 64;
+
+platform::SystemConfig
+sysConfigFor(const ClusterConfig &cfg, std::uint32_t id)
+{
+    platform::SystemConfig sc;
+    sc.kind = platform::PlatformKind::LightPC;
+    // Decorrelate the machines: replica id folds into every seed.
+    sc.seed = cfg.seed ^ ((id + 1) * 0x9e3779b97f4a7c15ULL);
+    sc.kernel.cores = sc.cores;
+    sc.kernel.userProcesses = cfg.userProcesses;
+    sc.kernel.kernelThreads = cfg.kernelThreads;
+    sc.kernel.deviceCount = cfg.deviceCount;
+    sc.kernel.busy = true;
+    sc.kernel.seed = sc.seed ^ 0x6b65726eULL;  // "kern"
+    return sc;
+}
+
+net::KvParams
+kvParamsFor(const ClusterConfig &cfg)
+{
+    net::KvParams kp = cfg.kv;
+    if (cfg.mode == net::PersistMode::ACheckPc)
+        kp.checkpointBytesPerOp = cfg.acheckBytesPerOp;
+    if (cfg.mode == net::PersistMode::OpLog)
+        kp.writePath = net::WritePath::OpLog;
+    // Same retention rule as the single-node plane, widened by a cold
+    // reboot: a replica can be dark for offDwell + coldReboot and a
+    // conforming client may still be retrying into it afterwards.
+    persist::ImageCosts costs;
+    kp.dedupRetention = cfg.fleet.maxRetrySpan() + cfg.requestDeadline
+        + 2 * cfg.wireLatency + cfg.offDwell + cfg.holdup
+        + costs.coldReboot;
+    return kp;
+}
+
+net::FleetParams
+fleetParamsFor(const ClusterConfig &cfg)
+{
+    net::FleetParams fp = cfg.fleet;
+    fp.seed = fp.seed ^ (cfg.seed * 0x9e3779b97f4a7c15ULL);
+    return fp;
+}
+
+/** One replicated PUT as it travels leader -> followers. */
+struct ReplRecord
+{
+    std::uint64_t seq = 0;    ///< position in the replication log
+    std::uint64_t epoch = 0;  ///< epoch of the proposing leader
+    std::uint64_t reqId = 0;
+    std::uint64_t key = 0;
+    std::uint64_t valueSeed = 0;
+    std::uint64_t version = 0;  ///< absolute version fixed by the leader
+    std::uint32_t client = 0;
+};
+
+enum class MsgKind : std::uint8_t
+{
+    Heartbeat,
+    HbAck,
+    Propose,
+    ProposeAck,
+    RequestVote,
+    VoteGrant,
+    SyncRequest,
+    SyncDelta,
+    SyncFull,
+};
+
+/**
+ * One control-plane message. `seq`/`commit`/`lastEpoch` are
+ * kind-specific (documented at each send site); the shared_ptr
+ * payloads keep the copyable closure small for bulk transfers.
+ */
+struct Msg
+{
+    MsgKind kind = MsgKind::Heartbeat;
+    std::uint32_t from = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t commit = 0;
+    std::uint64_t lastEpoch = 0;
+    ReplRecord rec{};
+    std::shared_ptr<std::vector<ReplRecord>> recs;
+    std::shared_ptr<std::vector<net::KvKeyState>> snap;
+};
+
+enum class Role : std::uint8_t
+{
+    Follower,
+    Candidate,
+    Leader,
+};
+
+/** A client attempt blocked on a proposal's commit. */
+struct Waiter
+{
+    std::uint64_t reqId = 0;
+    std::uint32_t client = 0;
+    std::uint32_t attempt = 0;
+};
+
+/** A leader-side proposal awaiting its write quorum. */
+struct PendingOp
+{
+    ReplRecord rec{};
+    std::vector<Waiter> waiters;
+};
+
+/** Leader-side view of one follower. */
+struct Peer
+{
+    Tick lastAck = 0;         ///< last HbAck/ProposeAck heard
+    std::uint64_t held = 0;   ///< follower's verified-prefix top
+    bool synced = false;      ///< counts toward the write quorum
+};
+
+/**
+ * One full LightPC machine plus its replication state. The `staged`
+ * map is the follower's *durable* log tail: each accepted proposal is
+ * persisted (a small undo transaction over the replica's own pool
+ * root) before the ack departs, so it survives a cold boot — that is
+ * what keeps Raft's quorum-overlap argument sound when a whole rack
+ * cold-boots. The `journal` is the volatile DRAM window of committed
+ * records used to serve delta syncs: it rides a Stop-and-Go resume
+ * but is lost to a cold boot, which is exactly the asymmetry that
+ * sends checkpointing baselines through the full resync path.
+ */
+struct Replica
+{
+    explicit Replica(Tick window) : recorder(window) {}
+
+    std::uint32_t id = 0;
+    std::unique_ptr<platform::System> sys;
+    std::unique_ptr<net::NicDevice> nic;
+    std::unique_ptr<mem::TimedMem> timed;
+    std::unique_ptr<net::KvService> kv;
+    std::unique_ptr<fault::FaultInjector> injector;
+    std::unique_ptr<persist::SysPc> sysPc;
+    std::unique_ptr<persist::SCheckPc> sCheck;
+    net::AvailabilityRecorder recorder;
+    Rng rng{1};          ///< torn seeds, dump bodies
+    Rng scrambleRng{1};  ///< volatile-loss corruption
+    Rng ctrlRng{1};      ///< election jitter
+
+    // Machine state.
+    bool powerOn = true;
+    bool serviceUp = true;
+    bool dumpStall = false;  ///< S-CheckPC stop-the-world dump
+    bool serverBusy = false;
+    bool txDraining = false;
+    bool pendingColdBoot = false;
+    bool hbArmed = false;
+
+    /** Machine-side event guard; bumped at every power event. */
+    std::uint64_t gen = 0;
+    /** Guard for the pending restore (recovery-window cuts extend). */
+    std::uint64_t restoreGen = 0;
+    std::uint32_t failedResumes = 0;
+
+    // Raft-shaped replication state.
+    Role role = Role::Follower;
+    std::uint64_t epoch = 0;
+    std::uint64_t voteWord = 0;  ///< durable: epoch*64 + votedFor + 1
+    std::uint64_t seqApplied = 0;
+    std::uint64_t appliedEpoch = 0;
+
+    /**
+     * Top of the prefix verified against the current leader's chain
+     * (reset to seqApplied when a new leader epoch is first heard);
+     * acks report it and commits never advance past it.
+     */
+    std::uint64_t matchedSeq = 0;
+
+    /** Durable log tail: contiguous in (seqApplied, stagedTop]. */
+    std::map<std::uint64_t, ReplRecord> staged;
+    /** Volatile committed-record window for delta syncs. */
+    std::map<std::uint64_t, ReplRecord> journal;
+
+    std::uint32_t leaderKnown = invalidReplica;
+    std::uint64_t leaderEpochSeen = 0;
+    Tick lastLeaderHeard = 0;
+
+    // Leader state.
+    std::uint64_t nextSeq = 1;
+    std::map<std::uint64_t, PendingOp> pendingOps;
+    std::unordered_map<std::uint64_t, std::uint64_t> pendingByReq;
+    std::unordered_map<std::uint64_t, std::uint64_t> lastProposedVersion;
+    std::vector<Peer> peers;
+
+    // Candidate state.
+    std::uint64_t votesMask = 0;
+
+    // Catch-up state.
+    bool syncInFlight = false;
+    Tick syncRequestedAt = 0;
+
+    bool metaDirty = false;  ///< commit meta awaiting the group commit
+
+    // Service pump state (mirrors the single-node plane).
+    net::RpcResponse pendingResp{};
+    bool havePendingResp = false;
+    bool pendingDeferred = false;
+    std::vector<net::RpcResponse> deferredAcks;
+    bool commitScheduled = false;
+    bool drainScheduled = false;
+
+    /** Per-destination link serialization cursor (FIFO per pair). */
+    std::vector<Tick> linkBusyTo;
+
+    bool canServe() const { return powerOn && serviceUp && !dumpStall; }
+
+    /** Highest sequence this replica holds (applied or staged). */
+    std::uint64_t
+    stagedTop() const
+    {
+        return staged.empty() ? seqApplied : staged.rbegin()->first;
+    }
+};
+
+/** Content of one committed sequence slot, for the divergence audit. */
+struct CommitLedger
+{
+    std::uint64_t reqId = 0;
+    std::uint64_t key = 0;
+    std::uint64_t version = 0;
+};
+
+/**
+ * One live cluster run: N machines, the client fleet, and one master
+ * event queue. Event closures capture `this` plus a replica id and a
+ * generation guard; the per-replica System event queues are unused
+ * (every subsystem call here is synchronous against `eq`).
+ */
+struct Plane
+{
+    const ClusterConfig &cfg;
+    EventQueue eq;
+    net::ClientFleet fleet;
+    persist::ImageCosts imageCosts;
+    std::vector<std::unique_ptr<Replica>> reps;
+
+    /** Load balancer's current leader belief (from leader hints). */
+    std::uint32_t lbLeader = invalidReplica;
+
+    // Fleet-availability accounting (interval accumulation).
+    bool writeOkNow = false;  ///< no leader until the first election
+    bool readOkNow = true;
+    Tick lastAvailEval = 0;
+    Tick writeDownSince = 0;
+
+    // Online invariant ledgers.
+    std::map<std::uint64_t, std::uint32_t> ackEpochLeader;
+    std::map<std::uint64_t, CommitLedger> committedBySeq;
+
+    ClusterResult res;
+
+    explicit Plane(const ClusterConfig &config)
+        : cfg(config), fleet(fleetParamsFor(config))
+    {
+        res.mode = cfg.mode;
+        res.modeName = net::persistModeName(cfg.mode);
+        res.replicas = cfg.replicas;
+        res.racks = cfg.racks;
+        for (std::uint32_t id = 0; id < cfg.replicas; ++id) {
+            auto r = std::make_unique<Replica>(cfg.goodputWindow);
+            r->id = id;
+            r->sys = std::make_unique<platform::System>(
+                sysConfigFor(cfg, id));
+            r->nic = std::make_unique<net::NicDevice>(
+                r->sys->kernel().devices(), "eth0", cfg.nic);
+            r->timed = std::make_unique<mem::TimedMem>(
+                r->sys->memoryPort(), &r->sys->pmemStore());
+            r->kv = std::make_unique<net::KvService>(
+                r->sys->pmemStore(), *r->timed, kvParamsFor(cfg));
+            r->injector = std::make_unique<fault::FaultInjector>(
+                r->sys->pmemStore());
+            r->sysPc = std::make_unique<persist::SysPc>(*r->timed);
+            r->sCheck = std::make_unique<persist::SCheckPc>(
+                *r->timed, cfg.scheckPeriod);
+            r->rng = Rng(Rng::streamSeed(cfg.seed, 1000 + id));
+            r->scrambleRng = Rng(Rng::streamSeed(cfg.seed, 2000 + id));
+            r->ctrlRng = Rng(Rng::streamSeed(cfg.seed, 3000 + id));
+            r->peers.assign(cfg.replicas, Peer{});
+            r->linkBusyTo.assign(cfg.replicas, 0);
+            reps.push_back(std::move(r));
+        }
+    }
+
+    std::uint32_t majority() const { return cfg.replicas / 2 + 1; }
+
+    // --- small helpers --------------------------------------------
+
+    net::ClusterMeta
+    metaOf(const Replica &r) const
+    {
+        net::ClusterMeta m;
+        m.seq = r.stagedTop();
+        m.epoch = r.epoch;
+        m.voteWord = r.voteWord;
+        m.commit = r.seqApplied;
+        m.commitEpoch = r.appliedEpoch;
+        return m;
+    }
+
+    void
+    persistMeta(Replica &r)
+    {
+        Tick t = eq.now();
+        r.kv->persistClusterMeta(t, metaOf(r));
+    }
+
+    /** Epoch of the record at sequence @p s of @p r's chain. */
+    std::uint64_t
+    epochAt(const Replica &r, std::uint64_t s) const
+    {
+        if (s == 0)
+            return 0;
+        if (s <= r.seqApplied)
+            return r.appliedEpoch;
+        if (auto it = r.staged.find(s); it != r.staged.end())
+            return it->second.epoch;
+        if (auto it = r.pendingOps.find(s); it != r.pendingOps.end())
+            return it->second.rec.epoch;
+        if (auto it = r.journal.find(s); it != r.journal.end())
+            return it->second.epoch;
+        return r.appliedEpoch;
+    }
+
+    std::uint32_t
+    hintOf(const Replica &r) const
+    {
+        if (r.role == Role::Leader)
+            return r.id;
+        return r.leaderKnown;
+    }
+
+    void
+    violation(const std::string &msg)
+    {
+        if (std::find(res.violations.begin(), res.violations.end(),
+                      msg)
+            == res.violations.end())
+            res.violations.push_back(msg);
+    }
+
+    /** A-CheckPC's synchronous per-op checkpoint on the apply path. */
+    void
+    chargeCheckpoint(Replica &r, Tick &t)
+    {
+        const net::KvParams &kp = r.kv->params();
+        if (kp.checkpointBytesPerOp == 0)
+            return;
+        const std::uint64_t pages =
+            (kp.checkpointBytesPerOp + 4095) / 4096;
+        t += pages * kp.checkpointPerPage;
+        t = r.timed->writeSpan(t, kp.checkpointBase,
+                               kp.checkpointBytesPerOp);
+    }
+
+    // --- fleet availability ---------------------------------------
+
+    /**
+     * Close the elapsed interval under the previous fleet state, then
+     * re-evaluate. Writes are available while some servable leader
+     * holds a quorum of synced replicas; reads while any replica
+     * serves at all (stale reads are the documented model).
+     */
+    void
+    recomputeAvailability()
+    {
+        accountTo(eq.now());
+        bool w = false;
+        bool rd = false;
+        for (const auto &rp : reps) {
+            if (!rp->canServe())
+                continue;
+            rd = true;
+            if (rp->role != Role::Leader)
+                continue;
+            std::uint32_t cnt = 1;
+            for (std::uint32_t p = 0; p < cfg.replicas; ++p)
+                if (p != rp->id && rp->peers[p].synced)
+                    ++cnt;
+            if (cnt >= majority())
+                w = true;
+        }
+        if (writeOkNow && !w) {
+            writeDownSince = eq.now();
+            if (rd)
+                ++res.readOnlySpans;
+        }
+        if (!writeOkNow && w)
+            res.worstWriteGap = std::max(
+                res.worstWriteGap, eq.now() - writeDownSince);
+        writeOkNow = w;
+        readOkNow = rd;
+    }
+
+    void
+    accountTo(Tick now)
+    {
+        if (now <= lastAvailEval)
+            return;
+        const Tick span = now - lastAvailEval;
+        if (!writeOkNow)
+            res.writeUnavailableTicks += span;
+        if (!readOkNow)
+            res.readUnavailableTicks += span;
+        lastAvailEval = now;
+    }
+
+    // --- replica links --------------------------------------------
+
+    Tick
+    serializeTicks(std::uint64_t bytes) const
+    {
+        const double secs = static_cast<double>(bytes) * 8.0
+            / (cfg.linkGbitPerSec * 1e9);
+        return static_cast<Tick>(secs * static_cast<double>(tickSec));
+    }
+
+    /**
+     * Ship one message. Serialization holds the per-destination link
+     * cursor (so a full resync cannot starve heartbeats to *other*
+     * replicas), propagation adds linkLatency, and delivery to a dark
+     * or dump-stalled replica is dropped — that drop is precisely how
+     * an S-CheckPC leader mid-dump gets falsely deposed.
+     */
+    void
+    sendMsg(Replica &from, std::uint32_t to, const Msg &m,
+            std::uint64_t bytes)
+    {
+        if (to == from.id || to >= cfg.replicas)
+            return;
+        const Tick now = eq.now();
+        Tick &busy = from.linkBusyTo[to];
+        const Tick depart = std::max(now, busy);
+        busy = depart + serializeTicks(bytes);
+        const Tick arrive = busy + cfg.linkLatency;
+        eq.schedule(arrive, [this, to, m] { deliver(to, m); });
+    }
+
+    void
+    deliver(std::uint32_t to, const Msg &m)
+    {
+        Replica &r = *reps[to];
+        if (!r.canServe()) {
+            ++res.ctrlDrops;
+            return;
+        }
+        handleMsg(r, m);
+    }
+
+    void
+    broadcast(Replica &from, const Msg &m, std::uint64_t bytes)
+    {
+        for (std::uint32_t p = 0; p < cfg.replicas; ++p)
+            if (p != from.id)
+                sendMsg(from, p, m, bytes);
+    }
+
+    // --- client plane ---------------------------------------------
+
+    /**
+     * Routing: the balancer sends to its leader belief while that
+     * replica still answers health checks; otherwise it sprays
+     * deterministically across live replicas (keyed on request id and
+     * attempt, so retries rotate targets).
+     */
+    std::uint32_t
+    routeTarget(std::uint64_t req_id, std::uint32_t attempt) const
+    {
+        if (lbLeader != invalidReplica && lbLeader < cfg.replicas
+            && reps[lbLeader]->canServe())
+            return lbLeader;
+        const std::uint32_t start = static_cast<std::uint32_t>(
+            (req_id * 1315423911ULL + attempt) % cfg.replicas);
+        for (std::uint32_t i = 0; i < cfg.replicas; ++i) {
+            const std::uint32_t cand = (start + i) % cfg.replicas;
+            if (reps[cand]->canServe())
+                return cand;
+        }
+        return start;
+    }
+
+    void
+    arrivalFire()
+    {
+        const Tick now = eq.now();
+        if (now > cfg.runFor)
+            return;
+        net::RpcRequest req = fleet.newRequest(now);
+        issueAttempt(req, now);
+        eq.schedule(now + fleet.nextInterarrival(),
+                    [this] { arrivalFire(); });
+    }
+
+    void
+    issueAttempt(net::RpcRequest req, Tick now)
+    {
+        const std::uint32_t target = routeTarget(req.reqId,
+                                                 req.attempt);
+        req.deadline = now + cfg.requestDeadline;
+        eq.schedule(now + cfg.wireLatency,
+                    [this, req, target] { rxArrive(target, req); });
+        const Tick wait = fleet.timeoutFor(req.client, req.attempt);
+        eq.schedule(now + cfg.wireLatency + wait,
+                    [this, id = req.reqId, att = req.attempt] {
+                        timeoutFire(id, att);
+                    });
+    }
+
+    void
+    timeoutFire(std::uint64_t req_id, std::uint32_t attempt)
+    {
+        const Tick now = eq.now();
+        // Guarded: a fast redirect may have superseded this attempt.
+        auto next = fleet.retryAttempt(req_id, now, attempt);
+        if (next)
+            issueAttempt(*next, now);
+    }
+
+    void
+    deliverResponse(const net::RpcResponse &resp)
+    {
+        const Tick now = eq.now();
+        if (resp.leaderHint != net::noLeaderHint
+            && resp.leaderHint < cfg.replicas)
+            lbLeader = resp.leaderHint;
+        const Tick first = fleet.firstIssuedAt(resp.reqId);
+        const auto outcome = fleet.onResponse(resp, now);
+        if (outcome == net::ClientFleet::AckOutcome::Completed) {
+            if (resp.source < cfg.replicas)
+                reps[resp.source]->recorder.onSuccess(now, first,
+                                                      resp.servedAt);
+            if (resp.status == net::RpcStatus::Ok
+                && resp.version > 0) {
+                // Online split-brain audit rides the *acks*: the
+                // cluster may elect however it likes, but two leaders
+                // acking writes inside one epoch is a violation.
+            }
+            return;
+        }
+        if (outcome == net::ClientFleet::AckOutcome::RetriableError
+            && resp.status == net::RpcStatus::NotLeader
+            && resp.leaderHint != net::noLeaderHint
+            && resp.leaderHint < cfg.replicas
+            && resp.leaderHint != resp.source) {
+            // Fast redirect: the follower knows who leads, so
+            // re-issue there after a short pause instead of waiting
+            // out the full backoff timeout. Without a usable hint
+            // (leaderless interregnum, READ_ONLY degradation) the
+            // armed timeout's capped jittered backoff paces the
+            // retries — fast-spinning them would burn the attempt
+            // budget inside one outage. The attempt guard keeps a
+            // late redirect from double-issuing against the armed
+            // timeout's retry.
+            eq.schedule(now + cfg.redirectDelay,
+                        [this, id = resp.reqId, att = resp.attempt] {
+                            const Tick rnow = eq.now();
+                            auto next =
+                                fleet.retryAttempt(id, rnow, att);
+                            if (next)
+                                issueAttempt(*next, rnow);
+                        });
+        }
+    }
+
+    // --- machine-side service pump --------------------------------
+
+    void
+    rxArrive(std::uint32_t target, const net::RpcRequest &req)
+    {
+        Replica &r = *reps[target];
+        if (!r.powerOn)
+            return;  // frame hits a dark machine
+        r.nic->rxPush(req);
+        kickService(r);
+    }
+
+    void
+    kickService(Replica &r)
+    {
+        if (!r.canServe() || r.serverBusy)
+            return;
+        const Tick now = eq.now();
+        net::RpcRequest f;
+        while (r.nic->rxPop(f)) {
+            if (!r.kv->admit(f)) {
+                net::RpcResponse rej;
+                rej.reqId = f.reqId;
+                rej.client = f.client;
+                rej.status = net::RpcStatus::Rejected;
+                rej.servedAt = now;
+                rej.attempt = f.attempt;
+                rej.source = r.id;
+                rej.leaderHint = hintOf(r);
+                r.nic->txPush(rej);
+            }
+        }
+        net::RpcRequest head;
+        if (!r.kv->queuePop(head)) {
+            kickTx(r);
+            return;
+        }
+        r.serverBusy = true;
+        Tick t = now;
+        r.pendingDeferred = false;
+        r.havePendingResp = true;
+        bool replicated = false;
+        if (head.op == workload::KvOp::Put) {
+            r.pendingResp = servePut(r, head, t, replicated);
+            r.havePendingResp = !replicated;
+        } else {
+            r.pendingResp = r.kv->execute(t, head, &r.pendingDeferred);
+            r.pendingResp.source = r.id;
+            r.pendingResp.leaderHint = hintOf(r);
+        }
+        const std::uint64_t g = r.gen;
+        const std::uint32_t rid = r.id;
+        eq.schedule(t, [this, rid, g] {
+            if (g == reps[rid]->gen)
+                serviceDone(*reps[rid]);
+        });
+        kickTx(r);
+    }
+
+    /**
+     * PUTs never reach KvService::execute directly: a follower
+     * answers NOT_LEADER with its leader hint, a quorum-less leader
+     * answers READ_ONLY, and a quorum-backed leader runs the
+     * replication path (propose now, ack at commit).
+     */
+    net::RpcResponse
+    servePut(Replica &r, const net::RpcRequest &req, Tick &t,
+             bool &replicated)
+    {
+        t += r.kv->params().parseCost;
+        net::RpcResponse resp;
+        resp.reqId = req.reqId;
+        resp.client = req.client;
+        resp.attempt = req.attempt;
+        resp.source = r.id;
+        resp.leaderHint = hintOf(r);
+        if (req.deadline != 0 && t > req.deadline) {
+            resp.status = net::RpcStatus::DeadlineExceeded;
+            return resp;
+        }
+        if (r.role != Role::Leader) {
+            resp.status = net::RpcStatus::NotLeader;
+            return resp;
+        }
+        // Retry of an already-durable PUT: idempotent ack.
+        if (r.kv->isApplied(req.reqId) || r.kv->logPending(req.reqId)) {
+            const auto st = r.kv->lookup(req.key);
+            resp.status = net::RpcStatus::Ok;
+            resp.version = st ? st->version : 0;
+            return resp;
+        }
+        // Retry of a still-pending proposal: join its waiters.
+        if (auto it = r.pendingByReq.find(req.reqId);
+            it != r.pendingByReq.end()) {
+            auto op = r.pendingOps.find(it->second);
+            if (op != r.pendingOps.end()) {
+                op->second.waiters.push_back(
+                    Waiter{req.reqId, req.client, req.attempt});
+                replicated = true;
+                return resp;
+            }
+        }
+        // Quorum precheck: degrade to read-only instead of acking
+        // writes a lone survivor could lose.
+        std::uint32_t live = 1;
+        for (std::uint32_t p = 0; p < cfg.replicas; ++p)
+            if (p != r.id && r.peers[p].synced)
+                ++live;
+        if (live < majority()) {
+            resp.status = net::RpcStatus::ReadOnly;
+            return resp;
+        }
+        std::uint64_t base = 0;
+        if (auto lp = r.lastProposedVersion.find(req.key);
+            lp != r.lastProposedVersion.end()) {
+            base = lp->second;
+        } else if (const auto st = r.kv->lookup(req.key)) {
+            base = st->version;
+        }
+        ReplRecord rec;
+        rec.seq = r.nextSeq++;
+        rec.epoch = r.epoch;
+        rec.reqId = req.reqId;
+        rec.key = req.key;
+        rec.valueSeed = req.valueSeed;
+        rec.version = base + 1;
+        rec.client = req.client;
+        r.lastProposedVersion[rec.key] = rec.version;
+        PendingOp op;
+        op.rec = rec;
+        op.waiters.push_back(
+            Waiter{req.reqId, req.client, req.attempt});
+        r.pendingOps.emplace(rec.seq, std::move(op));
+        r.pendingByReq[rec.reqId] = rec.seq;
+        // The leader's own stage is durable before any follower ack
+        // can possibly return.
+        persistMeta(r);
+        for (std::uint32_t p = 0; p < cfg.replicas; ++p)
+            if (p != r.id)
+                proposeOne(r, p, rec);
+        advanceCommit(r);  // a single-replica cluster self-commits
+        replicated = true;
+        return resp;
+    }
+
+    void
+    serviceDone(Replica &r)
+    {
+        r.serverBusy = false;
+        if (r.havePendingResp) {
+            if (r.pendingDeferred) {
+                r.deferredAcks.push_back(r.pendingResp);
+                maybeScheduleCommit(r);
+            } else {
+                r.nic->txPush(r.pendingResp);
+            }
+            r.havePendingResp = false;
+            r.pendingDeferred = false;
+        }
+        kickTx(r);
+        kickService(r);
+    }
+
+    void
+    kickTx(Replica &r)
+    {
+        if (!r.powerOn || r.txDraining || r.nic->txOccupancy() == 0)
+            return;
+        r.txDraining = true;
+        const std::uint64_t g = r.gen;
+        const std::uint32_t rid = r.id;
+        eq.scheduleIn(cfg.txDrainInterval, [this, rid, g] {
+            if (g == reps[rid]->gen)
+                txDrainFire(*reps[rid]);
+        });
+    }
+
+    void
+    txDrainFire(Replica &r)
+    {
+        r.txDraining = false;
+        net::RpcResponse resp;
+        if (!r.nic->txPop(resp))
+            return;
+        // On the wire: delivered even if the machine dies now.
+        eq.scheduleIn(cfg.wireLatency,
+                      [this, resp] { deliverResponse(resp); });
+        kickTx(r);
+    }
+
+    // --- op-log group commit / drain (per replica) ----------------
+
+    void
+    maybeScheduleCommit(Replica &r)
+    {
+        if (cfg.mode != net::PersistMode::OpLog)
+            return;
+        if (r.kv->logUncommittedRecords() >= cfg.oplogCommitRecords) {
+            commitFire(r);
+            return;
+        }
+        if (r.commitScheduled)
+            return;
+        r.commitScheduled = true;
+        const std::uint64_t g = r.gen;
+        const std::uint32_t rid = r.id;
+        eq.scheduleIn(cfg.oplogCommitInterval, [this, rid, g] {
+            reps[rid]->commitScheduled = false;
+            if (g == reps[rid]->gen)
+                commitFire(*reps[rid]);
+        });
+    }
+
+    void
+    commitFire(Replica &r)
+    {
+        if (!r.canServe())
+            return;
+        Tick t = eq.now();
+        r.kv->logCommit(t);
+        if (r.metaDirty) {
+            // The replication watermark persists only after the
+            // records it covers are durable.
+            r.kv->persistClusterMeta(t, metaOf(r));
+            r.metaDirty = false;
+        }
+        if (!r.deferredAcks.empty()) {
+            auto batch =
+                std::make_shared<std::vector<net::RpcResponse>>(
+                    std::move(r.deferredAcks));
+            r.deferredAcks.clear();
+            const std::uint64_t g = r.gen;
+            const std::uint32_t rid = r.id;
+            eq.schedule(t, [this, rid, g, batch] {
+                Replica &r2 = *reps[rid];
+                if (g != r2.gen)
+                    return;
+                const Tick now = eq.now();
+                for (net::RpcResponse resp : *batch) {
+                    resp.servedAt = now;
+                    r2.nic->txPush(resp);
+                }
+                kickTx(r2);
+            });
+        }
+        scheduleDrain(r);
+    }
+
+    void
+    scheduleDrain(Replica &r)
+    {
+        if (cfg.mode != net::PersistMode::OpLog || r.drainScheduled
+            || r.kv->logBacklogRecords() == 0)
+            return;
+        r.drainScheduled = true;
+        const std::uint64_t g = r.gen;
+        const std::uint32_t rid = r.id;
+        eq.scheduleIn(cfg.oplogDrainInterval, [this, rid, g] {
+            reps[rid]->drainScheduled = false;
+            if (g == reps[rid]->gen)
+                drainFire(*reps[rid]);
+        });
+    }
+
+    void
+    drainFire(Replica &r)
+    {
+        if (!r.canServe())
+            return;
+        Tick t = eq.now();
+        r.kv->logDrain(t, cfg.oplogDrainBatch);
+        scheduleDrain(r);
+    }
+
+    // --- replication: leader side ---------------------------------
+
+    void
+    proposeOne(Replica &r, std::uint32_t to, const ReplRecord &rec)
+    {
+        Msg m;
+        m.kind = MsgKind::Propose;
+        m.from = r.id;
+        m.epoch = r.epoch;
+        m.seq = rec.seq;
+        m.commit = r.seqApplied;
+        m.lastEpoch = epochAt(r, rec.seq - 1);  // chain check anchor
+        m.rec = rec;
+        ++res.proposals;
+        sendMsg(r, to, m, cfg.replRecordBytes);
+    }
+
+    void
+    updatePeer(Replica &r, std::uint32_t from, std::uint64_t held)
+    {
+        Peer &pe = r.peers[from];
+        pe.lastAck = eq.now();
+        pe.held = std::max(pe.held, held);
+        const bool nowSynced =
+            r.seqApplied <= pe.held + syncedLagRecords;
+        if (nowSynced != pe.synced) {
+            pe.synced = nowSynced;
+            recomputeAvailability();
+        }
+    }
+
+    /** Commit, in order, every front proposal with a write quorum. */
+    void
+    advanceCommit(Replica &r)
+    {
+        while (!r.pendingOps.empty()) {
+            auto it = r.pendingOps.begin();
+            if (it->first != r.seqApplied + 1)
+                break;
+            std::uint32_t acks = 1;  // self (durably staged)
+            for (std::uint32_t p = 0; p < cfg.replicas; ++p)
+                if (p != r.id && r.peers[p].held >= it->first)
+                    ++acks;
+            if (acks < majority())
+                break;
+            PendingOp op = std::move(it->second);
+            r.pendingOps.erase(it);
+            r.pendingByReq.erase(op.rec.reqId);
+            commitOp(r, op);
+        }
+    }
+
+    void
+    commitOp(Replica &r, const PendingOp &op)
+    {
+        const ReplRecord &rec = op.rec;
+        ++res.commits;
+        // Online audits: one content per committed sequence, one
+        // acking leader per epoch.
+        auto [cit, cIns] = committedBySeq.try_emplace(
+            rec.seq, CommitLedger{rec.reqId, rec.key, rec.version});
+        if (!cIns
+            && (cit->second.reqId != rec.reqId
+                || cit->second.key != rec.key
+                || cit->second.version != rec.version)) {
+            ++res.divergentCommits;
+            violation("two leaders committed different records at "
+                      "one sequence slot");
+        }
+        auto [eit, eIns] = ackEpochLeader.try_emplace(rec.epoch, r.id);
+        if (!eIns && eit->second != r.id) {
+            ++res.splitBrainEpochs;
+            violation("split brain: two leaders acked writes inside "
+                      "one epoch");
+        }
+        Tick t = eq.now();
+        if (cfg.mode == net::PersistMode::OpLog) {
+            r.kv->appendReplicated(t, rec.reqId, rec.key,
+                                   rec.valueSeed, rec.version,
+                                   rec.client);
+            r.seqApplied = rec.seq;
+            r.appliedEpoch = rec.epoch;
+            r.journal[rec.seq] = rec;
+            pruneJournal(r);
+            r.metaDirty = true;
+            for (const Waiter &w : op.waiters) {
+                net::RpcResponse resp;
+                resp.reqId = w.reqId;
+                resp.client = w.client;
+                resp.status = net::RpcStatus::Ok;
+                resp.version = rec.version;
+                resp.attempt = w.attempt;
+                resp.source = r.id;
+                resp.leaderHint = r.id;
+                r.deferredAcks.push_back(resp);
+            }
+            maybeScheduleCommit(r);
+        } else {
+            r.kv->applyReplicated(t, rec.reqId, rec.key, rec.valueSeed,
+                                  rec.version);
+            chargeCheckpoint(r, t);
+            r.seqApplied = rec.seq;
+            r.appliedEpoch = rec.epoch;
+            r.journal[rec.seq] = rec;
+            pruneJournal(r);
+            r.kv->persistClusterMeta(t, metaOf(r));
+            if (!op.waiters.empty()) {
+                auto batch =
+                    std::make_shared<std::vector<net::RpcResponse>>();
+                for (const Waiter &w : op.waiters) {
+                    net::RpcResponse resp;
+                    resp.reqId = w.reqId;
+                    resp.client = w.client;
+                    resp.status = net::RpcStatus::Ok;
+                    resp.version = rec.version;
+                    resp.attempt = w.attempt;
+                    resp.source = r.id;
+                    resp.leaderHint = r.id;
+                    batch->push_back(resp);
+                }
+                const std::uint64_t g = r.gen;
+                const std::uint32_t rid = r.id;
+                // Acks release once the apply + meta persist landed.
+                eq.schedule(t, [this, rid, g, batch] {
+                    Replica &r2 = *reps[rid];
+                    if (g != r2.gen)
+                        return;
+                    const Tick now = eq.now();
+                    for (net::RpcResponse resp : *batch) {
+                        resp.servedAt = now;
+                        r2.nic->txPush(resp);
+                    }
+                    kickTx(r2);
+                });
+            }
+        }
+    }
+
+    void
+    pruneJournal(Replica &r)
+    {
+        while (r.journal.size() > cfg.journalRetain)
+            r.journal.erase(r.journal.begin());
+    }
+
+    // --- replication: follower side -------------------------------
+
+    /** Apply staged records up to min(leader commit, verified top). */
+    void
+    applyCommitted(Replica &r, std::uint64_t leader_commit)
+    {
+        const std::uint64_t bound =
+            std::min(leader_commit, r.matchedSeq);
+        bool any = false;
+        Tick t = eq.now();
+        while (r.seqApplied < bound) {
+            auto it = r.staged.find(r.seqApplied + 1);
+            if (it == r.staged.end())
+                break;
+            const ReplRecord rec = it->second;
+            if (cfg.mode == net::PersistMode::OpLog) {
+                r.kv->appendReplicated(t, rec.reqId, rec.key,
+                                       rec.valueSeed, rec.version,
+                                       rec.client);
+            } else {
+                r.kv->applyReplicated(t, rec.reqId, rec.key,
+                                      rec.valueSeed, rec.version);
+                chargeCheckpoint(r, t);
+            }
+            r.seqApplied = rec.seq;
+            r.appliedEpoch = rec.epoch;
+            r.journal[rec.seq] = rec;
+            r.staged.erase(it);
+            any = true;
+        }
+        if (any) {
+            pruneJournal(r);
+            if (cfg.mode == net::PersistMode::OpLog) {
+                r.metaDirty = true;
+                maybeScheduleCommit(r);
+            } else {
+                r.kv->persistClusterMeta(t, metaOf(r));
+            }
+        }
+    }
+
+    /** Leader-stream bookkeeping shared by Heartbeat and Propose. */
+    void
+    observeLeader(Replica &r, const Msg &m)
+    {
+        if (m.epoch > r.epoch)
+            adoptEpoch(r, m.epoch);
+        if (r.role != Role::Follower) {
+            // A candidate yields to a valid leader of its own epoch.
+            r.role = Role::Follower;
+            recomputeAvailability();
+        }
+        if (r.leaderEpochSeen != m.epoch || r.leaderKnown != m.from) {
+            // New leader chain: the verified prefix restarts at the
+            // applied (committed, hence shared) prefix.
+            r.leaderEpochSeen = m.epoch;
+            r.leaderKnown = m.from;
+            r.matchedSeq = r.seqApplied;
+        }
+        r.lastLeaderHeard = eq.now();
+    }
+
+    void
+    replyHbAck(Replica &r, std::uint32_t to)
+    {
+        Msg a;
+        a.kind = MsgKind::HbAck;
+        a.from = r.id;
+        a.epoch = r.epoch;
+        a.seq = r.matchedSeq;
+        a.commit = r.seqApplied;
+        sendMsg(r, to, a, cfg.controlMsgBytes);
+    }
+
+    void
+    onHeartbeat(Replica &r, const Msg &m)
+    {
+        if (m.epoch < r.epoch) {
+            replyHbAck(r, m.from);  // deposes the stale leader
+            return;
+        }
+        observeLeader(r, m);
+        applyCommitted(r, m.commit);
+        if (r.matchedSeq < m.seq && r.seqApplied < m.commit)
+            requestSync(r);
+        replyHbAck(r, m.from);
+    }
+
+    void
+    onPropose(Replica &r, const Msg &m)
+    {
+        if (m.epoch < r.epoch) {
+            replyHbAck(r, m.from);
+            return;
+        }
+        observeLeader(r, m);
+        const ReplRecord &rec = m.rec;
+        const std::uint64_t top = r.stagedTop();
+        if (rec.seq <= r.seqApplied) {
+            // Below the committed prefix: already durable here.
+        } else if (rec.seq <= top + 1
+                   && m.lastEpoch == epochAt(r, rec.seq - 1)) {
+            auto it = r.staged.find(rec.seq);
+            if (it != r.staged.end()
+                && it->second.epoch != rec.epoch) {
+                // Conflicting suffix from a dead leader's chain:
+                // truncate it (Raft's append-conflict rule).
+                r.staged.erase(it, r.staged.end());
+                it = r.staged.end();
+            }
+            const bool fresh =
+                it == r.staged.end() || it->second.reqId != rec.reqId;
+            if (fresh) {
+                r.staged[rec.seq] = rec;
+                // Durable stage *before* the ack can depart — the
+                // quorum-overlap argument under correlated cold
+                // boots rests on this persist.
+                persistMeta(r);
+            }
+            // The chain check verified the predecessor epoch, which
+            // by log matching pins the entire prefix.
+            r.matchedSeq = std::max(r.matchedSeq, rec.seq);
+        } else {
+            requestSync(r);
+        }
+        applyCommitted(r, m.commit);
+        Msg a;
+        a.kind = MsgKind::ProposeAck;
+        a.from = r.id;
+        a.epoch = r.epoch;
+        a.seq = r.matchedSeq;
+        a.commit = r.seqApplied;
+        sendMsg(r, m.from, a, cfg.controlMsgBytes);
+    }
+
+    void
+    onAck(Replica &r, const Msg &m)
+    {
+        if (m.epoch > r.epoch) {
+            adoptEpoch(r, m.epoch);
+            return;
+        }
+        if (r.role != Role::Leader || m.epoch != r.epoch)
+            return;
+        updatePeer(r, m.from, m.seq);
+        advanceCommit(r);
+    }
+
+    // --- elections ------------------------------------------------
+
+    /**
+     * Adopt a higher epoch. An ex-leader returns its un-committed
+     * proposals to the durable staged tail (they may have reached a
+     * quorum — truncating them would break the overlap argument) and
+     * drops their waiters un-acked; clients retry idempotently.
+     */
+    void
+    adoptEpoch(Replica &r, std::uint64_t epoch)
+    {
+        if (epoch <= r.epoch)
+            return;
+        const bool wasLeader = r.role == Role::Leader;
+        if (wasLeader) {
+            ++res.stepDowns;
+            for (auto &[seq, op] : r.pendingOps)
+                r.staged[seq] = op.rec;
+            r.pendingOps.clear();
+            r.pendingByReq.clear();
+            r.lastProposedVersion.clear();
+            for (auto it = r.journal.upper_bound(r.seqApplied);
+                 it != r.journal.end();)
+                it = r.journal.erase(it);
+            r.matchedSeq = r.seqApplied;
+        }
+        r.epoch = epoch;
+        r.role = Role::Follower;
+        r.votesMask = 0;
+        persistMeta(r);
+        if (wasLeader)
+            recomputeAvailability();
+    }
+
+    void
+    startElection(Replica &r)
+    {
+        ++res.elections;
+        for (const auto &o : reps)
+            if (o->id != r.id && o->role == Role::Leader && o->powerOn
+                && o->serviceUp) {
+                ++res.falseSuspicions;
+                break;
+            }
+        r.epoch += 1;
+        r.role = Role::Candidate;
+        r.leaderKnown = invalidReplica;
+        // Durable vote for self before soliciting anyone.
+        r.voteWord = r.epoch * 64 + r.id + 1;
+        persistMeta(r);
+        r.votesMask = std::uint64_t(1) << r.id;
+        if (std::uint64_t(__builtin_popcountll(r.votesMask))
+            >= majority()) {
+            becomeLeader(r);  // single-replica cluster
+            return;
+        }
+        Msg m;
+        m.kind = MsgKind::RequestVote;
+        m.from = r.id;
+        m.epoch = r.epoch;
+        m.seq = r.stagedTop();
+        m.lastEpoch = epochAt(r, r.stagedTop());
+        broadcast(r, m, cfg.controlMsgBytes);
+    }
+
+    void
+    onRequestVote(Replica &r, const Msg &m)
+    {
+        const Tick now = eq.now();
+        // Stickiness: while a leader is being heard, ignore
+        // candidates entirely (a laggard rejoining mid-sync must not
+        // depose a healthy leader).
+        if (r.role == Role::Leader)
+            return;
+        if (now - r.lastLeaderHeard < cfg.electionTimeout)
+            return;
+        if (m.epoch > r.epoch)
+            adoptEpoch(r, m.epoch);
+        if (m.epoch != r.epoch)
+            return;  // stale candidacy
+        const std::uint64_t votedEpoch =
+            r.voteWord == 0 ? 0 : (r.voteWord - 1) / 64;
+        const std::uint32_t votedFor =
+            r.voteWord == 0
+                ? invalidReplica
+                : static_cast<std::uint32_t>((r.voteWord - 1) % 64);
+        const bool canVote = r.voteWord == 0 || votedEpoch < m.epoch
+            || (votedEpoch == m.epoch && votedFor == m.from);
+        // Raft completeness: candidate's (lastEpoch, lastSeq) must
+        // reach ours, staged tail included.
+        const std::uint64_t myTop = r.stagedTop();
+        const std::uint64_t myLastEpoch = epochAt(r, myTop);
+        const bool upToDate = m.lastEpoch > myLastEpoch
+            || (m.lastEpoch == myLastEpoch && m.seq >= myTop);
+        if (!canVote || !upToDate)
+            return;
+        r.voteWord = m.epoch * 64 + m.from + 1;
+        persistMeta(r);  // the vote is durable before the grant leaves
+        r.lastLeaderHeard = now;  // back off our own candidacy a beat
+        Msg g;
+        g.kind = MsgKind::VoteGrant;
+        g.from = r.id;
+        g.epoch = m.epoch;
+        sendMsg(r, m.from, g, cfg.controlMsgBytes);
+    }
+
+    void
+    onVoteGrant(Replica &r, const Msg &m)
+    {
+        if (r.role != Role::Candidate || m.epoch != r.epoch)
+            return;
+        r.votesMask |= std::uint64_t(1) << m.from;
+        if (std::uint64_t(__builtin_popcountll(r.votesMask))
+            >= majority())
+            becomeLeader(r);
+    }
+
+    void
+    becomeLeader(Replica &r)
+    {
+        ++res.leaderChanges;
+        r.role = Role::Leader;
+        r.leaderKnown = r.id;
+        r.leaderEpochSeen = r.epoch;
+        r.lastLeaderHeard = eq.now();
+        r.pendingOps.clear();
+        r.pendingByReq.clear();
+        r.lastProposedVersion.clear();
+        if (cfg.mode == net::PersistMode::OpLog) {
+            // Make the pool authoritative for version assignment:
+            // commit and drain any backlog before taking writes.
+            Tick t = eq.now();
+            r.kv->logCommit(t);
+            r.kv->logDrainAll(t);
+            if (r.metaDirty) {
+                r.kv->persistClusterMeta(t, metaOf(r));
+                r.metaDirty = false;
+            }
+        }
+        // Adopt the whole durable tail, re-tagged with the new epoch
+        // (the re-tag is the "current-term barrier": commits only
+        // ever count quorums of current-epoch records).
+        std::uint64_t s = r.seqApplied;
+        while (true) {
+            auto it = r.staged.find(s + 1);
+            if (it == r.staged.end())
+                break;
+            ReplRecord rec = it->second;
+            rec.epoch = r.epoch;
+            s = rec.seq;
+            PendingOp op;
+            op.rec = rec;
+            r.pendingOps.emplace(rec.seq, std::move(op));
+            r.pendingByReq[rec.reqId] = rec.seq;
+            r.lastProposedVersion[rec.key] = rec.version;
+        }
+        r.staged.clear();
+        r.matchedSeq = s;
+        r.nextSeq = s + 1;
+        persistMeta(r);
+        for (std::uint32_t p = 0; p < cfg.replicas; ++p) {
+            r.peers[p].lastAck = eq.now();
+            r.peers[p].held = 0;
+            r.peers[p].synced = false;
+        }
+        // Immediate round: announce, and re-propose the adopted tail.
+        hbRound(r);
+        for (const auto &[seq, op] : r.pendingOps)
+            for (std::uint32_t p = 0; p < cfg.replicas; ++p)
+                if (p != r.id)
+                    proposeOne(r, p, op.rec);
+        advanceCommit(r);
+        if (!r.hbArmed) {
+            r.hbArmed = true;
+            armHeartbeat(r);
+        }
+        recomputeAvailability();
+    }
+
+    // --- heartbeats -----------------------------------------------
+
+    void
+    armHeartbeat(Replica &r)
+    {
+        const std::uint64_t g = r.gen;
+        const std::uint32_t rid = r.id;
+        eq.scheduleIn(cfg.heartbeatInterval, [this, rid, g] {
+            Replica &r2 = *reps[rid];
+            if (g != r2.gen)
+                return;  // power event; cutFire cleared hbArmed
+            if (r2.role != Role::Leader) {
+                r2.hbArmed = false;
+                return;
+            }
+            hbFire(r2);
+        });
+    }
+
+    void
+    hbFire(Replica &r)
+    {
+        // A dump-stalled leader skips the round (its silence is what
+        // lets S-CheckPC leaders get falsely deposed) but keeps the
+        // cadence.
+        if (r.canServe())
+            hbRound(r);
+        armHeartbeat(r);
+    }
+
+    void
+    hbRound(Replica &r)
+    {
+        const Tick now = eq.now();
+        bool changed = false;
+        for (std::uint32_t p = 0; p < cfg.replicas; ++p) {
+            if (p == r.id)
+                continue;
+            Peer &pe = r.peers[p];
+            if (pe.synced && now - pe.lastAck > cfg.replicaTimeout) {
+                pe.synced = false;
+                changed = true;
+            }
+            Msg hb;
+            hb.kind = MsgKind::Heartbeat;
+            hb.from = r.id;
+            hb.epoch = r.epoch;
+            hb.seq = r.nextSeq - 1;
+            hb.commit = r.seqApplied;
+            hb.lastEpoch = r.appliedEpoch;
+            ++res.heartbeats;
+            sendMsg(r, p, hb, cfg.controlMsgBytes);
+            // Retransmit a window of pending proposals to laggards —
+            // a proposal sent into a dead replica is otherwise never
+            // re-sent and the commit would stall forever.
+            if (pe.held < r.nextSeq - 1) {
+                std::uint64_t n = 0;
+                for (auto it = r.pendingOps.upper_bound(pe.held);
+                     it != r.pendingOps.end()
+                     && n < retransmitWindow;
+                     ++it, ++n)
+                    proposeOne(r, p, it->second.rec);
+            }
+        }
+        if (changed)
+            recomputeAvailability();
+    }
+
+    // --- catch-up -------------------------------------------------
+
+    void
+    requestSync(Replica &r)
+    {
+        if (r.leaderKnown == invalidReplica
+            || r.leaderKnown >= cfg.replicas)
+            return;
+        const Tick now = eq.now();
+        if (r.syncInFlight
+            && now - r.syncRequestedAt < cfg.replicaTimeout)
+            return;
+        r.syncInFlight = true;
+        r.syncRequestedAt = now;
+        Msg m;
+        m.kind = MsgKind::SyncRequest;
+        m.from = r.id;
+        m.epoch = r.epoch;
+        m.seq = r.seqApplied;
+        sendMsg(r, r.leaderKnown, m, cfg.controlMsgBytes);
+    }
+
+    void
+    onSyncRequest(Replica &r, const Msg &m)
+    {
+        if (r.role != Role::Leader)
+            return;
+        const std::uint64_t from_seq = m.seq;
+        if (from_seq >= r.seqApplied)
+            return;  // retransmit window covers the pending tail
+        const bool haveDelta = !r.journal.empty()
+            && r.journal.begin()->first <= from_seq + 1;
+        if (haveDelta) {
+            auto recs =
+                std::make_shared<std::vector<ReplRecord>>();
+            for (auto it = r.journal.upper_bound(from_seq);
+                 it != r.journal.end() && it->first <= r.seqApplied;
+                 ++it)
+                recs->push_back(it->second);
+            ++res.syncDeltas;
+            res.syncRecords += recs->size();
+            const std::uint64_t bytes = cfg.controlMsgBytes
+                + recs->size() * cfg.replRecordBytes;
+            res.syncBytes += bytes;
+            Msg d;
+            d.kind = MsgKind::SyncDelta;
+            d.from = r.id;
+            d.epoch = r.epoch;
+            d.commit = r.seqApplied;
+            d.lastEpoch = r.appliedEpoch;
+            d.recs = recs;
+            sendMsg(r, m.from, d, bytes);
+        } else {
+            // The journal window moved past the rejoiner (it was
+            // dark through a cold boot): ship the whole machine
+            // state over the link.
+            if (cfg.mode == net::PersistMode::OpLog) {
+                Tick t = eq.now();
+                r.kv->logCommit(t);
+                r.kv->logDrainAll(t);
+                if (r.metaDirty) {
+                    r.kv->persistClusterMeta(t, metaOf(r));
+                    r.metaDirty = false;
+                }
+            }
+            ++res.syncFulls;
+            res.syncBytes += cfg.resyncStateBytes;
+            Msg f;
+            f.kind = MsgKind::SyncFull;
+            f.from = r.id;
+            f.epoch = r.epoch;
+            f.commit = r.seqApplied;
+            f.lastEpoch = r.appliedEpoch;
+            f.snap = std::make_shared<std::vector<net::KvKeyState>>(
+                r.kv->snapshotRecords());
+            sendMsg(r, m.from, f, cfg.resyncStateBytes);
+        }
+    }
+
+    void
+    onSyncDelta(Replica &r, const Msg &m)
+    {
+        r.syncInFlight = false;
+        if (m.epoch < r.epoch)
+            return;
+        observeLeader(r, m);
+        Tick t = eq.now();
+        bool any = false;
+        for (const ReplRecord &rec : *m.recs) {
+            if (rec.seq <= r.seqApplied)
+                continue;
+            if (rec.seq != r.seqApplied + 1)
+                break;
+            if (cfg.mode == net::PersistMode::OpLog) {
+                r.kv->appendReplicated(t, rec.reqId, rec.key,
+                                       rec.valueSeed, rec.version,
+                                       rec.client);
+            } else {
+                r.kv->applyReplicated(t, rec.reqId, rec.key,
+                                      rec.valueSeed, rec.version);
+                chargeCheckpoint(r, t);
+            }
+            r.seqApplied = rec.seq;
+            r.appliedEpoch = rec.epoch;
+            r.journal[rec.seq] = rec;
+            any = true;
+        }
+        if (any) {
+            pruneJournal(r);
+            // Our stale tail (if any) predates the records we just
+            // applied over it: drop it and re-verify from here.
+            for (auto it = r.staged.begin(); it != r.staged.end();)
+                it = r.staged.erase(it);
+            r.matchedSeq = r.seqApplied;
+            if (cfg.mode == net::PersistMode::OpLog) {
+                r.metaDirty = true;
+                maybeScheduleCommit(r);
+            } else {
+                r.kv->persistClusterMeta(t, metaOf(r));
+            }
+            replyHbAck(r, m.from);
+        }
+    }
+
+    void
+    onSyncFull(Replica &r, const Msg &m)
+    {
+        r.syncInFlight = false;
+        if (m.epoch < r.epoch)
+            return;
+        observeLeader(r, m);
+        Tick t = eq.now();
+        for (const net::KvKeyState &ks : *m.snap)
+            r.kv->applyReplicated(t, ks.lastReqId, ks.key,
+                                  ks.valueSeed, ks.version);
+        r.seqApplied = std::max(r.seqApplied, m.commit);
+        r.appliedEpoch = m.lastEpoch;
+        r.staged.clear();
+        r.journal.clear();
+        r.matchedSeq = r.seqApplied;
+        r.kv->persistClusterMeta(t, metaOf(r));
+        replyHbAck(r, m.from);
+    }
+
+    void
+    handleMsg(Replica &r, const Msg &m)
+    {
+        switch (m.kind) {
+        case MsgKind::Heartbeat: onHeartbeat(r, m); break;
+        case MsgKind::HbAck: onAck(r, m); break;
+        case MsgKind::Propose: onPropose(r, m); break;
+        case MsgKind::ProposeAck: onAck(r, m); break;
+        case MsgKind::RequestVote: onRequestVote(r, m); break;
+        case MsgKind::VoteGrant: onVoteGrant(r, m); break;
+        case MsgKind::SyncRequest: onSyncRequest(r, m); break;
+        case MsgKind::SyncDelta: onSyncDelta(r, m); break;
+        case MsgKind::SyncFull: onSyncFull(r, m); break;
+        }
+    }
+
+    // --- election timer -------------------------------------------
+
+    void
+    armElection(Replica &r, Tick delay)
+    {
+        const std::uint64_t g = r.gen;
+        const std::uint32_t rid = r.id;
+        eq.scheduleIn(delay, [this, rid, g] {
+            Replica &r2 = *reps[rid];
+            if (g != r2.gen)
+                return;  // chain restarts at serviceUpFire
+            electionFire(r2);
+        });
+    }
+
+    void
+    electionFire(Replica &r)
+    {
+        const Tick now = eq.now();
+        if (r.canServe() && r.role != Role::Leader && !r.syncInFlight
+            && now - r.lastLeaderHeard >= cfg.electionTimeout)
+            startElection(r);
+        armElection(r, cfg.electionTimeout
+                           + r.ctrlRng.below(cfg.electionJitter + 1));
+    }
+
+    // --- S-CheckPC periodic dump (per replica, staggered) ---------
+
+    void
+    armScheck(Replica &r, Tick delay)
+    {
+        const std::uint64_t g = r.gen;
+        const std::uint32_t rid = r.id;
+        eq.scheduleIn(delay, [this, rid, g] {
+            if (g == reps[rid]->gen)
+                scheckFire(*reps[rid]);
+        });
+    }
+
+    void
+    scheckFire(Replica &r)
+    {
+        const Tick now = eq.now();
+        if (r.canServe()) {
+            r.dumpStall = true;
+            recomputeAvailability();
+            const Tick done = r.sCheck->dumpCommitted(
+                now, cfg.scheckVmBytes, r.rng.next());
+            const std::uint64_t g = r.gen;
+            const std::uint32_t rid = r.id;
+            eq.schedule(done, [this, rid, g] {
+                Replica &r2 = *reps[rid];
+                if (g != r2.gen)
+                    return;
+                r2.dumpStall = false;
+                kickService(r2);
+                kickTx(r2);
+                recomputeAvailability();
+            });
+        }
+        armScheck(r, cfg.scheckPeriod);
+    }
+
+    // --- power events ---------------------------------------------
+
+    /** An ex-leader's volatile proposals fold back into the tail. */
+    void
+    localDemote(Replica &r)
+    {
+        for (auto &[seq, op] : r.pendingOps)
+            r.staged[seq] = op.rec;
+        r.pendingOps.clear();
+        r.pendingByReq.clear();
+        r.lastProposedVersion.clear();
+        for (auto it = r.journal.upper_bound(r.seqApplied);
+             it != r.journal.end();)
+            it = r.journal.erase(it);
+        r.matchedSeq = r.seqApplied;
+        r.role = Role::Follower;
+    }
+
+    void
+    cutFire(std::uint32_t rid)
+    {
+        Replica &r = *reps[rid];
+        const Tick now = eq.now();
+        ++res.cutsInjected;
+        if (!r.powerOn) {
+            // A second storm cut on an already-dark replica extends
+            // the outage.
+            scheduleRestore(r, now + cfg.offDwell);
+            return;
+        }
+        r.recorder.outageBegin(now);
+        if (!r.serviceUp) {
+            // Cut inside the recovery window: the in-progress resume
+            // dies; the supervisor backs off and escalates.
+            ++res.resumeFailures;
+            ++r.failedResumes;
+            ++r.gen;
+            r.hbArmed = false;
+            r.powerOn = false;
+            r.injector->armCut(now, r.rng.next());
+            scheduleRestore(r, now + cfg.offDwell);
+            recomputeAvailability();
+            return;
+        }
+        ++r.gen;
+        r.powerOn = false;
+        r.serviceUp = false;
+        r.dumpStall = false;
+        r.txDraining = false;
+        r.hbArmed = false;
+        r.pendingColdBoot = false;
+        r.injector->armCut(now + cfg.holdup, r.rng.next());
+
+        switch (cfg.mode) {
+        case net::PersistMode::SnG: {
+            if (r.serverBusy && r.havePendingResp) {
+                r.nic->txPush(r.pendingResp);
+                r.havePendingResp = false;
+            }
+            r.serverBusy = false;
+            const auto stop = r.sys->sng().stop(now, cfg.holdup);
+            r.pendingColdBoot = stop.commitFailed;
+            break;
+        }
+        case net::PersistMode::OpLog: {
+            // Emergency group commit inside the hold-up.
+            Tick t = now;
+            r.kv->logCommit(t);
+            if (r.metaDirty) {
+                r.kv->persistClusterMeta(t, metaOf(r));
+                r.metaDirty = false;
+            }
+            if (r.serverBusy && r.havePendingResp) {
+                if (r.pendingDeferred)
+                    r.deferredAcks.push_back(r.pendingResp);
+                else
+                    r.nic->txPush(r.pendingResp);
+                r.havePendingResp = false;
+                r.pendingDeferred = false;
+            }
+            for (net::RpcResponse resp : r.deferredAcks) {
+                resp.servedAt = now;
+                r.nic->txPush(resp);
+            }
+            r.deferredAcks.clear();
+            r.serverBusy = false;
+            const auto stop = r.sys->sng().stop(now, cfg.holdup);
+            r.pendingColdBoot = stop.commitFailed;
+            break;
+        }
+        case net::PersistMode::SysPc: {
+            r.serverBusy = false;
+            r.havePendingResp = false;
+            r.sysPc->dumpImageCommitted(
+                now, r.sys->kernel().systemImageBytes(),
+                r.rng.next());
+            r.pendingColdBoot = true;
+            break;
+        }
+        case net::PersistMode::SCheckPc:
+        case net::PersistMode::ACheckPc:
+            r.serverBusy = false;
+            r.havePendingResp = false;
+            r.pendingColdBoot = true;
+            break;
+        }
+        scheduleRestore(r, now + cfg.offDwell);
+        recomputeAvailability();
+    }
+
+    void
+    scheduleRestore(Replica &r, Tick at)
+    {
+        const std::uint64_t g = ++r.restoreGen;
+        const std::uint32_t rid = r.id;
+        eq.schedule(
+            at,
+            [this, rid, g] {
+                if (g == reps[rid]->restoreGen)
+                    restoreFire(*reps[rid]);
+            },
+            EventPriority::PowerEvent);
+    }
+
+    void
+    restoreFire(Replica &r)
+    {
+        const Tick now = eq.now();
+        r.injector->powerRestored();
+        r.powerOn = true;
+        Tick upAt = now;
+        const bool sngMode = cfg.mode == net::PersistMode::SnG
+            || cfg.mode == net::PersistMode::OpLog;
+        // Supervisor escalation: past the attempt budget the EP-cut
+        // image is suspect — invalidate it and take the degraded
+        // cold-boot path deliberately.
+        if (sngMode && r.failedResumes >= cfg.supervisor.maxAttempts
+            && r.sys->sng().hasCommit()) {
+            r.sys->sng().invalidateCommit(now);
+            ++res.degradedColdBoots;
+            r.pendingColdBoot = true;
+        }
+        switch (cfg.mode) {
+        case net::PersistMode::SnG:
+        case net::PersistMode::OpLog:
+            if (!r.pendingColdBoot && r.sys->sng().hasCommit()) {
+                r.sys->kernel().scramble(r.scrambleRng);
+                r.nic->scrambleVolatile(r.scrambleRng);
+                const auto go = r.sys->sng().resume(now);
+                res.ringPreservedFrames +=
+                    r.nic->rxOccupancy() + r.nic->txOccupancy();
+                upAt = go.done;
+                ++res.resumes;
+            } else {
+                upAt = coldBootRecover(r, now + imageCosts.coldReboot);
+            }
+            break;
+        case net::PersistMode::SysPc:
+            upAt = coldBootRecover(r, r.sysPc->recover(now));
+            break;
+        case net::PersistMode::SCheckPc:
+            upAt = coldBootRecover(r, r.sCheck->recoverAfterLoss(now));
+            break;
+        case net::PersistMode::ACheckPc:
+            upAt = coldBootRecover(r, now + imageCosts.coldReboot);
+            break;
+        }
+        // Back off after failed resume attempts (capped).
+        if (r.failedResumes > 0) {
+            const Tick backoff = std::min<Tick>(
+                cfg.supervisor.retryBackoff
+                    << std::min<std::uint32_t>(r.failedResumes - 1,
+                                               16),
+                cfg.supervisor.backoffCap);
+            upAt += backoff;
+        }
+        const std::uint64_t g = r.gen;
+        const std::uint32_t rid = r.id;
+        eq.schedule(upAt, [this, rid, g] {
+            if (g == reps[rid]->gen)
+                serviceUpFire(*reps[rid]);
+        });
+    }
+
+    /** @return service-up tick after reboot + pool recovery. */
+    Tick
+    coldBootRecover(Replica &r, Tick from)
+    {
+        ++res.coldBoots;
+        auto &devices = r.sys->kernel().devices();
+        for (std::size_t i = 0; i < devices.count(); ++i)
+            devices.device(i).setSuspended(false);
+        res.ringFramesLost +=
+            r.nic->rxOccupancy() + r.nic->txOccupancy();
+        r.nic->resetVolatile();
+        r.kv->dropQueue();
+        r.deferredAcks.clear();
+        Tick t = from;
+        r.kv->recover(t);
+        // Volatile replication state is gone; reload the durable
+        // words. The staged tail is durable (persisted before every
+        // ack) — only entries the committed prefix has since covered
+        // drop out. The journal, pending proposals, and leader role
+        // are DRAM casualties.
+        const net::ClusterMeta meta = r.kv->clusterMeta();
+        r.epoch = meta.epoch;
+        r.voteWord = meta.voteWord;
+        r.seqApplied = meta.commit;
+        r.appliedEpoch = meta.commitEpoch;
+        for (auto it = r.staged.begin();
+             it != r.staged.end()
+             && it->first <= r.seqApplied;)
+            it = r.staged.erase(it);
+        // An ex-leader's proposals lived in pendingOps (volatile):
+        // honest verified top = the contiguous durable tail.
+        std::uint64_t top = r.seqApplied;
+        while (r.staged.count(top + 1))
+            ++top;
+        while (!r.staged.empty()
+               && r.staged.rbegin()->first > top)
+            r.staged.erase(std::prev(r.staged.end()));
+        r.matchedSeq = r.seqApplied;
+        r.journal.clear();
+        r.pendingOps.clear();
+        r.pendingByReq.clear();
+        r.lastProposedVersion.clear();
+        r.metaDirty = false;
+        r.role = Role::Follower;
+        r.leaderKnown = invalidReplica;
+        r.votesMask = 0;
+        r.syncInFlight = false;
+        return t;
+    }
+
+    void
+    serviceUpFire(Replica &r)
+    {
+        const Tick now = eq.now();
+        r.serviceUp = true;
+        r.dumpStall = false;
+        r.failedResumes = 0;
+        // Every recovery re-enters as a follower; a surviving leader
+        // (or a fresh election) re-establishes the epoch. A warm
+        // Stop-and-Go resume keeps its durable+DRAM log state.
+        if (r.role == Role::Leader)
+            localDemote(r);
+        r.role = Role::Follower;
+        r.votesMask = 0;
+        r.syncInFlight = false;
+        r.lastLeaderHeard = now;  // grace before first candidacy
+        armElection(r, cfg.electionTimeout
+                           + r.ctrlRng.below(cfg.electionJitter + 1));
+        if (cfg.mode == net::PersistMode::SCheckPc)
+            armScheck(r, cfg.scheckPeriod);
+        kickService(r);
+        kickTx(r);
+        maybeScheduleCommit(r);
+        scheduleDrain(r);
+        recomputeAvailability();
+    }
+
+    // --- assembly -------------------------------------------------
+
+    void
+    finish()
+    {
+        const Tick horizon = cfg.runFor + cfg.drainGrace;
+        res.horizon = horizon;
+        accountTo(horizon);
+        if (!writeOkNow)
+            res.worstWriteGap = std::max(res.worstWriteGap,
+                                         horizon - writeDownSince);
+        res.writeAvailability = 1.0
+            - static_cast<double>(res.writeUnavailableTicks)
+                / static_cast<double>(horizon);
+        res.readAvailability = 1.0
+            - static_cast<double>(res.readUnavailableTicks)
+                / static_cast<double>(horizon);
+
+        const net::FleetStats &fs = fleet.stats();
+        res.arrivals = fs.arrivals;
+        res.attempts = fs.attempts;
+        res.retries = fs.retries;
+        res.completed = fs.completed;
+        res.failed = fs.failed;
+        res.duplicateAcks = fs.duplicateAcks;
+        res.redirects = fs.redirects;
+        res.ackedPuts = fs.ackedPuts;
+
+        // Merge the per-replica recorders in id order (the merge is
+        // order-independent; id order keeps the digest canonical).
+        net::AvailabilityRecorder merged(cfg.goodputWindow);
+        for (const auto &rp : reps)
+            merged.merge(rp->recorder);
+        auto &lat = merged.latency();
+        res.meanUs = merged.latencySummaryUs().mean();
+        res.p50Us = ticksToUs(lat.percentile(0.50));
+        res.p99Us = ticksToUs(lat.percentile(0.99));
+        res.p999Us = ticksToUs(lat.percentile(0.999));
+        res.goodputMean = static_cast<double>(res.completed)
+            / (static_cast<double>(cfg.runFor)
+               / static_cast<double>(tickSec));
+        for (const auto &o : merged.outageRecords()) {
+            net::ServiceOutage so;
+            so.eventAt = o.eventAt;
+            so.lastSuccessBefore = o.lastSuccessBefore;
+            so.firstSuccessAfter =
+                o.closed ? o.firstSuccessAfter : maxTick;
+            so.downtime = o.downtime();
+            so.attributable = so.downtime == maxTick
+                ? maxTick
+                : (so.downtime > cfg.offDwell
+                       ? so.downtime - cfg.offDwell
+                       : 0);
+            res.outages.push_back(so);
+        }
+
+        // Acked-durability audit against the most advanced replica:
+        // every client-acked PUT must still be durable there (the
+        // commit chain guarantees the max-seqApplied replica holds
+        // the full committed prefix).
+        const Replica *best = reps[0].get();
+        for (const auto &rp : reps)
+            if (rp->seqApplied > best->seqApplied)
+                best = rp.get();
+        for (const net::AckedPut &put : fleet.ackedPuts()) {
+            if (best->kv->logPending(put.reqId))
+                continue;
+            if (best->kv->isApplied(put.reqId)) {
+                const auto st = best->kv->lookup(put.key);
+                if (!st || st->version < put.version) {
+                    ++res.lostAckedPuts;
+                    violation("acked PUT's key version regressed on "
+                              "the most advanced replica");
+                }
+                continue;
+            }
+            ++res.lostAckedPuts;
+            violation("acked PUT missing from the most advanced "
+                      "replica (acked-then-lost)");
+        }
+
+        Digest d;
+        d.mix(res.arrivals);
+        d.mix(res.attempts);
+        d.mix(res.completed);
+        d.mix(res.failed);
+        d.mix(res.ackedPuts);
+        d.mix(res.redirects);
+        d.mix(res.elections);
+        d.mix(res.leaderChanges);
+        d.mix(res.stepDowns);
+        d.mix(res.proposals);
+        d.mix(res.commits);
+        d.mix(res.heartbeats);
+        d.mix(res.ctrlDrops);
+        d.mix(res.syncDeltas);
+        d.mix(res.syncFulls);
+        d.mix(res.syncRecords);
+        d.mix(res.resumes);
+        d.mix(res.coldBoots);
+        d.mix(res.resumeFailures);
+        d.mix(res.degradedColdBoots);
+        d.mix(res.cutsInjected);
+        d.mix(res.writeUnavailableTicks);
+        d.mix(res.readUnavailableTicks);
+        d.mix(res.worstWriteGap);
+        d.mix(res.readOnlySpans);
+        d.mix(res.lostAckedPuts);
+        d.mix(res.splitBrainEpochs);
+        d.mix(res.divergentCommits);
+        for (const auto &rp : reps) {
+            d.mix(rp->seqApplied);
+            d.mix(rp->epoch);
+            d.mix(rp->kv->appliedCount());
+        }
+        d.mix(lat.percentile(0.99));
+        d.mix(merged.lastSuccessAt());
+        for (const net::ServiceOutage &o : res.outages)
+            d.mix(o.downtime);
+        res.digest = d.h;
+    }
+
+    ClusterResult
+    run()
+    {
+        eq.schedule(fleet.nextInterarrival(),
+                    [this] { arrivalFire(); });
+        for (const auto &rp : reps) {
+            Replica &r = *rp;
+            // Replica 0 fires its first election timer with no
+            // jitter; everyone else waits at least one jitter span
+            // more. The bootstrap leader is deterministic — and it
+            // lives in rack 0, the first storm's target.
+            const Tick delay = r.id == 0
+                ? cfg.electionTimeout
+                : cfg.electionTimeout + cfg.electionJitter
+                    + r.ctrlRng.below(cfg.electionJitter + 1);
+            armElection(r, delay);
+            if (cfg.mode == net::PersistMode::SCheckPc)
+                armScheck(r, cfg.scheckPeriod
+                                 + r.id * (cfg.scheckPeriod
+                                           / cfg.replicas));
+        }
+        // Storm schedule: a pure function of (seed, shape) — the
+        // same cuts replay against every persistence mode.
+        fault::CutStorm gen(Rng::streamSeed(cfg.seed, 0xc157e5ULL));
+        const auto schedule = gen.correlated(
+            cfg.runFor / 5, cfg.runFor, cfg.storms, cfg.replicas,
+            cfg.racks, cfg.stormRackSpan, cfg.stormWindow);
+        res.storms = schedule.size();
+        for (const fault::CorrelatedStorm &storm : schedule)
+            for (const fault::ReplicaCut &cut : storm.cuts)
+                eq.schedule(
+                    cut.at,
+                    [this, rid = cut.replica] { cutFire(rid); },
+                    EventPriority::PowerEvent);
+
+        eq.run(cfg.runFor + cfg.drainGrace);
+        finish();
+        return res;
+    }
+};
+
+} // namespace
+
+void
+validateClusterConfig(const ClusterConfig &config)
+{
+    if (config.replicas == 0)
+        fatal("ClusterConfig: replicas must be >= 1");
+    if (config.replicas > 64)
+        fatal("ClusterConfig: replicas must be <= 64 (vote and ack "
+              "masks are one machine word)");
+    if (config.racks == 0)
+        fatal("ClusterConfig: racks must be >= 1");
+    if (config.racks > config.replicas)
+        fatal("ClusterConfig: racks (", config.racks,
+              ") must not exceed replicas (", config.replicas,
+              "); an empty rack cannot host a replica");
+    if (config.stormRackSpan == 0)
+        fatal("ClusterConfig: stormRackSpan must be >= 1");
+    if (config.stormRackSpan > config.racks)
+        fatal("ClusterConfig: stormRackSpan (", config.stormRackSpan,
+              ") must not exceed racks (", config.racks, ")");
+    if (config.storms > 0 && config.stormWindow == 0)
+        fatal("ClusterConfig: stormWindow must be nonzero when "
+              "storms are configured");
+    if (config.storms > 0 && config.offDwell == 0)
+        fatal("ClusterConfig: offDwell must be nonzero when storms "
+              "are configured (a zero-length outage never restores)");
+    if (config.heartbeatInterval == 0)
+        fatal("ClusterConfig: heartbeatInterval must be nonzero");
+    if (config.electionTimeout <= config.heartbeatInterval)
+        fatal("ClusterConfig: electionTimeout (",
+              config.electionTimeout,
+              ") must exceed heartbeatInterval (",
+              config.heartbeatInterval,
+              "); a healthy leader must be able to refute suspicion");
+    if (config.linkGbitPerSec <= 0.0)
+        fatal("ClusterConfig: linkGbitPerSec must be positive");
+    if (config.replRecordBytes == 0)
+        fatal("ClusterConfig: replRecordBytes must be nonzero");
+    if (config.journalRetain == 0)
+        fatal("ClusterConfig: journalRetain must be >= 1 (an empty "
+              "journal forces a full resync on every rejoin)");
+    if (config.supervisor.maxAttempts == 0)
+        fatal("ClusterConfig: supervisor.maxAttempts must be >= 1");
+    if (config.runFor == 0)
+        fatal("ClusterConfig: runFor must be nonzero");
+    if (config.goodputWindow == 0)
+        fatal("ClusterConfig: goodputWindow must be nonzero");
+    if (config.fleet.clients == 0)
+        fatal("ClusterConfig: fleet.clients must be >= 1");
+    if (config.fleet.arrivalsPerSec <= 0.0)
+        fatal("ClusterConfig: fleet.arrivalsPerSec must be positive");
+    if (config.fleet.maxAttempts == 0)
+        fatal("ClusterConfig: fleet.maxAttempts must be >= 1");
+    if (config.nic.ringEntries == 0)
+        fatal("ClusterConfig: nic.ringEntries must be >= 1");
+    if (config.kv.queueCapacity == 0)
+        fatal("ClusterConfig: kv.queueCapacity must be >= 1");
+}
+
+ClusterResult
+runCluster(const ClusterConfig &config)
+{
+    validateClusterConfig(config);
+    Plane plane(config);
+    return plane.run();
+}
+
+} // namespace lightpc::cluster

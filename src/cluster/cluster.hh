@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Replicated KV cluster: N independent LightPC machines behind a
+ * load-balancer model, primary/backup replication with epoch-numbered
+ * leader election, and fleet-level availability under rack-correlated
+ * cut storms.
+ *
+ * Each replica is a full platform::System — its own kernel, NIC,
+ * PSU-rail fault injector, OC-PMEM backing store, and KvService — so
+ * a power cut takes down one *machine*, not a thread. The replication
+ * protocol is a compact Raft-shaped primary/backup scheme:
+ *
+ *  - The leader assigns each acked PUT a (seq, epoch, version) and
+ *    proposes it to the followers over simulated NIC links
+ *    (serialization at linkGbitPerSec plus linkLatency, per
+ *    destination). Followers durably stage the record (a small undo
+ *    transaction over the replica's own pool metadata) before
+ *    acking; the leader applies and acks the client only once a
+ *    write quorum holds the record, in sequence order. A chain check
+ *    (the proposed record must extend the follower's verified prefix
+ *    with a matching predecessor epoch) gives the log-matching
+ *    property, so apply-at-commit can never install a record a
+ *    different leader's chain committed differently.
+ *
+ *  - Elections are epoch-numbered with durable votes (the encoded
+ *    vote word rides the pool's root header, so a replica cannot
+ *    vote twice in one epoch across a crash) and Raft's completeness
+ *    restriction: a candidate must advertise a (lastEpoch, lastSeq)
+ *    at least as up-to-date as the voter's. Split-brain prevention
+ *    is *audited*, not assumed: every client ack records
+ *    (epoch -> acking leader), and two leaders acking in one epoch
+ *    is an invariant violation.
+ *
+ *  - A replica returning from an outage catches up by delta: the
+ *    leader serves the missed committed records from its in-DRAM
+ *    journal window. A replica that cold-booted (every checkpointing
+ *    baseline; SnG only after a failed EP-cut) lost its journal and
+ *    admission state and was down ~15x longer, so the journal window
+ *    has moved past it and it needs a *full* state resync
+ *    (resyncStateBytes over the link) before it counts toward the
+ *    write quorum again. That asymmetry — Stop-and-Go resumes with
+ *    its volatile replication state intact, checkpointing baselines
+ *    re-enter through cold boot + full resync — is the paper's
+ *    single-node recovery gap compounded at fleet level.
+ *
+ *  - While a leader holds no write quorum it degrades gracefully:
+ *    GETs still serve (any live replica serves reads; stale reads
+ *    are the documented model), PUTs get READ_ONLY and clients
+ *    retry; service resumes automatically when a rejoiner syncs.
+ *    Followers answer PUTs with NOT_LEADER plus a leader hint, and
+ *    clients fast-redirect with a guarded retry.
+ *
+ * Storm schedules come from fault::CutStorm::correlated() — a pure
+ * function of the trial seed, never of who leads at run time — so
+ * the same schedule replays against every persistence mode and the
+ * availability comparison is apples-to-apples.
+ */
+
+#ifndef LIGHTPC_CLUSTER_CLUSTER_HH
+#define LIGHTPC_CLUSTER_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/compound.hh"
+#include "net/client_fleet.hh"
+#include "net/kv_service.hh"
+#include "net/nic.hh"
+#include "net/service_plane.hh"
+#include "sim/ticks.hh"
+
+namespace lightpc::cluster
+{
+
+/** One cluster experiment. */
+struct ClusterConfig
+{
+    net::PersistMode mode = net::PersistMode::SnG;
+
+    /** Fleet shape. */
+    std::uint32_t replicas = 3;
+    std::uint32_t racks = 2;
+
+    /** Arrivals are generated for this long; then the run drains. */
+    Tick runFor = 2 * tickSec;
+    Tick drainGrace = 2 * tickSec;
+
+    /** Rack-correlated cut storms (see CutStorm::correlated). */
+    std::size_t storms = 2;
+    std::uint32_t stormRackSpan = 1;
+    Tick stormWindow = 8 * tickMs;
+
+    /** AC-off dwell per cut, and PSU hold-up past the event. */
+    Tick offDwell = 100 * tickMs;
+    Tick holdup = 16 * tickMs;
+
+    // --- control plane --------------------------------------------
+
+    Tick heartbeatInterval = 3 * tickMs;
+
+    /** Follower election timeout (plus per-replica jitter). */
+    Tick electionTimeout = 24 * tickMs;
+    Tick electionJitter = 12 * tickMs;
+
+    /** Leader marks a silent follower unsynced after this long. */
+    Tick replicaTimeout = 30 * tickMs;
+
+    // --- replication links ----------------------------------------
+
+    /** One-way replica <-> replica propagation. */
+    Tick linkLatency = 15 * tickUs;
+
+    /** Per-destination link bandwidth (serialization model). */
+    double linkGbitPerSec = 10.0;
+
+    /** Wire size of one replicated record / one control message. */
+    std::uint64_t replRecordBytes = 96;
+    std::uint64_t controlMsgBytes = 64;
+
+    /** Full-resync payload (machine state image over the link). */
+    std::uint64_t resyncStateBytes = std::uint64_t(512) << 20;
+
+    /**
+     * Committed records each node retains in its (volatile, DRAM)
+     * journal window for serving delta syncs. A rejoiner whose
+     * applied prefix fell behind the window needs a full resync.
+     */
+    std::uint64_t journalRetain = 512;
+
+    /** Recovery-window cut policy (capped backoff, escalation). */
+    fault::SupervisorConfig supervisor;
+
+    // --- client plane ---------------------------------------------
+
+    Tick wireLatency = 20 * tickUs;
+    Tick txDrainInterval = 2 * tickUs;
+    Tick requestDeadline = 250 * tickMs;
+    Tick goodputWindow = 10 * tickMs;
+
+    /** Client-side pause before a NOT_LEADER/READ_ONLY re-issue. */
+    Tick redirectDelay = 150 * tickUs;
+
+    // --- per-mode knobs (mirror ServiceConfig) --------------------
+
+    Tick scheckPeriod = 100 * tickMs;
+    std::uint64_t scheckVmBytes = std::uint64_t(48) << 20;
+    std::uint64_t acheckBytesPerOp = 18000;
+    Tick oplogCommitInterval = 25 * tickUs;
+    std::uint32_t oplogCommitRecords = 16;
+    Tick oplogDrainInterval = 150 * tickUs;
+    std::uint32_t oplogDrainBatch = 32;
+
+    /** Kernel population behind each replica (small: N machines). */
+    std::uint32_t userProcesses = 6;
+    std::uint32_t kernelThreads = 4;
+    std::size_t deviceCount = 12;
+
+    net::FleetParams fleet;
+    net::KvParams kv;
+    net::NicParams nic;
+
+    std::uint64_t seed = 42;
+};
+
+/** Everything one cluster run produces. */
+struct ClusterResult
+{
+    net::PersistMode mode = net::PersistMode::SnG;
+    std::string modeName;
+    std::uint32_t replicas = 0;
+    std::uint32_t racks = 0;
+    std::uint64_t storms = 0;
+    std::uint64_t cutsInjected = 0;
+
+    // Client side.
+    std::uint64_t arrivals = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t duplicateAcks = 0;
+    std::uint64_t redirects = 0;
+    std::uint64_t ackedPuts = 0;
+
+    // Control plane.
+    std::uint64_t elections = 0;      ///< candidacies started
+    std::uint64_t leaderChanges = 0;  ///< becomeLeader events
+    std::uint64_t falseSuspicions = 0;///< elections vs a live leader
+    std::uint64_t stepDowns = 0;
+    std::uint64_t proposals = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t heartbeats = 0;
+    std::uint64_t ctrlDrops = 0;      ///< messages lost to dead replicas
+
+    // Catch-up.
+    std::uint64_t syncDeltas = 0;
+    std::uint64_t syncFulls = 0;
+    std::uint64_t syncRecords = 0;    ///< records shipped by deltas
+    std::uint64_t syncBytes = 0;      ///< total sync wire bytes
+
+    // Power side.
+    std::uint64_t resumes = 0;        ///< warm Stop-and-Go recoveries
+    std::uint64_t coldBoots = 0;
+    std::uint64_t resumeFailures = 0; ///< cuts landing mid-recovery
+    std::uint64_t degradedColdBoots = 0;
+    std::uint64_t ringPreservedFrames = 0;
+    std::uint64_t ringFramesLost = 0;
+
+    // Fleet availability over [0, runFor + drainGrace].
+    Tick horizon = 0;
+    Tick writeUnavailableTicks = 0;   ///< no quorum-backed leader
+    Tick readUnavailableTicks = 0;    ///< no replica can serve at all
+    double writeAvailability = 0.0;
+    double readAvailability = 0.0;
+    Tick worstWriteGap = 0;           ///< longest write-unavailable span
+    std::uint64_t readOnlySpans = 0;  ///< write lost while reads held
+
+    // Merged client-visible latency (first issue -> ack, us).
+    double meanUs = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    double goodputMean = 0.0;
+
+    /** Per-replica power events as the clients saw them (merged). */
+    std::vector<net::ServiceOutage> outages;
+
+    // Invariant audit (all must stay zero / empty).
+    std::uint64_t lostAckedPuts = 0;
+    std::uint64_t splitBrainEpochs = 0;  ///< two leaders acked one epoch
+    std::uint64_t divergentCommits = 0;  ///< one seq, two contents
+    std::vector<std::string> violations;
+
+    /** FNV digest of the run's observable counters (determinism). */
+    std::uint64_t digest = 0;
+};
+
+/**
+ * Reject degenerate cluster configurations with a clear message: a
+ * replica count of zero (or past the 64-wide ack mask), more racks
+ * than replicas, a storm span wider than the rack set, an election
+ * timeout that cannot outlast a heartbeat, and every degenerate
+ * embedded service knob (zero clients, zero-capacity rings, ...).
+ * Called at runCluster entry; exposed for tests.
+ */
+void validateClusterConfig(const ClusterConfig &config);
+
+/** Run one cluster configuration to completion. */
+ClusterResult runCluster(const ClusterConfig &config);
+
+} // namespace lightpc::cluster
+
+#endif // LIGHTPC_CLUSTER_CLUSTER_HH

@@ -1,0 +1,245 @@
+#include "fault/cluster_campaign.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/digest.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+#include "sim/rng.hh"
+
+namespace lightpc::fault
+{
+
+namespace
+{
+
+/** Storm count / rack span one intensity rung encodes. */
+struct StormShape
+{
+    std::size_t storms = 0;
+    std::uint32_t rackSpan = 1;
+};
+
+StormShape
+shapeOf(std::uint32_t intensity, std::uint32_t racks)
+{
+    switch (intensity) {
+    case 1: return {1, 1};
+    case 2: return {2, 1};
+    case 3: return {2, racks};
+    default:
+        fatal("cluster campaign: intensity ", intensity,
+                   " is not on the 1..3 storm ladder");
+    }
+    return {};
+}
+
+void
+validate(const ClusterCampaignConfig &config)
+{
+    if (config.seedsPerCell == 0)
+        fatal("cluster campaign: seedsPerCell must be nonzero");
+    if (config.replicaCounts.empty())
+        fatal("cluster campaign: no replica counts to sweep");
+    if (config.intensities.empty())
+        fatal("cluster campaign: no storm intensities to sweep");
+    if (config.modes.empty())
+        fatal("cluster campaign: no persistence modes to sweep");
+    for (const std::uint32_t intensity : config.intensities)
+        if (intensity < 1 || intensity > 3)
+            fatal("cluster campaign: intensity ", intensity,
+                       " is not on the 1..3 storm ladder");
+    if (config.runFor == 0)
+        fatal("cluster campaign: runFor must be nonzero");
+    if (config.clients == 0)
+        fatal("cluster campaign: zero clients");
+    if (config.arrivalsPerSec <= 0.0)
+        fatal("cluster campaign: arrival rate must be positive");
+}
+
+} // namespace
+
+std::uint64_t
+clusterCampaignTrials(const ClusterCampaignConfig &config)
+{
+    return std::uint64_t(config.replicaCounts.size())
+           * config.intensities.size() * config.modes.size()
+           * config.seedsPerCell;
+}
+
+cluster::ClusterConfig
+clusterTrialConfig(const ClusterCampaignConfig &config,
+                   std::uint64_t index)
+{
+    validate(config);
+    if (index >= clusterCampaignTrials(config))
+        fatal("cluster campaign: trial index ", index,
+                   " past the ", clusterCampaignTrials(config),
+                   "-trial grid");
+
+    // Decode replicas-major, then intensity, then mode, then seed.
+    const std::uint64_t seedIdx = index % config.seedsPerCell;
+    std::uint64_t cell = index / config.seedsPerCell;
+    const std::size_t modeIdx = cell % config.modes.size();
+    cell /= config.modes.size();
+    const std::size_t intIdx = cell % config.intensities.size();
+    cell /= config.intensities.size();
+    const std::size_t repIdx = cell;
+
+    cluster::ClusterConfig cc;
+    cc.mode = config.modes[modeIdx];
+    cc.replicas = config.replicaCounts[repIdx];
+    cc.racks = 2;
+
+    const std::uint32_t intensity = config.intensities[intIdx];
+    const StormShape shape = shapeOf(intensity, cc.racks);
+    cc.storms = shape.storms;
+    cc.stormRackSpan = shape.rackSpan;
+
+    cc.runFor = config.runFor;
+    cc.drainGrace = config.drainGrace;
+    cc.fleet.clients = config.clients;
+    cc.fleet.arrivalsPerSec = config.arrivalsPerSec;
+
+    // Small kernel population: a trial holds up to five machines.
+    cc.userProcesses = 6;
+    cc.kernelThreads = 4;
+    cc.deviceCount = 12;
+
+    // One stream per grid position: the *same* seed index replays
+    // identical storm/arrival schedules against every mode in the
+    // cell's column, so the availability comparison is paired.
+    const std::uint64_t column =
+        (std::uint64_t(repIdx) * 8 + intIdx) * 64 + seedIdx;
+    cc.seed = Rng::streamSeed(config.seed, 0x636c7573ULL + column);
+    return cc;
+}
+
+ClusterCampaignResult
+runClusterCampaign(const ClusterCampaignConfig &config)
+{
+    validate(config);
+
+    const std::uint64_t trials = clusterCampaignTrials(config);
+    const std::size_t cellCount = config.replicaCounts.size()
+                                  * config.intensities.size()
+                                  * config.modes.size();
+
+    sim::ParallelExecutor pool(config.threads);
+    const std::vector<cluster::ClusterResult> runs =
+        pool.map<cluster::ClusterResult>(
+            trials, [&config](std::uint64_t index) {
+                return cluster::runCluster(
+                    clusterTrialConfig(config, index));
+            });
+
+    // Fold in canonical index order: trial i belongs to cell
+    // i / seedsPerCell, and cells come out replicas-major.
+    ClusterCampaignResult result;
+    result.threads = config.threads;
+    result.trials = trials;
+    result.cells.resize(cellCount);
+
+    for (std::uint64_t i = 0; i < trials; ++i) {
+        const cluster::ClusterResult &r = runs[i];
+        const std::size_t cellIdx =
+            static_cast<std::size_t>(i / config.seedsPerCell);
+        ClusterCellStats &cell = result.cells[cellIdx];
+
+        if (cell.trials == 0) {
+            std::size_t c = cellIdx;
+            const std::size_t modeIdx = c % config.modes.size();
+            c /= config.modes.size();
+            cell.intensity =
+                config.intensities[c % config.intensities.size()];
+            cell.replicas =
+                config.replicaCounts[c / config.intensities.size()];
+            cell.mode = config.modes[modeIdx];
+            cell.modeName = net::persistModeName(cell.mode);
+        }
+
+        ++cell.trials;
+        cell.cutsInjected += r.cutsInjected;
+        cell.writeAvailMean += r.writeAvailability;
+        cell.writeAvailMin =
+            std::min(cell.writeAvailMin, r.writeAvailability);
+        cell.readAvailMean += r.readAvailability;
+        cell.readAvailMin =
+            std::min(cell.readAvailMin, r.readAvailability);
+        cell.worstWriteGap = std::max(cell.worstWriteGap,
+                                      r.worstWriteGap);
+        cell.readOnlySpans += r.readOnlySpans;
+        cell.completed += r.completed;
+        cell.failed += r.failed;
+        cell.ackedPuts += r.ackedPuts;
+        cell.redirects += r.redirects;
+        cell.elections += r.elections;
+        cell.leaderChanges += r.leaderChanges;
+        cell.stepDowns += r.stepDowns;
+        cell.syncDeltas += r.syncDeltas;
+        cell.syncFulls += r.syncFulls;
+        cell.syncBytes += r.syncBytes;
+        cell.resumes += r.resumes;
+        cell.coldBoots += r.coldBoots;
+        cell.degradedColdBoots += r.degradedColdBoots;
+        cell.lostAckedPuts += r.lostAckedPuts;
+        cell.splitBrainEpochs += r.splitBrainEpochs;
+        cell.divergentCommits += r.divergentCommits;
+        cell.violations += r.violations.size();
+
+        result.lostAckedPuts += r.lostAckedPuts;
+        result.splitBrainEpochs += r.splitBrainEpochs;
+        result.divergentCommits += r.divergentCommits;
+        result.violations += r.violations.size();
+        for (const std::string &note : r.violations) {
+            std::ostringstream tagged;
+            tagged << "trial " << i << " [" << r.modeName << " x"
+                   << r.replicas << "]: " << note;
+            if (result.violationNotes.size() < 64)
+                result.violationNotes.push_back(tagged.str());
+        }
+    }
+
+    for (ClusterCellStats &cell : result.cells) {
+        cell.writeAvailMean /= double(cell.trials);
+        cell.readAvailMean /= double(cell.trials);
+    }
+
+    // Determinism anchor: every cell counter plus the per-trial run
+    // digests, in canonical order.
+    sim::Fnv64 fnv;
+    fnv.mix(result.trials);
+    for (const cluster::ClusterResult &r : runs)
+        fnv.mix(r.digest);
+    for (const ClusterCellStats &cell : result.cells) {
+        fnv.mix(cell.replicas);
+        fnv.mix(cell.intensity);
+        fnv.mix(static_cast<std::uint64_t>(cell.mode));
+        fnv.mix(cell.trials);
+        fnv.mix(cell.cutsInjected);
+        fnv.mix(static_cast<std::uint64_t>(cell.worstWriteGap));
+        fnv.mix(cell.readOnlySpans);
+        fnv.mix(cell.completed);
+        fnv.mix(cell.failed);
+        fnv.mix(cell.ackedPuts);
+        fnv.mix(cell.redirects);
+        fnv.mix(cell.elections);
+        fnv.mix(cell.leaderChanges);
+        fnv.mix(cell.stepDowns);
+        fnv.mix(cell.syncDeltas);
+        fnv.mix(cell.syncFulls);
+        fnv.mix(cell.syncBytes);
+        fnv.mix(cell.resumes);
+        fnv.mix(cell.coldBoots);
+        fnv.mix(cell.degradedColdBoots);
+        fnv.mix(cell.lostAckedPuts);
+        fnv.mix(cell.splitBrainEpochs);
+        fnv.mix(cell.divergentCommits);
+        fnv.mix(cell.violations);
+    }
+    result.digest = fnv.h;
+    return result;
+}
+
+} // namespace lightpc::fault

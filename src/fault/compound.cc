@@ -42,6 +42,75 @@ CutStorm::uniformIn(Tick lo, Tick hi)
     return hi > lo ? lo + rng.below(hi - lo) : lo;
 }
 
+std::uint32_t
+CutStorm::rackOf(std::uint32_t replica, std::uint32_t replicas,
+                 std::uint32_t racks)
+{
+    if (replicas == 0 || racks == 0)
+        fatal("CutStorm::rackOf needs replicas and racks >= 1");
+    if (replica >= replicas)
+        fatal("CutStorm::rackOf: replica ", replica, " out of range");
+    return static_cast<std::uint32_t>(
+        std::uint64_t(replica) * racks / replicas);
+}
+
+std::vector<CorrelatedStorm>
+CutStorm::correlated(Tick start, Tick end, std::size_t storms,
+                     std::uint32_t replicas, std::uint32_t racks,
+                     std::uint32_t rack_span, Tick window)
+{
+    if (replicas == 0 || racks == 0)
+        fatal("CutStorm::correlated needs replicas and racks >= 1");
+    if (racks > replicas)
+        fatal("CutStorm::correlated: more racks (", racks,
+              ") than replicas (", replicas, ") leaves racks empty");
+    if (rack_span == 0 || rack_span > racks)
+        fatal("CutStorm::correlated: rack span ", rack_span,
+              " outside [1, ", racks, "]");
+    if (window == 0)
+        fatal("CutStorm::correlated needs a nonzero storm window");
+
+    std::vector<CorrelatedStorm> out;
+    if (storms == 0 || end <= start)
+        return out;
+    out.reserve(storms);
+    const Tick spacing = (end - start) / (storms + 1);
+    for (std::size_t s = 0; s < storms; ++s) {
+        CorrelatedStorm storm;
+        const Tick nominal = start + spacing * (s + 1);
+        storm.startAt = uniformIn(nominal, nominal + spacing / 4 + 1);
+
+        // Struck racks: the first storm always hits rack 0 (the
+        // bootstrap leader's rack — the adversarial choice), the rest
+        // start from an rng rack; spans wrap around the rack ring.
+        const std::uint32_t first =
+            s == 0 ? 0
+                   : static_cast<std::uint32_t>(rng.below(racks));
+        for (std::uint32_t i = 0; i < rack_span; ++i)
+            storm.racks.push_back((first + i) % racks);
+        std::sort(storm.racks.begin(), storm.racks.end());
+
+        for (std::uint32_t r = 0; r < replicas; ++r) {
+            const std::uint32_t rack = rackOf(r, replicas, racks);
+            if (std::find(storm.racks.begin(), storm.racks.end(), rack)
+                == storm.racks.end())
+                continue;
+            ReplicaCut cut;
+            cut.replica = r;
+            cut.at = uniformIn(storm.startAt, storm.startAt + window);
+            storm.cuts.push_back(cut);
+        }
+        std::sort(storm.cuts.begin(), storm.cuts.end(),
+                  [](const ReplicaCut &a, const ReplicaCut &b) {
+                      if (a.at != b.at)
+                          return a.at < b.at;
+                      return a.replica < b.replica;
+                  });
+        out.push_back(std::move(storm));
+    }
+    return out;
+}
+
 SupervisorOutcome
 RecoverySupervisor::supervise(Tick when, const std::vector<Tick> &cuts,
                               Rng &rng)

@@ -56,6 +56,25 @@
 namespace lightpc::fault
 {
 
+/** One replica's cut instant inside a correlated storm. */
+struct ReplicaCut
+{
+    std::uint32_t replica = 0;
+    Tick at = 0;
+};
+
+/**
+ * One rack-correlated storm: every replica in the struck racks takes
+ * a cut inside one window (shorter than a PSU hold-up, so the fleet
+ * sees them as a single correlated event, not independent faults).
+ */
+struct CorrelatedStorm
+{
+    Tick startAt = 0;                  ///< window start
+    std::vector<ReplicaCut> cuts;      ///< ascending by (at, replica)
+    std::vector<std::uint32_t> racks;  ///< racks struck (ascending)
+};
+
 /**
  * Seeded cut-schedule generator.
  */
@@ -76,6 +95,33 @@ class CutStorm
 
     /** Uniform tick in [lo, hi); lo itself when the window is empty. */
     Tick uniformIn(Tick lo, Tick hi);
+
+    /**
+     * Contiguous rack assignment: replica @p replica of @p replicas
+     * lives in rack replica * racks / replicas. With 3 replicas over
+     * 2 racks, rack 0 holds {0, 1} — the majority rack, so a
+     * one-rack storm against it is already a quorum-threatening
+     * event.
+     */
+    static std::uint32_t rackOf(std::uint32_t replica,
+                                std::uint32_t replicas,
+                                std::uint32_t racks);
+
+    /**
+     * Rack-correlated storm schedule: @p storms storm windows, their
+     * starts spread evenly (with jitter) across [@p start, @p end).
+     * Each storm strikes @p rack_span racks — the first storm always
+     * rack 0 (where the bootstrap leader lives), later storms
+     * rng-picked — and every replica in a struck rack takes one cut
+     * at an rng instant inside [startAt, startAt + @p window). The
+     * schedule is a pure function of the generator seed and the
+     * arguments — never of who leads at run time — so the same
+     * schedule can be replayed against every persistence mode.
+     */
+    std::vector<CorrelatedStorm> correlated(
+        Tick start, Tick end, std::size_t storms,
+        std::uint32_t replicas, std::uint32_t racks,
+        std::uint32_t rack_span, Tick window);
 
     Rng &generator() { return rng; }
 

@@ -14,6 +14,7 @@
 #ifndef LIGHTPC_NET_AVAILABILITY_HH
 #define LIGHTPC_NET_AVAILABILITY_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -113,6 +114,43 @@ class AvailabilityRecorder
         goodput.record(now, static_cast<double>(windowCompletions)
                                 / seconds);
         windowCompletions = 0;
+    }
+
+    /**
+     * Fold another replica's recorder into this one (fleet-level
+     * availability from per-replica views). Commutative up to the
+     * final ordering: latency and goodput merges are order-free, and
+     * the outage ledger is re-sorted into a canonical (eventAt,
+     * replica-agnostic field) order afterwards — so folding replicas
+     * 0..N-1 in any order yields byte-identical state. Windows must
+     * match; the sampling cadence is part of the goodput unit.
+     */
+    void
+    merge(const AvailabilityRecorder &other)
+    {
+        if (other.window != window)
+            fatal("AvailabilityRecorder::merge needs matching windows: ",
+                  window, " vs ", other.window);
+        lat.merge(other.lat);
+        latSummary.merge(other.latSummary);
+        goodput.merge(other.goodput);
+        windowCompletions += other.windowCompletions;
+        if (other.lastSuccess > lastSuccess)
+            lastSuccess = other.lastSuccess;
+        outages.insert(outages.end(), other.outages.begin(),
+                       other.outages.end());
+        std::sort(outages.begin(), outages.end(),
+                  [](const OutageRecord &a, const OutageRecord &b) {
+                      if (a.eventAt != b.eventAt)
+                          return a.eventAt < b.eventAt;
+                      if (a.lastSuccessBefore != b.lastSuccessBefore)
+                          return a.lastSuccessBefore
+                              < b.lastSuccessBefore;
+                      if (a.firstSuccessAfter != b.firstSuccessAfter)
+                          return a.firstSuccessAfter
+                              < b.firstSuccessAfter;
+                      return a.closed < b.closed;
+                  });
     }
 
     Tick sampleWindow() const { return window; }

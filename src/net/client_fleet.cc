@@ -16,6 +16,9 @@ ClientFleet::ClientFleet(const FleetParams &params)
         fatal("ClientFleet arrival rate must be positive");
     if (_params.maxAttempts == 0)
         fatal("ClientFleet needs at least one attempt per request");
+    clientJitter.reserve(_params.clients);
+    for (std::uint32_t c = 0; c < _params.clients; ++c)
+        clientJitter.emplace_back(Rng::streamSeed(_params.seed, c));
 }
 
 Tick
@@ -59,11 +62,15 @@ ClientFleet::newRequest(Tick now)
 }
 
 Tick
-ClientFleet::timeoutFor(std::uint32_t attempt)
+ClientFleet::timeoutFor(std::uint32_t client, std::uint32_t attempt)
 {
     // Exponential backoff: timeout * 2^(attempt-1), capped, plus
     // jitter so a fleet stalled by the same outage does not retry in
-    // lockstep.
+    // lockstep. The jitter comes from the client's own stream, not
+    // the shared fleet Rng: replica failover reorders which responses
+    // (and therefore which timeouts) happen first, and a shared draw
+    // order would let one client's redirect perturb every other
+    // client's backoff schedule.
     Tick wait = _params.clientTimeout;
     for (std::uint32_t i = 1; i < attempt && wait < _params.backoffCap;
          ++i)
@@ -71,17 +78,21 @@ ClientFleet::timeoutFor(std::uint32_t attempt)
     if (wait > _params.backoffCap)
         wait = _params.backoffCap;
     if (_params.retryJitter > 0)
-        wait += rng.below(_params.retryJitter);
+        wait += clientJitter[client % _params.clients].below(
+            _params.retryJitter);
     return wait;
 }
 
 std::optional<RpcRequest>
-ClientFleet::retryAttempt(std::uint64_t req_id, Tick now)
+ClientFleet::retryAttempt(std::uint64_t req_id, Tick now,
+                          std::uint32_t expected_attempt)
 {
     auto it = outstanding.find(req_id);
     if (it == outstanding.end())
         return std::nullopt;  // already acknowledged
     Pending &pending = it->second;
+    if (expected_attempt != 0 && pending.attempts != expected_attempt)
+        return std::nullopt;  // a newer attempt is already in flight
     if (pending.attempts >= _params.maxAttempts) {
         ++_stats.failed;
         outstanding.erase(it);
@@ -105,10 +116,17 @@ ClientFleet::onResponse(const RpcResponse &resp, Tick now)
         return AckOutcome::Duplicate;
     }
     if (resp.status == RpcStatus::Rejected
-        || resp.status == RpcStatus::DeadlineExceeded) {
-        // Server is alive but pushed back; leave the request pending
-        // so the armed timeout retries it with backoff.
+        || resp.status == RpcStatus::DeadlineExceeded
+        || resp.status == RpcStatus::NotLeader
+        || resp.status == RpcStatus::ReadOnly) {
+        // Server is alive but pushed back (or is the wrong replica);
+        // leave the request pending so the caller retries it — the
+        // armed timeout with backoff, or a fast redirect for the
+        // cluster statuses.
         ++_stats.retriableErrors;
+        if (resp.status == RpcStatus::NotLeader
+            || resp.status == RpcStatus::ReadOnly)
+            ++_stats.redirects;
         return AckOutcome::RetriableError;
     }
 

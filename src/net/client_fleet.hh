@@ -86,7 +86,8 @@ struct FleetStats
     std::uint64_t completed = 0;      ///< acknowledged requests
     std::uint64_t failed = 0;         ///< attempt budget exhausted
     std::uint64_t duplicateAcks = 0;  ///< late acks for done requests
-    std::uint64_t retriableErrors = 0;///< Rejected/DeadlineExceeded
+    std::uint64_t retriableErrors = 0;///< Rejected/Deadline/NotLeader/RO
+    std::uint64_t redirects = 0;      ///< NotLeader/ReadOnly responses
     std::uint64_t ackedPuts = 0;
 };
 
@@ -122,13 +123,24 @@ class ClientFleet
      * Timeout fired for @p req_id: either the next attempt to send
      * (same reqId, bumped attempt counter) or nullopt when the
      * request is done, unknown, or out of attempts (then it counts
-     * as failed).
+     * as failed). A nonzero @p expected_attempt makes the call a
+     * guarded retry: it only fires when that attempt is still the
+     * latest one issued — a fast redirect that already re-sent the
+     * request leaves the old attempt's armed timeout stale, and the
+     * guard keeps the stale timer from issuing a duplicate attempt.
      */
-    std::optional<RpcRequest> retryAttempt(std::uint64_t req_id,
-                                           Tick now);
+    std::optional<RpcRequest> retryAttempt(
+        std::uint64_t req_id, Tick now,
+        std::uint32_t expected_attempt = 0);
 
-    /** Client-side wait before retrying attempt @p attempt. */
-    Tick timeoutFor(std::uint32_t attempt);
+    /**
+     * Client-side wait before retrying attempt @p attempt of
+     * @p client. The jitter draw comes from the client's own
+     * Rng::streamSeed(seed, clientId) stream, so one client's retry
+     * schedule is independent of every other client's draw order —
+     * stable under replica-failover response reordering.
+     */
+    Tick timeoutFor(std::uint32_t client, std::uint32_t attempt);
 
     /** What a delivered response did to the logical request. */
     enum class AckOutcome
@@ -169,6 +181,7 @@ class ClientFleet
     FleetParams _params;
     FleetStats _stats;
     Rng rng;
+    std::vector<Rng> clientJitter;  ///< per-client backoff streams
     std::uint64_t nextReqId = 1;
     std::unordered_map<std::uint64_t, Pending> outstanding;
     std::unordered_map<std::uint64_t, std::uint64_t> putKeys;

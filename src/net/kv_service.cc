@@ -226,6 +226,7 @@ KvService::execute(Tick &t, const RpcRequest &req, bool *deferred)
     RpcResponse resp;
     resp.reqId = req.reqId;
     resp.client = req.client;
+    resp.attempt = req.attempt;
 
     if (req.deadline != 0 && t > req.deadline) {
         ++_stats.deadlineExceeded;
@@ -260,6 +261,7 @@ KvService::executeGet(Tick &t, const RpcRequest &req, bool *deferred)
     RpcResponse resp;
     resp.reqId = req.reqId;
     resp.client = req.client;
+    resp.attempt = req.attempt;
 
     if (_log) {
         // Read-your-writes through the undrained log: the newest
@@ -376,6 +378,7 @@ KvService::executePut(Tick &t, const RpcRequest &req, bool *deferred)
     RpcResponse resp;
     resp.reqId = req.reqId;
     resp.client = req.client;
+    resp.attempt = req.attempt;
 
     // Idempotence: a retry of an applied PUT is acknowledged from
     // the dedup set without touching the key table.
@@ -419,6 +422,7 @@ KvService::executePutOpLog(Tick &t, const RpcRequest &req,
     RpcResponse resp;
     resp.reqId = req.reqId;
     resp.client = req.client;
+    resp.attempt = req.attempt;
 
     // Retry of a record still sitting in the log: acknowledge from
     // the pending index; the ack is deferred iff the record's group
@@ -522,6 +526,7 @@ KvService::executeScan(Tick &t, const RpcRequest &req)
     RpcResponse resp;
     resp.reqId = req.reqId;
     resp.client = req.client;
+    resp.attempt = req.attempt;
 
     const std::uint32_t mask = _params.keyCapacity - 1;
     const std::uint32_t len = std::min(
@@ -793,6 +798,132 @@ KvService::dedupFloor() const
     RootHeader hdr;
     _pool->readObject(root, 0, &hdr, sizeof(hdr));
     return hdr.dedupFloor;
+}
+
+// --- cluster replication hooks ---------------------------------------
+
+ClusterMeta
+KvService::clusterMeta() const
+{
+    RootHeader hdr;
+    _pool->readObject(root, 0, &hdr, sizeof(hdr));
+    return ClusterMeta{hdr.replSeq, hdr.replEpoch, hdr.replVote,
+                       hdr.replCommit, hdr.replCommitEpoch};
+}
+
+void
+KvService::persistClusterMeta(Tick &t, const ClusterMeta &meta)
+{
+    const std::uint64_t off = offsetof(RootHeader, replSeq);
+    const std::uint64_t bytes = 5 * sizeof(std::uint64_t);
+    const std::uint64_t words[5] = {meta.seq, meta.epoch,
+                                    meta.voteWord, meta.commit,
+                                    meta.commitEpoch};
+    clock(t);
+    _pool->txBegin(t);
+    clock(t);
+    _pool->txAddRange(t, root, off, bytes);
+    clock(t);
+    _pool->writeObject(root, off, words, bytes);
+    t = timed.writeSpan(t, rootAddr + off, bytes);
+    clock(t);
+    _pool->txCommit(t);
+    t = timed.fence(t);
+}
+
+bool
+KvService::applyReplicated(Tick &t, std::uint64_t req_id,
+                           std::uint64_t key, std::uint64_t value_seed,
+                           std::uint64_t version)
+{
+    bool applied = false;
+    const std::uint32_t dedup_idx = probeDedup(req_id, applied);
+    t = timed.readSpan(t,
+                       rootAddr + dedupOffset()
+                           + std::uint64_t(dedup_idx)
+                                 * sizeof(DedupEntry),
+                       sizeof(DedupEntry));
+    if (applied)
+        return false;
+
+    bool key_found = false;
+    const std::uint32_t slot_idx = probeKey(key, key_found);
+    t = timed.readSpan(t,
+                       rootAddr + keyTableOffset()
+                           + std::uint64_t(slot_idx) * sizeof(KvSlot),
+                       sizeof(KvSlot));
+    KvSlot slot;
+    readSlot(slot_idx, slot);
+    if (key_found && slot.version >= version)
+        return false;  // stale (snapshot replayed over newer state)
+
+    applyPut(t, req_id, key, value_seed, version, slot);
+    return true;
+}
+
+bool
+KvService::appendReplicated(Tick &t, std::uint64_t req_id,
+                            std::uint64_t key, std::uint64_t value_seed,
+                            std::uint64_t version, std::uint32_t client)
+{
+    if (!_log)
+        fatal("appendReplicated needs the op-log write path");
+    if (pendingByReq.find(req_id) != pendingByReq.end())
+        return false;
+    bool applied = false;
+    const std::uint32_t dedup_idx = probeDedup(req_id, applied);
+    t = timed.readSpan(t,
+                       rootAddr + dedupOffset()
+                           + std::uint64_t(dedup_idx)
+                                 * sizeof(DedupEntry),
+                       sizeof(DedupEntry));
+    if (applied)
+        return false;
+
+    if (_log->wouldBlock()) {
+        // Same slow path as a local op-log PUT against a full ring.
+        ++_stats.logStallDrains;
+        logCommit(t);
+        while (logDrain(t, 64) != 0) {
+        }
+    }
+
+    OpRecord rec;
+    rec.reqId = req_id;
+    rec.key = key;
+    rec.valueSeed = value_seed;
+    rec.version = version;
+    rec.client = client;
+    rec.appendedAt = t;
+    const std::uint64_t seq = _log->append(t, rec);
+    ++_stats.logAppends;
+
+    const PendingPut pending{key, version, value_seed, seq};
+    pendingByReq.emplace(req_id, pending);
+    newestByKey[key] = pending;
+    return true;
+}
+
+std::vector<KvKeyState>
+KvService::snapshotRecords() const
+{
+    std::vector<KvKeyState> out;
+    for (std::uint32_t i = 0; i < _params.keyCapacity; ++i) {
+        KvSlot slot;
+        readSlot(i, slot);
+        if (slot.key != 0)
+            out.push_back(KvKeyState{slot.key, slot.version,
+                                     slot.lastReqId, slot.valueSeed});
+    }
+    return out;
+}
+
+bool
+KvService::isApplied(std::uint64_t req_id) const
+{
+    bool applied = false;
+    probeDedup(req_id, applied);
+    return applied;
 }
 
 } // namespace lightpc::net

@@ -150,6 +150,26 @@ struct KvKeyState
 };
 
 /**
+ * Replication metadata persisted inside the root header. Five words
+ * the cluster plane needs durable across power cuts: the highest
+ * replication sequence this replica holds, its current epoch, the
+ * encoded vote (epoch * 64 + votedFor + 1; 0 = never voted — durable
+ * so a replica cannot vote twice in one epoch across a crash), the
+ * highest *committed* sequence, and the epoch of the record at that
+ * commit point (the election up-to-dateness comparator survives a
+ * cold boot with it). Persisted with a small undo transaction so a
+ * cut mid-update rolls the group back together.
+ */
+struct ClusterMeta
+{
+    std::uint64_t seq = 0;       ///< highest sequence held
+    std::uint64_t epoch = 0;     ///< current election epoch
+    std::uint64_t voteWord = 0;  ///< epoch*64 + votedFor + 1; 0 = none
+    std::uint64_t commit = 0;    ///< highest committed sequence
+    std::uint64_t commitEpoch = 0;  ///< epoch of the record at commit
+};
+
+/**
  * The server.
  */
 class KvService
@@ -260,6 +280,53 @@ class KvService
      */
     Tick dedupFloor() const;
 
+    // --- cluster replication hooks --------------------------------
+
+    /** The persisted replication metadata (root header words). */
+    ClusterMeta clusterMeta() const;
+
+    /**
+     * Persist new replication metadata as one small undo transaction
+     * over the four header words. Call AFTER the content the new
+     * commit cursor describes is durable (post-apply / post-group-
+     * commit), never before — the meta must not claim a commit the
+     * rails could still tear away.
+     */
+    void persistClusterMeta(Tick &t, const ClusterMeta &meta);
+
+    /**
+     * Apply one replicated PUT through the shared undo transaction,
+     * installing the absolute @p version fixed by the leader. Dedup
+     * hits and stale versions (slot already at >= @p version, e.g. a
+     * snapshot replayed over delta-applied state) are skipped.
+     * @return true iff the record was newly applied.
+     */
+    bool applyReplicated(Tick &t, std::uint64_t req_id,
+                         std::uint64_t key, std::uint64_t value_seed,
+                         std::uint64_t version);
+
+    /**
+     * Op-log path of a replicated commit: append the record (version
+     * fixed by the leader) and leave it for the plane-driven group
+     * commit + drain, exactly like a local op-log PUT. @return true
+     * iff newly appended (false = already pending or applied).
+     */
+    bool appendReplicated(Tick &t, std::uint64_t req_id,
+                          std::uint64_t key, std::uint64_t value_seed,
+                          std::uint64_t version, std::uint32_t client);
+
+    /** Every occupied key slot (slot order) — full-resync payload. */
+    std::vector<KvKeyState> snapshotRecords() const;
+
+    /** Is @p req_id in the persistent dedup set? */
+    bool isApplied(std::uint64_t req_id) const;
+
+    /** Is @p req_id still sitting undrained in the op log? */
+    bool logPending(std::uint64_t req_id) const
+    {
+        return pendingByReq.find(req_id) != pendingByReq.end();
+    }
+
     /** Occupied dedup slots (volatile mirror, audited in tests). */
     std::uint64_t dedupLiveCount() const { return dedupLive; }
 
@@ -289,11 +356,18 @@ class KvService
         std::uint64_t appliedCount = 0;
         std::uint64_t compactedCount = 0;
         std::uint64_t dedupFloor = 0;
-        std::uint64_t pad[3] = {};
+        // Replication metadata (ClusterMeta image); the five words
+        // are contiguous so persistClusterMeta can cover them with
+        // one ranged undo entry.
+        std::uint64_t replSeq = 0;
+        std::uint64_t replEpoch = 0;
+        std::uint64_t replVote = 0;
+        std::uint64_t replCommit = 0;
+        std::uint64_t replCommitEpoch = 0;
     };
 
     static constexpr std::uint64_t rootMagic =
-        0x4b565f524f4f5432ULL;  // "KV_ROOT2"
+        0x4b565f524f4f5433ULL;  // "KV_ROOT3"
 
     /** Volatile record of a PUT sitting in the op log, undrained. */
     struct PendingPut

@@ -32,6 +32,8 @@ enum class RpcStatus : std::uint32_t
     NotFound = 1,          ///< GET of a never-written key
     Rejected = 2,          ///< admission queue full (backpressure)
     DeadlineExceeded = 3,  ///< dequeued past its deadline; not applied
+    NotLeader = 4,         ///< replica is a follower; see leaderHint
+    ReadOnly = 5,          ///< quorum lost: writes refused, not applied
 };
 
 /** Display name. */
@@ -43,9 +45,14 @@ rpcStatusName(RpcStatus status)
     case RpcStatus::NotFound: return "NOT_FOUND";
     case RpcStatus::Rejected: return "REJECTED";
     case RpcStatus::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case RpcStatus::NotLeader: return "NOT_LEADER";
+    case RpcStatus::ReadOnly: return "READ_ONLY";
     }
     return "?";
 }
+
+/** RpcResponse::leaderHint when the responder knows no leader. */
+inline constexpr std::uint32_t noLeaderHint = ~std::uint32_t(0);
 
 /** One request attempt as it sits in the NIC RX ring. */
 struct RpcRequest
@@ -70,6 +77,21 @@ struct RpcResponse
     std::uint64_t version = 0;    ///< key version after/at the op
     std::uint64_t valueSeed = 0;  ///< GET payload / SCAN digest
     Tick servedAt = 0;            ///< server completion tick
+
+    /**
+     * Attempt number this response answers (0 when the server did not
+     * echo one). A client fast-redirecting on NotLeader/ReadOnly
+     * passes it as the guarded-retry expectation, so a redirect for a
+     * superseded attempt cannot race the newer attempt's timeout into
+     * a duplicate issue.
+     */
+    std::uint32_t attempt = 0;
+
+    /** Replica that produced the response (single node: 0). */
+    std::uint32_t source = 0;
+
+    /** NotLeader redirect target (noLeaderHint when unknown). */
+    std::uint32_t leaderHint = noLeaderHint;
 };
 
 static_assert(std::is_trivially_copyable_v<RpcRequest>);

@@ -193,7 +193,7 @@ struct Plane
         req.deadline = now + cfg.requestDeadline;
         eq.schedule(now + cfg.wireLatency,
                     [this, req] { rxArrive(req); });
-        const Tick wait = fleet.timeoutFor(req.attempt);
+        const Tick wait = fleet.timeoutFor(req.client, req.attempt);
         eq.schedule(now + cfg.wireLatency + wait,
                     [this, id = req.reqId] { timeoutFire(id); });
     }
@@ -833,12 +833,39 @@ struct Plane
 
 } // namespace
 
+void
+validateServiceConfig(const ServiceConfig &config)
+{
+    if (config.fleet.clients == 0)
+        fatal("ServiceConfig: fleet.clients must be >= 1 "
+              "(a zero-client fleet generates no load)");
+    if (config.fleet.arrivalsPerSec <= 0.0)
+        fatal("ServiceConfig: fleet.arrivalsPerSec must be positive");
+    if (config.fleet.maxAttempts == 0)
+        fatal("ServiceConfig: fleet.maxAttempts must be >= 1");
+    if (config.nic.ringEntries == 0)
+        fatal("ServiceConfig: nic.ringEntries must be >= 1 "
+              "(a zero-capacity ring can never carry a frame)");
+    if (config.kv.queueCapacity == 0)
+        fatal("ServiceConfig: kv.queueCapacity must be >= 1");
+    if (config.runFor == 0)
+        fatal("ServiceConfig: runFor must be nonzero");
+    if (config.goodputWindow == 0)
+        fatal("ServiceConfig: goodputWindow must be nonzero");
+    if (config.stormFollowUps > 0 && config.cuts == 0)
+        fatal("ServiceConfig: stormFollowUps = ",
+              config.stormFollowUps,
+              " without any cuts never fires; set cuts >= 1 or "
+              "stormFollowUps = 0");
+    if (config.cuts > 0 && config.runFor / (config.cuts + 1) == 0)
+        fatal("ServiceConfig: runFor too short for ", config.cuts,
+              " cuts");
+}
+
 ServiceResult
 runService(const ServiceConfig &config)
 {
-    if (config.cuts > 0 && config.runFor / (config.cuts + 1) == 0)
-        fatal("runService: runFor too short for ", config.cuts,
-              " cuts");
+    validateServiceConfig(config);
     Plane plane(config);
     return plane.run();
 }

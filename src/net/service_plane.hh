@@ -248,6 +248,16 @@ struct ServiceResult
     std::uint64_t digest = 0;
 };
 
+/**
+ * Reject degenerate configurations with a clear message instead of
+ * letting them silently degenerate (a zero-client fleet, a
+ * zero-capacity ring that can never carry a frame, storm follow-ups
+ * with no storm to follow). Called at runService entry; exposed so
+ * callers embedding ServiceConfig (the cluster plane) and tests can
+ * invoke it directly.
+ */
+void validateServiceConfig(const ServiceConfig &config);
+
 /** Run one configuration to completion. */
 ServiceResult runService(const ServiceConfig &config);
 

@@ -902,11 +902,11 @@ TEST(ClientFleet, BackoffDoublesAndCaps)
     params.retryJitter = 0;
     ClientFleet fleet(params);
 
-    EXPECT_EQ(fleet.timeoutFor(1), 10 * tickMs);
-    EXPECT_EQ(fleet.timeoutFor(2), 20 * tickMs);
-    EXPECT_EQ(fleet.timeoutFor(3), 40 * tickMs);
-    EXPECT_EQ(fleet.timeoutFor(4), 40 * tickMs);
-    EXPECT_EQ(fleet.timeoutFor(8), 40 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(0, 1), 10 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(0, 2), 20 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(0, 3), 40 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(0, 4), 40 * tickMs);
+    EXPECT_EQ(fleet.timeoutFor(0, 8), 40 * tickMs);
 }
 
 TEST(ClientFleet, RetryKeepsRequestIdAndExhaustsBudget)
@@ -989,7 +989,7 @@ TEST(ClientFleet, MaxRetrySpanDominatesEveryBackoffSchedule)
     Tick realized = 0;
     for (std::uint32_t attempt = 1; attempt < params.maxAttempts;
          ++attempt)
-        realized += fleet.timeoutFor(attempt);
+        realized += fleet.timeoutFor(7, attempt);
     EXPECT_LE(realized, params.maxRetrySpan());
     EXPECT_GT(params.maxRetrySpan(), 0u);
 }
