@@ -297,6 +297,8 @@ struct Plane
     // Online invariant ledgers.
     std::map<std::uint64_t, std::uint32_t> ackEpochLeader;
     std::map<std::uint64_t, CommitLedger> committedBySeq;
+    /** Client-visible twin of ackEpochLeader: epoch -> ack source. */
+    std::map<std::uint64_t, std::uint32_t> ackSourceByEpoch;
 
     ClusterResult res;
 
@@ -348,11 +350,19 @@ struct Plane
         return m;
     }
 
-    void
-    persistMeta(Replica &r)
+    /**
+     * Persist the replication meta words on the replica's own PSM
+     * path, starting no earlier than @p from. @return the tick the
+     * persist completes — every send site whose message claims
+     * "durable before this departs" threads it into the departure,
+     * so the persistence latency is charged in simulated time.
+     */
+    Tick
+    persistMeta(Replica &r, Tick from = 0)
     {
-        Tick t = eq.now();
+        Tick t = std::max(from, eq.now());
         r.kv->persistClusterMeta(t, metaOf(r));
+        return t;
     }
 
     /** Epoch of the record at sequence @p s of @p r's chain. */
@@ -471,16 +481,18 @@ struct Plane
      * replicas), propagation adds linkLatency, and delivery to a dark
      * or dump-stalled replica is dropped — that drop is precisely how
      * an S-CheckPC leader mid-dump gets falsely deposed.
+     * @p notBefore delays the departure past a local persist the
+     * message's claim depends on (durable-stage acks, vote grants).
      */
     void
     sendMsg(Replica &from, std::uint32_t to, const Msg &m,
-            std::uint64_t bytes)
+            std::uint64_t bytes, Tick notBefore = 0)
     {
         if (to == from.id || to >= cfg.replicas)
             return;
         const Tick now = eq.now();
         Tick &busy = from.linkBusyTo[to];
-        const Tick depart = std::max(now, busy);
+        const Tick depart = std::max({now, notBefore, busy});
         busy = depart + serializeTicks(bytes);
         const Tick arrive = busy + cfg.linkLatency;
         eq.schedule(arrive, [this, to, m] { deliver(to, m); });
@@ -498,11 +510,12 @@ struct Plane
     }
 
     void
-    broadcast(Replica &from, const Msg &m, std::uint64_t bytes)
+    broadcast(Replica &from, const Msg &m, std::uint64_t bytes,
+              Tick notBefore = 0)
     {
         for (std::uint32_t p = 0; p < cfg.replicas; ++p)
             if (p != from.id)
-                sendMsg(from, p, m, bytes);
+                sendMsg(from, p, m, bytes, notBefore);
     }
 
     // --- client plane ---------------------------------------------
@@ -574,17 +587,25 @@ struct Plane
             && resp.leaderHint < cfg.replicas)
             lbLeader = resp.leaderHint;
         const Tick first = fleet.firstIssuedAt(resp.reqId);
+        // Online split-brain audit rides the *acks*: the commit path
+        // keeps its own (epoch -> leader) ledger, but the client-
+        // visible write acks must tell the same story. Duplicate
+        // acks are audited too — a deposed leader's late ack racing
+        // the new leader's is exactly the signal sought.
+        if (resp.status == net::RpcStatus::Ok && resp.epoch != 0) {
+            auto [it, ins] =
+                ackSourceByEpoch.try_emplace(resp.epoch, resp.source);
+            if (!ins && it->second != resp.source) {
+                ++res.splitBrainEpochs;
+                violation("split brain: clients saw PUT acks from "
+                          "two replicas inside one epoch");
+            }
+        }
         const auto outcome = fleet.onResponse(resp, now);
         if (outcome == net::ClientFleet::AckOutcome::Completed) {
             if (resp.source < cfg.replicas)
                 reps[resp.source]->recorder.onSuccess(now, first,
                                                       resp.servedAt);
-            if (resp.status == net::RpcStatus::Ok
-                && resp.version > 0) {
-                // Online split-brain audit rides the *acks*: the
-                // cluster may elect however it likes, but two leaders
-                // acking writes inside one epoch is a violation.
-            }
             return;
         }
         if (outcome == net::ClientFleet::AckOutcome::RetriableError
@@ -696,11 +717,14 @@ struct Plane
             resp.status = net::RpcStatus::NotLeader;
             return resp;
         }
-        // Retry of an already-durable PUT: idempotent ack.
+        // Retry of an already-durable PUT: idempotent ack (a write
+        // ack from this leader, so it carries the epoch and joins
+        // the client-side split-brain audit).
         if (r.kv->isApplied(req.reqId) || r.kv->logPending(req.reqId)) {
             const auto st = r.kv->lookup(req.key);
             resp.status = net::RpcStatus::Ok;
             resp.version = st ? st->version : 0;
+            resp.epoch = r.epoch;
             return resp;
         }
         // Retry of a still-pending proposal: join its waiters.
@@ -746,12 +770,16 @@ struct Plane
             Waiter{req.reqId, req.client, req.attempt});
         r.pendingOps.emplace(rec.seq, std::move(op));
         r.pendingByReq[rec.reqId] = rec.seq;
-        // The leader's own stage is durable before any follower ack
-        // can possibly return.
-        persistMeta(r);
+        // The leader's own stage is durable before any proposal
+        // departs: the record joins the staged map (so a cold boot
+        // mid-replication still finds it) and the service path pays
+        // the persist cost — t advances, holding the server busy
+        // until the stage lands.
+        r.staged[rec.seq] = rec;
+        t = persistMeta(r, t);
         for (std::uint32_t p = 0; p < cfg.replicas; ++p)
             if (p != r.id)
-                proposeOne(r, p, rec);
+                proposeOne(r, p, rec, t);
         advanceCommit(r);  // a single-replica cluster self-commits
         replicated = true;
         return resp;
@@ -889,7 +917,8 @@ struct Plane
     // --- replication: leader side ---------------------------------
 
     void
-    proposeOne(Replica &r, std::uint32_t to, const ReplRecord &rec)
+    proposeOne(Replica &r, std::uint32_t to, const ReplRecord &rec,
+               Tick notBefore = 0)
     {
         Msg m;
         m.kind = MsgKind::Propose;
@@ -900,7 +929,7 @@ struct Plane
         m.lastEpoch = epochAt(r, rec.seq - 1);  // chain check anchor
         m.rec = rec;
         ++res.proposals;
-        sendMsg(r, to, m, cfg.replRecordBytes);
+        sendMsg(r, to, m, cfg.replRecordBytes, notBefore);
     }
 
     void
@@ -935,6 +964,10 @@ struct Plane
             r.pendingOps.erase(it);
             r.pendingByReq.erase(op.rec.reqId);
             commitOp(r, op);
+            // The committed prefix now covers the record; its copy
+            // leaves the durable staged tail (the follower apply
+            // path does the same as it applies).
+            r.staged.erase(op.rec.seq);
         }
     }
 
@@ -980,6 +1013,7 @@ struct Plane
                 resp.attempt = w.attempt;
                 resp.source = r.id;
                 resp.leaderHint = r.id;
+                resp.epoch = rec.epoch;
                 r.deferredAcks.push_back(resp);
             }
             maybeScheduleCommit(r);
@@ -1004,6 +1038,7 @@ struct Plane
                     resp.attempt = w.attempt;
                     resp.source = r.id;
                     resp.leaderHint = r.id;
+                    resp.epoch = rec.epoch;
                     batch->push_back(resp);
                 }
                 const std::uint64_t g = r.gen;
@@ -1033,8 +1068,12 @@ struct Plane
 
     // --- replication: follower side -------------------------------
 
-    /** Apply staged records up to min(leader commit, verified top). */
-    void
+    /**
+     * Apply staged records up to min(leader commit, verified top).
+     * @return the tick the applies (and their watermark persist)
+     * complete; eq.now() when nothing applied.
+     */
+    Tick
     applyCommitted(Replica &r, std::uint64_t leader_commit)
     {
         const std::uint64_t bound =
@@ -1070,6 +1109,7 @@ struct Plane
                 r.kv->persistClusterMeta(t, metaOf(r));
             }
         }
+        return t;
     }
 
     /** Leader-stream bookkeeping shared by Heartbeat and Propose. */
@@ -1094,7 +1134,7 @@ struct Plane
     }
 
     void
-    replyHbAck(Replica &r, std::uint32_t to)
+    replyHbAck(Replica &r, std::uint32_t to, Tick notBefore = 0)
     {
         Msg a;
         a.kind = MsgKind::HbAck;
@@ -1102,7 +1142,7 @@ struct Plane
         a.epoch = r.epoch;
         a.seq = r.matchedSeq;
         a.commit = r.seqApplied;
-        sendMsg(r, to, a, cfg.controlMsgBytes);
+        sendMsg(r, to, a, cfg.controlMsgBytes, notBefore);
     }
 
     void
@@ -1113,10 +1153,10 @@ struct Plane
             return;
         }
         observeLeader(r, m);
-        applyCommitted(r, m.commit);
+        const Tick applied = applyCommitted(r, m.commit);
         if (r.matchedSeq < m.seq && r.seqApplied < m.commit)
             requestSync(r);
-        replyHbAck(r, m.from);
+        replyHbAck(r, m.from, applied);
     }
 
     void
@@ -1129,6 +1169,7 @@ struct Plane
         observeLeader(r, m);
         const ReplRecord &rec = m.rec;
         const std::uint64_t top = r.stagedTop();
+        Tick ackReady = eq.now();
         if (rec.seq <= r.seqApplied) {
             // Below the committed prefix: already durable here.
         } else if (rec.seq <= top + 1
@@ -1145,10 +1186,11 @@ struct Plane
                 it == r.staged.end() || it->second.reqId != rec.reqId;
             if (fresh) {
                 r.staged[rec.seq] = rec;
-                // Durable stage *before* the ack can depart — the
+                // Durable stage *before* the ack departs — the
                 // quorum-overlap argument under correlated cold
-                // boots rests on this persist.
-                persistMeta(r);
+                // boots rests on this persist, and the ack pays
+                // for it in simulated time.
+                ackReady = persistMeta(r);
             }
             // The chain check verified the predecessor epoch, which
             // by log matching pins the entire prefix.
@@ -1156,14 +1198,14 @@ struct Plane
         } else {
             requestSync(r);
         }
-        applyCommitted(r, m.commit);
+        ackReady = std::max(ackReady, applyCommitted(r, m.commit));
         Msg a;
         a.kind = MsgKind::ProposeAck;
         a.from = r.id;
         a.epoch = r.epoch;
         a.seq = r.matchedSeq;
         a.commit = r.seqApplied;
-        sendMsg(r, m.from, a, cfg.controlMsgBytes);
+        sendMsg(r, m.from, a, cfg.controlMsgBytes, ackReady);
     }
 
     void
@@ -1226,9 +1268,10 @@ struct Plane
         r.epoch += 1;
         r.role = Role::Candidate;
         r.leaderKnown = invalidReplica;
-        // Durable vote for self before soliciting anyone.
+        // Durable vote for self before soliciting anyone — the
+        // solicitations wait out the persist.
         r.voteWord = r.epoch * 64 + r.id + 1;
-        persistMeta(r);
+        const Tick votedBy = persistMeta(r);
         r.votesMask = std::uint64_t(1) << r.id;
         if (std::uint64_t(__builtin_popcountll(r.votesMask))
             >= majority()) {
@@ -1241,7 +1284,7 @@ struct Plane
         m.epoch = r.epoch;
         m.seq = r.stagedTop();
         m.lastEpoch = epochAt(r, r.stagedTop());
-        broadcast(r, m, cfg.controlMsgBytes);
+        broadcast(r, m, cfg.controlMsgBytes, votedBy);
     }
 
     void
@@ -1276,13 +1319,15 @@ struct Plane
         if (!canVote || !upToDate)
             return;
         r.voteWord = m.epoch * 64 + m.from + 1;
-        persistMeta(r);  // the vote is durable before the grant leaves
+        // The vote is durable before the grant leaves — the grant
+        // departure waits out the persist.
+        const Tick votedBy = persistMeta(r);
         r.lastLeaderHeard = now;  // back off our own candidacy a beat
         Msg g;
         g.kind = MsgKind::VoteGrant;
         g.from = r.id;
         g.epoch = m.epoch;
-        sendMsg(r, m.from, g, cfg.controlMsgBytes);
+        sendMsg(r, m.from, g, cfg.controlMsgBytes, votedBy);
     }
 
     void
@@ -1320,14 +1365,20 @@ struct Plane
         }
         // Adopt the whole durable tail, re-tagged with the new epoch
         // (the re-tag is the "current-term barrier": commits only
-        // ever count quorums of current-epoch records).
+        // ever count quorums of current-epoch records). The records
+        // are *mirrored* into pendingOps, never moved: they stay in
+        // the durable staged map until the committed prefix covers
+        // them, so the persisted watermark cannot regress and a cold
+        // boot before the re-commit still finds them — these records
+        // may have committed (and been client-acked) under a prior
+        // epoch, and the quorum-overlap argument counts this copy.
         std::uint64_t s = r.seqApplied;
         while (true) {
             auto it = r.staged.find(s + 1);
             if (it == r.staged.end())
                 break;
-            ReplRecord rec = it->second;
-            rec.epoch = r.epoch;
+            it->second.epoch = r.epoch;
+            const ReplRecord &rec = it->second;
             s = rec.seq;
             PendingOp op;
             op.rec = rec;
@@ -1335,21 +1386,26 @@ struct Plane
             r.pendingByReq[rec.reqId] = rec.seq;
             r.lastProposedVersion[rec.key] = rec.version;
         }
-        r.staged.clear();
+        // The tail is contiguous by invariant; any straggler past a
+        // gap cannot be re-proposed under this epoch (mirrors the
+        // cold-boot trim).
+        while (!r.staged.empty() && r.staged.rbegin()->first > s)
+            r.staged.erase(std::prev(r.staged.end()));
         r.matchedSeq = s;
         r.nextSeq = s + 1;
-        persistMeta(r);
+        const Tick stagedBy = persistMeta(r);
         for (std::uint32_t p = 0; p < cfg.replicas; ++p) {
             r.peers[p].lastAck = eq.now();
             r.peers[p].held = 0;
             r.peers[p].synced = false;
         }
-        // Immediate round: announce, and re-propose the adopted tail.
+        // Immediate round: announce, and re-propose the adopted tail
+        // (after its re-tagged stage is durable).
         hbRound(r);
         for (const auto &[seq, op] : r.pendingOps)
             for (std::uint32_t p = 0; p < cfg.replicas; ++p)
                 if (p != r.id)
-                    proposeOne(r, p, op.rec);
+                    proposeOne(r, p, op.rec, stagedBy);
         advanceCommit(r);
         if (!r.hbArmed) {
             r.hbArmed = true;
@@ -1546,7 +1602,7 @@ struct Plane
             } else {
                 r.kv->persistClusterMeta(t, metaOf(r));
             }
-            replyHbAck(r, m.from);
+            replyHbAck(r, m.from, t);
         }
     }
 
@@ -1567,7 +1623,7 @@ struct Plane
         r.journal.clear();
         r.matchedSeq = r.seqApplied;
         r.kv->persistClusterMeta(t, metaOf(r));
-        replyHbAck(r, m.from);
+        replyHbAck(r, m.from, t);
     }
 
     void

@@ -50,6 +50,20 @@ validate(const ClusterCampaignConfig &config)
         if (intensity < 1 || intensity > 3)
             fatal("cluster campaign: intensity ", intensity,
                        " is not on the 1..3 storm ladder");
+    // The stream-column packing gives seedIdx 32 bits, intIdx 8 and
+    // repIdx the rest; overflow would silently alias storm/arrival
+    // streams across cells and void the paired comparison.
+    if (config.seedsPerCell > (std::uint64_t(1) << 32))
+        fatal("cluster campaign: seedsPerCell ", config.seedsPerCell,
+              " overflows the 32-bit seed field of the stream "
+              "column packing");
+    if (config.intensities.size() > 256)
+        fatal("cluster campaign: ", config.intensities.size(),
+              " intensities overflow the 8-bit intensity field of "
+              "the stream column packing");
+    if (config.replicaCounts.size() > (std::size_t(1) << 24))
+        fatal("cluster campaign: ", config.replicaCounts.size(),
+              " replica counts overflow the stream column packing");
     if (config.runFor == 0)
         fatal("cluster campaign: runFor must be nonzero");
     if (config.clients == 0)
@@ -109,9 +123,12 @@ clusterTrialConfig(const ClusterCampaignConfig &config,
 
     // One stream per grid position: the *same* seed index replays
     // identical storm/arrival schedules against every mode in the
-    // cell's column, so the availability comparison is paired.
+    // cell's column, so the availability comparison is paired. The
+    // column packs (repIdx, intIdx, seedIdx) into disjoint wide
+    // fields — validate() bounds each so they cannot collide.
     const std::uint64_t column =
-        (std::uint64_t(repIdx) * 8 + intIdx) * 64 + seedIdx;
+        ((std::uint64_t(repIdx) * 256 + std::uint64_t(intIdx)) << 32)
+        | std::uint64_t(seedIdx);
     cc.seed = Rng::streamSeed(config.seed, 0x636c7573ULL + column);
     return cc;
 }

@@ -92,6 +92,14 @@ struct RpcResponse
 
     /** NotLeader redirect target (noLeaderHint when unknown). */
     std::uint32_t leaderHint = noLeaderHint;
+
+    /**
+     * Leader epoch under which a replicated PUT was acked (0 = not a
+     * replicated-write ack; cluster epochs start at 1). The client
+     * plane feeds it to the online split-brain audit: acks from two
+     * distinct sources inside one epoch are an invariant violation.
+     */
+    std::uint64_t epoch = 0;
 };
 
 static_assert(std::is_trivially_copyable_v<RpcRequest>);

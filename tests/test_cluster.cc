@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <vector>
 
 #include "cluster/cluster.hh"
@@ -605,6 +606,27 @@ TEST(ClusterPlane, QuorumLossDegradesToReadOnlyNotDark)
     EXPECT_EQ(r.lostAckedPuts, 0u);
 }
 
+TEST(ClusterPlane, ColdBootingLeadersNeverRegressTheDurableTail)
+{
+    // SysPC cold-boots on every cut, so this is the regression
+    // stress for the becomeLeader watermark: a new leader adopts
+    // the previous epoch's staged tail (records possibly committed
+    // and client-acked under that epoch), is struck before the
+    // re-commit, and must still find the records after recovery —
+    // they stay mirrored in the durable staged map, never moved
+    // into volatile pendingOps.
+    for (const std::uint64_t seed : {33ull, 52ull, 63ull}) {
+        const ClusterResult r = cluster::runCluster(
+            tinyCluster(net::PersistMode::SysPc, 2, seed));
+        EXPECT_GT(r.cutsInjected, 0u) << seed;
+        EXPECT_GT(r.coldBoots, 0u) << seed;
+        EXPECT_EQ(r.lostAckedPuts, 0u) << seed;
+        EXPECT_EQ(r.splitBrainEpochs, 0u) << seed;
+        EXPECT_EQ(r.divergentCommits, 0u) << seed;
+        EXPECT_TRUE(r.violations.empty()) << seed;
+    }
+}
+
 TEST(ClusterPlane, DeterministicUnderFixedSeed)
 {
     const ClusterResult a = cluster::runCluster(
@@ -651,6 +673,27 @@ TEST(ClusterCampaign, TrialConfigIsAPureFunctionOfTheIndex)
     EXPECT_NE(sng.mode, a.mode);
 
     EXPECT_THROW(fault::clusterTrialConfig(cfg, 2), FatalError);
+}
+
+TEST(ClusterCampaign, SeedColumnsDoNotCollidePastTheOldPacking)
+{
+    // The old packing gave seedIdx 64 slots before it bled into the
+    // neighbouring intensity column; sweep past that boundary and
+    // require every (intensity, seedIdx) stream to stay distinct.
+    fault::ClusterCampaignConfig cfg = tinyCampaign();
+    cfg.seedsPerCell = 70;
+    cfg.intensities = {1, 2, 3};
+    cfg.modes = {net::PersistMode::SnG};
+    const std::uint64_t trials = fault::clusterCampaignTrials(cfg);
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < trials; ++i)
+        seeds.insert(fault::clusterTrialConfig(cfg, i).seed);
+    EXPECT_EQ(seeds.size(), trials);  // one mode: all trials distinct
+
+    // Bounds on the packed fields are enforced, not assumed.
+    cfg = tinyCampaign();
+    cfg.seedsPerCell = (std::uint64_t(1) << 32) + 1;
+    EXPECT_THROW(fault::clusterTrialConfig(cfg, 0), FatalError);
 }
 
 TEST(ClusterCampaign, ThreadCountDoesNotChangeTheDigest)
